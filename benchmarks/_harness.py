@@ -1,0 +1,22 @@
+"""Shared helpers for the reproduction benches.
+
+Every bench regenerates one thesis table or figure: it computes the
+rows, prints them (visible with ``pytest benchmarks/ -s``), and writes
+them under ``benchmarks/results/`` so EXPERIMENTS.md's paper-vs-measured
+records can be refreshed from disk.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record(name: str, text: str) -> str:
+    """Print and persist one bench's regenerated artifact."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text.rstrip() + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+    return path

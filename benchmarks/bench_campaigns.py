@@ -1,0 +1,93 @@
+"""E-CAMPAIGN — sequential fault campaigns across a machine suite
+(Chapter 4 end-to-end, extension).
+
+The DESIGN.md "sequential style" ablation at scale: for every machine in
+the workload library, build both SCAL realizations (dual flip-flop and
+code conversion), run full single-fault campaigns, and compare coverage,
+storage cost, and detection latency.  Also sweeps *transient* faults
+(Definition 2.1's temporary case) on the dual-FF 0101 detector.
+"""
+
+from _harness import record
+
+from repro.logic.faults import enumerate_stem_faults
+from repro.scal.codeconv import to_code_conversion
+from repro.scal.dualff import to_dual_flipflop
+from repro.scal.verify import codeconv_campaign, dualff_campaign, random_vectors
+from repro.workloads.detectors import kohavi_0101
+from repro.workloads.machines import machine_suite
+
+
+def campaigns_report():
+    rows = [
+        f"  {'machine':14s} {'style':9s} {'FFs/bits':>8s} {'faults':>7s} "
+        f"{'detected':>9s} {'DANGEROUS':>10s} {'latency':>8s}"
+    ]
+    all_secure = True
+    for machine in machine_suite():
+        vectors = random_vectors(machine, 30, seed=len(machine.states))
+        dff = to_dual_flipflop(machine)
+        d = dualff_campaign(dff, vectors)
+        cc = to_code_conversion(machine)
+        c = codeconv_campaign(cc, vectors)
+        for style, result, storage in (
+            ("dual-FF", d, dff.flip_flop_count()),
+            ("codeconv", c, cc.flip_flop_count()),
+        ):
+            latency = (
+                f"{result.mean_detection_latency:.1f}"
+                if result.mean_detection_latency is not None
+                else "n/a"
+            )
+            rows.append(
+                f"  {machine.name:14s} {style:9s} {storage:8d} "
+                f"{result.total:7d} {result.detected:9d} "
+                f"{result.dangerous:10d} {latency:>8s}"
+            )
+            if not result.is_fault_secure:
+                all_secure = False
+
+    # Inductive (exhaustive per-state/per-input) verification.
+    from repro.scal.induction import verify_inductively
+
+    inductive_rows = []
+    all_proved = True
+    for machine in machine_suite():
+        dff = to_dual_flipflop(machine)
+        verdict = verify_inductively(dff)
+        inductive_rows.append(
+            f"  {machine.name:14s}: {verdict.summary().split(': ', 1)[1]}"
+        )
+        if not verdict.holds:
+            all_proved = False
+
+    # Transient sweep on the 0101 detector.
+    detector = kohavi_0101()
+    dff = to_dual_flipflop(detector)
+    vectors = random_vectors(detector, 30, seed=9)
+    reference = detector.run(vectors)
+    transient_total = transient_bad = 0
+    for fault in enumerate_stem_faults(dff.circuit.network, include_inputs=False):
+        for window in ((4, 4), (9, 9), (8, 11)):
+            transient_total += 1
+            run = dff.run(vectors, fault=fault, fault_window=window)
+            if dff.decoded_outputs(run) != reference and not run.detected:
+                transient_bad += 1
+    lines = [
+        "Sequential single-fault campaigns (dual flip-flop vs code "
+        "conversion)",
+        *rows,
+        "",
+        f"all campaigns fault-secure: {all_secure}",
+        "inductive verification (exhaustive per-state/per-input proof):",
+        *inductive_rows,
+        f"transient sweep (0101 detector, windowed stem faults): "
+        f"{transient_total} injections, undetected-wrong {transient_bad}",
+    ]
+    return "\n".join(lines), all_secure and transient_bad == 0 and all_proved
+
+
+def test_campaigns(benchmark):
+    text, ok = benchmark.pedantic(campaigns_report, rounds=2, iterations=1)
+    assert ok
+    record("campaigns", text)

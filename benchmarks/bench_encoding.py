@@ -1,0 +1,84 @@
+"""E-ENC — system encoding considerations (Section 7.2, extension).
+
+Paper argument: match each subsystem's code to its failure mode — single
+parity where lines are independent, Berger / m-out-of-n for space-domain
+CPUs, alternating logic where time is cheaper than wires.  Regenerated:
+the redundancy/capability comparison at several data widths, plus
+fault-injection confirmation of each code's detection envelope and the
+Figure 7.1 bus sweep (code replies leave no dangerous single bus fault).
+"""
+
+import itertools
+import random
+
+from _harness import record
+
+from repro.checkers.codes import (
+    berger_encode,
+    berger_valid,
+    inject_unidirectional,
+    m_out_of_n_codewords,
+    m_out_of_n_valid,
+    render_encoding_comparison,
+)
+from repro.system.bus import BusSystem
+
+
+def encoding_report():
+    rnd = random.Random(121)
+    sections = []
+    for width in (4, 8, 16):
+        sections.append(f"data width {width}:")
+        sections.append(render_encoding_comparison(width))
+        sections.append("")
+
+    # Berger unidirectional envelope by simulation.
+    berger_misses = 0
+    trials = 400
+    for _ in range(trials):
+        data_bits = rnd.randint(2, 6)
+        data = [rnd.randint(0, 1) for _ in range(data_bits)]
+        encoded = berger_encode(data)
+        k = rnd.randint(1, len(encoded))
+        positions = rnd.sample(range(len(encoded)), k)
+        direction = rnd.randint(0, 1)
+        corrupted = inject_unidirectional(encoded, positions, direction)
+        if corrupted != encoded and berger_valid(corrupted, data_bits):
+            berger_misses += 1
+
+    # m-out-of-n unidirectional envelope, exhaustive for 2-of-5.
+    mn_misses = 0
+    for word in m_out_of_n_codewords(2, 5):
+        for k in range(1, 6):
+            for positions in itertools.combinations(range(5), k):
+                for direction in (0, 1):
+                    corrupted = inject_unidirectional(
+                        word, list(positions), direction
+                    )
+                    if tuple(corrupted) != word and m_out_of_n_valid(
+                        corrupted, 2
+                    ):
+                        mn_misses += 1
+
+    # Figure 7.1 bus with code replies.
+    system = BusSystem(8)
+    words = [[rnd.randint(0, 1) for _ in range(8)] for _ in range(24)]
+    sweep = system.fault_sweep(words)
+
+    sections += [
+        f"Berger code: {berger_misses}/{trials} unidirectional errors "
+        "missed (expected 0)",
+        f"2-out-of-5 code: {mn_misses} unidirectional errors missed "
+        "(exhaustive; expected 0)",
+        f"Figure 7.1 bus sweep (8 data lines + parity, code replies): "
+        f"detected {sweep['detected']}, silent {sweep['silent']}, "
+        f"DANGEROUS {sweep['dangerous']}",
+    ]
+    ok = berger_misses == 0 and mn_misses == 0 and sweep["dangerous"] == 0
+    return "\n".join(sections), ok
+
+
+def test_encoding(benchmark):
+    text, ok = benchmark(encoding_report)
+    assert ok
+    record("encoding", text)

@@ -1,0 +1,66 @@
+"""E-FIG3.4 — the Section 3.6 example: Figures 3.4–3.6.
+
+Paper artifacts regenerated:
+
+* the Algorithm 3.1 classification of the three-output network
+  (F1 = MAJ(A',B,C), F2 = A^B^C, F3 = MAJ(A,B,C)): most lines admitted
+  by conditions A/B, the shared line 9 (our ``nab``) only by the
+  multi-output Corollary 3.2, and line 20 (our ``or_ab``) failing;
+* the Figure 3.6 fault table with X (nonalternating, detected) and
+  * (incorrect alternating, undetected) marks — our ``nab`` rows match
+  the thesis's line 9 rows exactly;
+* the final verdict: NOT self-checking, because of line 20's s-a-0.
+"""
+
+from _harness import record
+
+from repro.core import (
+    ScalSimulator,
+    analyze_network,
+    fault_table,
+    lines_needing_multi_output,
+    render_fault_table,
+    undetected_faults,
+)
+from repro.logic.faults import StuckAt
+from repro.workloads.fig34 import fig34_network
+
+
+def fig36_report():
+    net = fig34_network()
+    analysis = analyze_network(net)
+    oracle = ScalSimulator(net).verdict(include_pins=True)
+    rows = fault_table(
+        net,
+        [
+            StuckAt("nab", 0),
+            StuckAt("nab", 1),
+            StuckAt("or_ab", 0),
+            StuckAt("or_ab", 1),
+        ],
+    )
+    bad = undetected_faults(rows)
+    lines = [
+        "Figures 3.4-3.6 - the three-output example network",
+        analysis.summary(),
+        f"lines admitted only by Corollary 3.2 (thesis line 9): "
+        f"{lines_needing_multi_output(analysis)}",
+        "",
+        render_fault_table(net, rows),
+        "",
+        f"faults with undetected wrong outputs (thesis: line 20 s/0): {bad}",
+        f"oracle agrees (stem+pin sweep, {oracle.fault_count} faults): "
+        f"not self-checking = {not oracle.is_self_checking}",
+    ]
+    ok = (
+        not analysis.is_self_checking
+        and bad == ["or_ab s/0"]
+        and lines_needing_multi_output(analysis) == ("nab",)
+    )
+    return "\n".join(lines), ok
+
+
+def test_fig3_6_fault_table(benchmark):
+    text, ok = benchmark(fig36_report)
+    assert ok
+    record("fig3_6_fault_table", text)

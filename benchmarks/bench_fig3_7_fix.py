@@ -1,0 +1,47 @@
+"""E-FIG3.7 — the self-checking fix of Figure 3.7.
+
+Paper claim: "it is only necessary to modify the subnetwork which
+generates line 20 ... fed into a separate NAND gate so that line 20 no
+longer fans out" — one extra gate makes the network fully self-checking
+while the Corollary 3.2 line (9) keeps its relaxed admission.
+"""
+
+from _harness import record
+
+from repro.core import ScalSimulator, analyze_network, lines_needing_multi_output
+from repro.logic.evaluate import functionally_equivalent
+from repro.logic.network import expand_fanout_branches
+from repro.workloads.fig34 import fig34_network, fig37_fixed_network
+
+
+def fix_report():
+    broken = fig34_network()
+    fixed = fig37_fixed_network()
+    analysis = analyze_network(fixed)
+    oracle = ScalSimulator(fixed).verdict(include_pins=True)
+    expanded = analyze_network(expand_fanout_branches(fixed))
+    lines = [
+        "Figure 3.7 - the fanout-removing fix",
+        f"functions preserved: {functionally_equivalent(broken, fixed)}",
+        f"extra gates: {fixed.gate_count() - broken.gate_count()} "
+        "(the thesis adds exactly one NAND)",
+        analysis.summary(),
+        f"line 9 analog still via Corollary 3.2: "
+        f"{lines_needing_multi_output(analysis)}",
+        f"oracle verdict (stem+pin, {oracle.fault_count} faults): "
+        f"{oracle.is_self_checking}",
+        f"branch-expanded Algorithm 3.1 verdict: {expanded.is_self_checking}",
+    ]
+    ok = (
+        analysis.is_self_checking
+        and oracle.is_self_checking
+        and expanded.is_self_checking
+        and fixed.gate_count() == broken.gate_count() + 1
+    )
+    return "\n".join(lines), ok
+
+
+def test_fig3_7_fix(benchmark):
+    text, ok = benchmark(fix_report)
+    assert ok
+    record("fig3_7_fix", text)

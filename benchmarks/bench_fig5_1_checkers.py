@@ -1,0 +1,73 @@
+"""E-FIG5.1 — dual-rail and XOR checkers (Figures 5.1–5.2).
+
+Paper artifacts: Reynolds' dual-rail checker (flip-flops + Anderson
+TSCC, (n−1)·6 gates) and the minimum-cost odd-input XOR checker.
+Regenerated: gate-cost curves for both, the code-space behaviour
+(healthy alternating inputs → code output; any single nonalternating
+line → noncode), and the Figure 5.1c/5.2b output-stage conversions.
+"""
+
+import random
+
+from _harness import record
+
+from repro.checkers.tworail import (
+    ScalDualRailChecker,
+    alternating_output_stage,
+    code_valid,
+    two_rail_checker_network,
+)
+from repro.checkers.xorchk import check_pair, xor_checker_gate_cost
+
+
+def checkers_report():
+    rnd = random.Random(51)
+    rows = ["  n   dual-rail gates  dual-rail FFs  xor gates"]
+    for n in (2, 3, 4, 6, 9, 16):
+        tr = two_rail_checker_network(n)
+        rows.append(
+            f"  {n:2d}  {tr.gate_count(include_buffers=False):15d}  "
+            f"{n:13d}  {xor_checker_gate_cost(n):9d}"
+        )
+    # Behavioural validation on random snapshots.
+    trials = 300
+    dual_ok = xor_ok = True
+    for _ in range(trials):
+        n = rnd.randint(1, 8)
+        first = [rnd.randint(0, 1) for _ in range(n)]
+        second = [1 - b for b in first]
+        chk = ScalDualRailChecker(n)
+        if not code_valid(chk.feed_pair(first, second)):
+            dual_ok = False
+        broken = list(second)
+        k = rnd.randrange(n)
+        broken[k] = first[k]
+        if code_valid(chk.feed_pair(first, broken)):
+            dual_ok = False
+        if not check_pair(first, second).valid:
+            xor_ok = False
+        if check_pair(first, broken).valid:
+            xor_ok = False  # one nonalternating line must flip the parity
+    # Figure 5.1c: one alternating output line from the dual-rail code.
+    stage = [
+        alternating_output_stage((1, 0), 0),
+        alternating_output_stage((1, 0), 1),
+        alternating_output_stage((1, 1), 0),
+        alternating_output_stage((1, 1), 1),
+    ]
+    lines = [
+        "Figures 5.1-5.2 - checker designs",
+        *rows,
+        f"dual-rail checker behaviour over {trials} random snapshots: "
+        f"valid iff all lines alternate = {dual_ok}",
+        f"XOR checker accepts healthy alternating snapshots: {xor_ok}",
+        f"Figure 5.1c output stage: valid code -> (q0,q1) = "
+        f"({stage[0]},{stage[1]}) alternating; noncode -> ({stage[2]},{stage[3]}) constant",
+    ]
+    return "\n".join(lines), dual_ok and xor_ok and stage[:2] == [1, 0]
+
+
+def test_fig5_1_checkers(benchmark):
+    text, ok = benchmark(checkers_report)
+    assert ok
+    record("fig5_1_checkers", text)

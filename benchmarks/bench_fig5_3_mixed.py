@@ -1,0 +1,62 @@
+"""E-FIG5.3 — mixed checker design (Figures 5.3–5.4, Algorithm 5.1).
+
+Paper numbers for the nine-output example: all-dual-rail costs 48 gates
+and 9 flip-flops; the mixed design partitions A = {1,2,3,4,9},
+B1 = {5,6,7}, B2 = {8} and lands near half the cost ("either way, the
+cost is about one-half of the dual-rail checker's cost").  Regenerated:
+the partition, both combining-stage variants, and the same algorithm run
+on the real Figure 3.4 netlist.
+"""
+
+from _harness import record
+
+from repro.checkers.mixed import (
+    all_dual_rail_cost,
+    partition,
+    spec_from_network,
+    thesis_nine_output_example,
+)
+from repro.workloads.fig34 import fig34_network
+
+
+def mixed_report():
+    plan = partition(thesis_nine_output_example())
+    base_gates, base_ffs = all_dual_rail_cost(9)
+    xg, xf = plan.total_cost("xor")
+    dg, df = plan.total_cost("dual-rail")
+    net_spec = spec_from_network(fig34_network())
+    net_plan = partition(net_spec)
+    ng, nf = net_plan.total_cost("xor")
+    lines = [
+        "Figures 5.3-5.4 / Algorithm 5.1 - mixed checker design",
+        f"partition A (XOR-checked): {plan.xor_checked} "
+        "(thesis: 1,2,3,4,9)",
+        f"dual-rail checked:         {plan.dual_rail_checked} "
+        "(thesis: 5,6,7,8)",
+        f"all-dual-rail baseline: {base_gates} gates + {base_ffs} FFs "
+        "(thesis: 48 + 9)",
+        f"mixed, XOR combine (Fig 5.4a):       {xg} gates + {xf} FFs",
+        f"mixed, dual-rail combine (Fig 5.4b): {dg} gates + {df} FFs",
+        f"gate-cost ratio vs baseline: {xg / base_gates:.2f} "
+        "(thesis: 'about one-half')",
+        "",
+        "Algorithm 5.1 on the Figure 3.4 netlist:",
+        f"  sharing groups: {[tuple(sorted(g)) for g in net_spec.sharing_groups]}",
+        f"  incorrectly alternating outputs: "
+        f"{sorted(net_spec.incorrectly_alternating)}",
+        f"  plan: XOR {net_plan.xor_checked}, dual-rail "
+        f"{net_plan.dual_rail_checked} -> {ng} gates + {nf} FFs",
+    ]
+    ok = (
+        plan.xor_checked == ("1", "2", "3", "4", "9")
+        and plan.dual_rail_checked == ("5", "6", "7", "8")
+        and base_gates == 48
+        and xg <= base_gates * 0.55
+    )
+    return "\n".join(lines), ok
+
+
+def test_fig5_3_mixed(benchmark):
+    text, ok = benchmark(mixed_report)
+    assert ok
+    record("fig5_3_mixed", text)

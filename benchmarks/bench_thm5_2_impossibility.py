@@ -1,0 +1,45 @@
+"""E-THM5.2 — the clock-disable impossibility (Theorem 5.2, Figure 5.6).
+
+Paper claim: no network of normal gates can be a *self-checking* clock
+disable — meeting the Figure 5.6 freeze requirements forces a hidden
+fault state that normal operation never exercises, so some stuck fault
+is untestable.  Regenerated as an executable survey: every candidate in
+the module family either violates a requirement on the driven transition
+sequences or carries an untestable internal fault; none is both
+requirement-clean and fully testable.
+"""
+
+from _harness import record
+
+from repro.checkers.hardcore import DEFAULT_CANDIDATES, theorem_5_2_survey
+
+
+def impossibility_report():
+    verdicts = theorem_5_2_survey(DEFAULT_CANDIDATES)
+    lines = ["Theorem 5.2 - executable impossibility survey", ""]
+    theorem_holds = True
+    for verdict in verdicts:
+        if verdict.is_self_checking_hardcore:
+            theorem_holds = False
+            status = "COUNTEREXAMPLE (!!)"
+        elif verdict.meets_requirements:
+            status = (
+                "meets the Fig 5.6 requirements but holds untestable "
+                f"fault(s): {', '.join(verdict.untestable_faults)}"
+            )
+        else:
+            status = f"violates requirements: {verdict.violation}"
+        lines.append(f"  {verdict.name}: {status}")
+    lines += [
+        "",
+        f"theorem upheld over {len(verdicts)} candidates: {theorem_holds}",
+        "(the thesis's consequence: the hardcore must be replicated "
+        "(Fig 5.5b) or its status merely latched and displayed (Fig 5.7))",
+    ]
+    return "\n".join(lines), theorem_holds
+
+
+def test_thm5_2_impossibility(benchmark):
+    text, ok = benchmark(impossibility_report)
+    assert ok
+    record("thm5_2_impossibility", text)

@@ -1,0 +1,68 @@
+"""repro — Self-Checking Alternating Logic (SCAL).
+
+A full reproduction of Woodard & Metze's ISCA 1978 work on designing
+self-checking digital systems with alternating logic (time-redundant
+single-stuck-at fault detection), built from the 1977 thesis text.
+
+Package map
+-----------
+``repro.logic``     gate-level substrate: netlists, truth tables, faults,
+                    self-duality, two-level synthesis.
+``repro.core``      the paper's contribution: the SCAL oracle, conditions
+                    A–E, Algorithm 3.1, test generation, redundancy.
+``repro.seq``       sequential machines and Kohavi-style synthesis.
+``repro.scal``      dual flip-flop and code-conversion SCAL machines,
+                    ALPT/PALT translators, Table 4.1 cost model.
+``repro.checkers``  dual-rail TSCC, XOR checkers, mixed checker design,
+                    hardcore clock-disable analysis (Theorem 5.2).
+``repro.modules``   minority modules (Theorems 6.2/6.3), self-dual
+                    adder/shifter/status storage.
+``repro.system``    parity memory, the SCAL CPU and Figure 7.3 computer,
+                    ADR / TMR / Figure 7.5 comparisons, reliability.
+``repro.workloads`` thesis example circuits and random populations.
+
+Quickstart
+----------
+>>> from repro.logic import parse_expression, network_is_self_dual
+>>> from repro.core import analyze_network, is_scal_network
+>>> net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+>>> network_is_self_dual(net)       # majority is self-dual
+True
+>>> analyze_network(net).is_self_checking
+True
+"""
+
+from . import checkers, core, logic, modules, scal, seq, system, workloads
+from .core import ScalSimulator, analyze_network, is_scal_network
+from .logic import (
+    GateKind,
+    Network,
+    NetworkBuilder,
+    StuckAt,
+    TruthTable,
+    parse_expression,
+    parse_expressions,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GateKind",
+    "Network",
+    "NetworkBuilder",
+    "ScalSimulator",
+    "StuckAt",
+    "TruthTable",
+    "analyze_network",
+    "checkers",
+    "core",
+    "is_scal_network",
+    "logic",
+    "modules",
+    "parse_expression",
+    "parse_expressions",
+    "scal",
+    "seq",
+    "system",
+    "workloads",
+]

@@ -1,0 +1,176 @@
+"""Space-domain codes for system encoding (Section 7.2).
+
+The thesis's encoding argument compares codes per subsystem: a single
+parity bit where output lines are independent (bus, memory), but "in the
+central processing unit generating a parity bit output is almost as
+costly as building an entire CPU.  In this case an m-out-of-n code or
+Berger code is useful in space domain self-checking."  This module
+supplies those comparison codes so the encoding-considerations bench can
+put numbers on the trade:
+
+* **Berger code** — data word + binary count of its 0-bits; detects all
+  unidirectional errors (a unidirectional flip moves the zero count in
+  one direction and the check bits in the other).
+* **m-out-of-n code** — fixed-weight words; any unidirectional error
+  changes the weight.  1-out-of-2 (the checker-output code of Chapter 5)
+  is the special case ``m=1, n=2``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from typing import List, Sequence, Tuple
+
+
+# ----------------------------------------------------------------------
+# Berger code
+# ----------------------------------------------------------------------
+
+
+def berger_check_width(data_bits: int) -> int:
+    """Check bits needed: ``ceil(log2(data_bits + 1))``."""
+    if data_bits < 1:
+        raise ValueError("need at least one data bit")
+    return max(1, math.ceil(math.log2(data_bits + 1)))
+
+
+def berger_encode(data: Sequence[int]) -> List[int]:
+    """Append the binary count of zero bits (little-endian)."""
+    zeros = sum(1 for b in data if not int(b) & 1)
+    width = berger_check_width(len(data))
+    check = [(zeros >> i) & 1 for i in range(width)]
+    return [int(b) & 1 for b in data] + check
+
+
+def berger_valid(word: Sequence[int], data_bits: int) -> bool:
+    data = [int(b) & 1 for b in word[:data_bits]]
+    check = word[data_bits:]
+    zeros = sum(1 for b in data if not b)
+    width = berger_check_width(data_bits)
+    if len(check) != width:
+        return False
+    return all(((zeros >> i) & 1) == (int(c) & 1) for i, c in enumerate(check))
+
+
+def berger_error_detected(
+    word: Sequence[int],
+    data_bits: int,
+    positions: Sequence[int],
+    direction: int,
+) -> bool:
+    """Apply a unidirectional error (force ``positions`` to
+    ``direction``) to a valid Berger word and report whether the check
+    fails — which Berger codes guarantee whenever the word actually
+    changed (data flips toward 1 can only lower the zero count while
+    check flips toward 1 can only raise the represented count, so they
+    never compensate; dually for flips toward 0)."""
+    corrupted = inject_unidirectional(word, positions, direction)
+    if corrupted == [int(b) & 1 for b in word]:
+        return False  # nothing flipped: not an error
+    return not berger_valid(corrupted, data_bits)
+
+
+# ----------------------------------------------------------------------
+# m-out-of-n codes
+# ----------------------------------------------------------------------
+
+
+def m_out_of_n_codewords(m: int, n: int) -> List[Tuple[int, ...]]:
+    """All weight-m words of n bits."""
+    if not 0 <= m <= n:
+        raise ValueError("need 0 <= m <= n")
+    words = []
+    for ones in itertools.combinations(range(n), m):
+        word = [0] * n
+        for i in ones:
+            word[i] = 1
+        words.append(tuple(word))
+    return words
+
+
+def m_out_of_n_valid(word: Sequence[int], m: int) -> bool:
+    return sum(int(b) & 1 for b in word) == m
+
+
+def code_size(m: int, n: int) -> int:
+    return math.comb(n, m)
+
+
+def data_capacity(m: int, n: int) -> int:
+    """Bits of information an m-of-n code can carry."""
+    return int(math.floor(math.log2(code_size(m, n)))) if code_size(m, n) else 0
+
+
+# ----------------------------------------------------------------------
+# encoding comparison (Section 7.2)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class EncodingRow:
+    """One row of the encoding-considerations comparison."""
+
+    code: str
+    total_bits: int
+    redundancy_bits: int
+    detects_single: bool
+    detects_unidirectional: bool
+
+    def row(self) -> str:
+        return (
+            f"{self.code:18s} {self.total_bits:10d} {self.redundancy_bits:10d} "
+            f"{str(self.detects_single):>7s} {str(self.detects_unidirectional):>15s}"
+        )
+
+
+def encoding_comparison(data_bits: int) -> List[EncodingRow]:
+    """Parity vs Berger vs balanced m-of-n for one data width."""
+    berger_bits = berger_check_width(data_bits)
+    # Smallest balanced code carrying data_bits of information.
+    n = data_bits + 1
+    while data_capacity(n // 2, n) < data_bits:
+        n += 1
+    rows = [
+        EncodingRow("single parity", data_bits + 1, 1, True, False),
+        EncodingRow(
+            "Berger", data_bits + berger_bits, berger_bits, True, True
+        ),
+        EncodingRow(
+            f"{n // 2}-out-of-{n}", n, n - data_bits, True, True
+        ),
+        EncodingRow(
+            "alternating (time)", data_bits, 0, True, False
+        ),
+    ]
+    return rows
+
+
+def render_encoding_comparison(data_bits: int) -> str:
+    header = (
+        f"{'code':18s} {'total bits':>10s} {'redundant':>10s} "
+        f"{'single':>7s} {'unidirectional':>15s}"
+    )
+    rows = encoding_comparison(data_bits)
+    note = (
+        "(alternating logic pays its redundancy in time, not wires - the "
+        "Section 7.2 argument for using it inside the CPU)"
+    )
+    return "\n".join([header] + [r.row() for r in rows] + [note])
+
+
+# ----------------------------------------------------------------------
+# behavioural checkers (for fault-injection tests)
+# ----------------------------------------------------------------------
+
+
+def inject_unidirectional(
+    word: Sequence[int], positions: Sequence[int], direction: int
+) -> List[int]:
+    """Force the given positions to ``direction`` (a unidirectional
+    error if any of them actually change)."""
+    out = [int(b) & 1 for b in word]
+    for k in positions:
+        out[k] = int(direction) & 1
+    return out

@@ -1,0 +1,319 @@
+"""Hardcore elements: the clock-disable module and Theorem 5.2
+(Section 5.5).
+
+A self-checking system must *act* on its checker: stop the clock once the
+dual-rail pair (f, g) goes noncode, freezing the state where the failure
+occurred.  Table 5.2 specifies the module: ``clock_out = clock_in · (f ⊕ g)``
+(Figure 5.5a).  The module itself is **hardcore** — assumed fault-free —
+because Theorem 5.2 shows no network of normal gates can implement a
+*self-checking* clock disable: meeting the freeze requirements forces a
+hidden fault state that normal operation can never exercise, so some
+stuck fault is untestable.  The thesis's two mitigations are modelled
+here: replication (Figure 5.5b — hardcore failure probability ``p^n``)
+and latching the checker outputs (Figure 5.7).
+
+The theorem is made executable: :func:`check_candidate` drives any
+candidate module through the Figure 5.6 transition sequences and reports
+either a fault-security violation (the output pulses when it must hold)
+or, for candidates that pass, the untestable internal stuck faults that
+normal operation can never reveal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..logic.gates import GateKind
+from ..logic.network import Network, NetworkBuilder
+
+# ----------------------------------------------------------------------
+# Table 5.2 / Figure 5.5a
+# ----------------------------------------------------------------------
+
+
+def clock_disable(clock_in: int, f: int, g: int) -> int:
+    """Table 5.2: pass the clock only while the code pair is valid."""
+    return (int(clock_in) & 1) & ((int(f) & 1) ^ (int(g) & 1))
+
+
+def clock_disable_truth_table() -> List[Tuple[int, int, int, int]]:
+    """All eight rows of Table 5.2 as (clock, f, g, clock_out)."""
+    rows = []
+    for clock, f, g in itertools.product((0, 1), repeat=3):
+        rows.append((clock, f, g, clock_disable(clock, f, g)))
+    return rows
+
+
+def clock_disable_network() -> Network:
+    """Gate-level Figure 5.5a module (one XOR, one AND).
+
+    The XOR output stuck-at 1 is the undetectable fault the thesis points
+    out: the module then passes the clock forever and "there will be no
+    way of knowing when another fault occurs".
+    """
+    builder = NetworkBuilder(["clock", "f", "g"], name="clock_disable")
+    builder.add("fg", GateKind.XOR, ["f", "g"])
+    builder.add("clock_out", GateKind.AND, ["clock", "fg"])
+    return builder.build(["clock_out"])
+
+
+def replicated_clock_disable(clock_in: int, codes: Sequence[Tuple[int, int]]) -> int:
+    """Figure 5.5b: modules in series, each gating on its own code pair."""
+    clock = clock_in
+    for f, g in codes:
+        clock = clock_disable(clock, f, g)
+    return clock
+
+
+def replication_failure_probability(p: float, n: int) -> float:
+    """Probability all ``n`` replicated hardcore modules fail: ``p**n``
+    ("It can be made arbitrarily small for p < 1")."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    if n < 1:
+        raise ValueError("need at least one module")
+    return p ** n
+
+
+# ----------------------------------------------------------------------
+# Figure 5.7: latching checker outputs
+# ----------------------------------------------------------------------
+
+
+class LatchingCheckerOutput:
+    """Feed the checker outputs back so a noncode word, once signalled,
+    persists (Figure 5.7).  The status is displayed rather than used to
+    stop the clock — the thesis's fallback when no self-checking
+    hardcore exists."""
+
+    def __init__(self) -> None:
+        self.f = 1
+        self.g = 0
+
+    def step(self, f_in: int, g_in: int) -> Tuple[int, int]:
+        if self.f == self.g:
+            return self.f, self.g  # latched noncode state persists
+        self.f, self.g = int(f_in) & 1, int(g_in) & 1
+        return self.f, self.g
+
+    @property
+    def latched_fault(self) -> bool:
+        return self.f == self.g
+
+
+# ----------------------------------------------------------------------
+# Theorem 5.2: executable impossibility harness
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CandidateVerdict:
+    """What the Theorem 5.2 harness found for one candidate module."""
+
+    name: str
+    meets_requirements: bool
+    violation: Optional[str]
+    untestable_faults: Tuple[str, ...]
+
+    @property
+    def is_self_checking_hardcore(self) -> bool:
+        """True would contradict Theorem 5.2 — the bench asserts no
+        candidate ever achieves it."""
+        return self.meets_requirements and not self.untestable_faults
+
+
+class HardcoreCandidate:
+    """Interface for candidate clock-disable implementations.
+
+    A candidate is a (possibly sequential) module over standard gates and
+    flip-flops with inputs (clock, f, g) and one output.  Subclasses
+    provide ``fault_sites`` and honour the ``fault`` constructor argument
+    so the harness can probe testability.
+    """
+
+    name = "candidate"
+    fault_sites: Tuple[str, ...] = ()
+
+    def __init__(self, fault: Optional[Tuple[str, int]] = None) -> None:
+        self.fault = fault
+
+    def reset(self) -> None:  # pragma: no cover - interface default
+        pass
+
+    def step(self, clock: int, f: int, g: int) -> int:
+        raise NotImplementedError
+
+    def _apply(self, site: str, value: int) -> int:
+        if self.fault is not None and self.fault[0] == site:
+            return self.fault[1]
+        return value
+
+
+class CombinationalDisable(HardcoreCandidate):
+    """Figure 5.5a taken literally: ``out = clock · (f ⊕ g)``."""
+
+    name = "combinational c&(f^g)"
+    fault_sites = ("xor_out", "and_out")
+
+    def step(self, clock: int, f: int, g: int) -> int:
+        fg = self._apply("xor_out", f ^ g)
+        return self._apply("and_out", clock & fg)
+
+
+class LatchedErrorDisable(HardcoreCandidate):
+    """A stateful candidate: remember any noncode observation in an error
+    latch and kill the clock forever after."""
+
+    name = "latched-error disable"
+    fault_sites = ("err_latch", "xor_out", "and_out")
+
+    def __init__(self, fault: Optional[Tuple[str, int]] = None) -> None:
+        super().__init__(fault)
+        self.err = 0
+
+    def reset(self) -> None:
+        self.err = 0
+
+    def step(self, clock: int, f: int, g: int) -> int:
+        fg = self._apply("xor_out", f ^ g)
+        if fg == 0:
+            self.err = 1
+        err = self._apply("err_latch", self.err)
+        return self._apply("and_out", clock & (1 - err))
+
+
+class HoldLastDisable(HardcoreCandidate):
+    """A candidate that freezes its output at the last value whenever the
+    code goes invalid (output-hold latch)."""
+
+    name = "hold-last disable"
+    fault_sites = ("hold_latch", "xor_out")
+
+    def __init__(self, fault: Optional[Tuple[str, int]] = None) -> None:
+        super().__init__(fault)
+        self.held = 0
+
+    def reset(self) -> None:
+        self.held = 0
+
+    def step(self, clock: int, f: int, g: int) -> int:
+        fg = self._apply("xor_out", f ^ g)
+        if fg:
+            self.held = clock
+        return self._apply("hold_latch", self.held)
+
+
+DEFAULT_CANDIDATES: Tuple[Callable[..., HardcoreCandidate], ...] = (
+    CombinationalDisable,
+    LatchedErrorDisable,
+    HoldLastDisable,
+)
+
+
+def _requirement_sequences() -> List[Tuple[str, List[Tuple[int, int, int]], List[Optional[int]]]]:
+    """The Figure 5.6 drive sequences with their required outputs.
+
+    Each entry: (description, (clock, f, g) steps, required output per
+    step or None when unconstrained).  The three requirements from the
+    proof of Theorem 5.2:
+
+    * R1 — noncode at clock rise: from (0,1,1) to (1,1,1) the output must
+      stay 0 (a pulse would trigger an operation on bad data);
+    * R2 — f fails mid-cycle: from (1,1,0) to (1,1,1) the output must
+      stay 1 (a falling edge would glitch the system);
+    * R3 — after R2, the clock falls: (1,1,1) → (0,1,1) with the output
+      still held at 1.
+    """
+    return [
+        (
+            "R1: noncode seen before clock rise -> output holds 0",
+            [(0, 1, 0), (0, 1, 1), (1, 1, 1)],
+            [None, 0, 0],
+        ),
+        (
+            "R2/R3: code fails while clock high -> output holds 1",
+            [(0, 1, 0), (1, 1, 0), (1, 1, 1), (0, 1, 1)],
+            [None, 1, 1, 1],
+        ),
+    ]
+
+
+#: Normal-operation sequences (Figure 5.6b): the clock toggles while the
+#: code pair stays valid, in both polarities.
+NORMAL_SEQUENCES: Tuple[Tuple[Tuple[int, int, int], ...], ...] = (
+    ((0, 1, 0), (1, 1, 0), (0, 1, 0), (1, 1, 0)),
+    ((0, 0, 1), (1, 0, 1), (0, 0, 1), (1, 0, 1)),
+    ((0, 1, 0), (0, 0, 1), (1, 0, 1), (0, 0, 1), (0, 1, 0), (1, 1, 0)),
+)
+
+
+def meets_requirements(candidate: HardcoreCandidate) -> Optional[str]:
+    """None when all Figure 5.6 requirements hold; else the violation."""
+    for description, steps, required in _requirement_sequences():
+        candidate.reset()
+        for (clock, f, g), want in zip(steps, required):
+            out = candidate.step(clock, f, g)
+            if want is not None and out != want:
+                return (
+                    f"{description}: at input {(clock, f, g)} output was "
+                    f"{out}, required {want}"
+                )
+    return None
+
+
+def untestable_faults(
+    factory: Callable[..., HardcoreCandidate],
+    max_extra_random: int = 0,
+) -> Tuple[str, ...]:
+    """Internal stuck faults no normal-operation sequence can reveal.
+
+    Drives the golden and each faulty instance through every normal
+    sequence (Figure 5.6b); a fault whose outputs always match the golden
+    run is untestable — the hidden fault state of Theorem 5.2's proof.
+    """
+    golden = factory()
+    untestable: List[str] = []
+    for site in golden.fault_sites:
+        for value in (0, 1):
+            if _fault_is_silent(factory, (site, value)):
+                untestable.append(f"{site} s/{value}")
+    return tuple(untestable)
+
+
+def _fault_is_silent(
+    factory: Callable[..., HardcoreCandidate], fault: Tuple[str, int]
+) -> bool:
+    for sequence in NORMAL_SEQUENCES:
+        good = factory()
+        bad = factory(fault=fault)
+        good.reset()
+        bad.reset()
+        for clock, f, g in sequence:
+            if good.step(clock, f, g) != bad.step(clock, f, g):
+                return False
+    return True
+
+
+def check_candidate(factory: Callable[..., HardcoreCandidate]) -> CandidateVerdict:
+    """Run the full Theorem 5.2 examination of one candidate."""
+    instance = factory()
+    violation = meets_requirements(instance)
+    untestable: Tuple[str, ...] = ()
+    if violation is None:
+        untestable = untestable_faults(factory)
+    return CandidateVerdict(
+        name=instance.name,
+        meets_requirements=violation is None,
+        violation=violation,
+        untestable_faults=untestable,
+    )
+
+
+def theorem_5_2_survey(
+    candidates: Iterable[Callable[..., HardcoreCandidate]] = DEFAULT_CANDIDATES,
+) -> List[CandidateVerdict]:
+    """Examine a candidate family; Theorem 5.2 predicts that none is a
+    self-checking hardcore (every verdict fails one way or the other)."""
+    return [check_candidate(factory) for factory in candidates]

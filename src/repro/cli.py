@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Point the thesis's machinery at any ``.bench`` netlist:
+
+* ``analyze``   — Algorithm 3.1 + the exhaustive oracle;
+* ``testgen``   — Theorem 3.2 alternating test pairs (truth-table route
+  for narrow networks, PODEM for wide ones);
+* ``repair``    — automatic self-checking repair (Figure 3.7 style);
+* ``minority``  — convert a NAND/NOR netlist to minority modules;
+* ``dot``       — Graphviz export with the failing lines highlighted;
+* ``faulttable``— a Figure 3.6-style fault table for chosen lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.analysis import analyze_network, lines_needing_multi_output
+from .core.atpg import Podem
+from .core.design import make_self_checking
+from .core.report import fault_table, render_fault_table, undetected_faults
+from .core.simulate import ScalSimulator
+from .core.testgen import all_test_pairs, format_pair
+from .logic.benchfmt import load_bench, save_bench
+from .logic.faults import StuckAt
+from .logic.render import annotate_with_analysis, render_dot, render_listing
+
+TRUTH_TABLE_LIMIT = 12  # inputs beyond this use the structural route
+
+
+def _load(path: str):
+    try:
+        return load_bench(path)
+    except OSError as error:
+        raise SystemExit(f"cannot read {path}: {error}")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    network = _load(args.netlist)
+    if len(network.inputs) > TRUTH_TABLE_LIMIT:
+        print(
+            f"{len(network.inputs)} inputs exceed the exhaustive limit "
+            f"({TRUTH_TABLE_LIMIT}); run testgen for structural checks"
+        )
+        return 2
+    analysis = analyze_network(network)
+    print(analysis.summary())
+    needy = lines_needing_multi_output(analysis)
+    if needy:
+        print(f"lines needing Corollary 3.2: {', '.join(needy)}")
+    if args.oracle:
+        verdict = ScalSimulator(network).verdict()
+        print(verdict.summary())
+    if args.listing:
+        print()
+        print(
+            render_listing(
+                network, annotations=annotate_with_analysis(network, analysis)
+            )
+        )
+    return 0 if analysis.is_self_checking else 1
+
+
+def cmd_testgen(args: argparse.Namespace) -> int:
+    network = _load(args.netlist)
+    if len(network.inputs) <= TRUTH_TABLE_LIMIT and not args.structural:
+        plans = all_test_pairs(network, output=args.output)
+        names = network.inputs
+        for (line, value), tests in sorted(plans.items()):
+            if tests:
+                shown = ", ".join(format_pair(p, names) for p in tests[:4])
+                more = " ..." if len(tests) > 4 else ""
+                print(f"{line} s/{value}: {shown}{more}")
+            else:
+                print(f"{line} s/{value}: UNTESTABLE")
+        return 0
+    podem = Podem(network)
+    failures = 0
+    for line in network.lines():
+        for value in (0, 1):
+            pair = podem.generate_alternating_test(StuckAt(line, value))
+            if pair is None:
+                print(f"{line} s/{value}: no alternating test found")
+                failures += 1
+            else:
+                print(f"{line} s/{value}: pair anchored at {pair[0]:#x}")
+    return 0 if failures == 0 else 1
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    network = _load(args.netlist)
+    report = make_self_checking(network)
+    print(report.summary())
+    if args.out and report.success:
+        save_bench(report.network, args.out, header="repaired by repro")
+        print(f"wrote {args.out}")
+    return 0 if report.success else 1
+
+
+def cmd_minority(args: argparse.Namespace) -> int:
+    from .modules.minority import conversion_report, to_minority_network
+
+    network = _load(args.netlist)
+    converted = to_minority_network(network)
+    report = conversion_report(converted)
+    print(
+        f"{report.modules} minority modules, {report.total_inputs} total "
+        f"inputs ({report.clock_inputs} clock fan-ins)"
+    )
+    if args.out:
+        save_bench(converted, args.out, header="minority conversion by repro")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    network = _load(args.netlist)
+    highlight: List[str] = []
+    if len(network.inputs) <= TRUTH_TABLE_LIMIT:
+        highlight = list(analyze_network(network).failing_lines())
+    dot = render_dot(network, highlight=highlight)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(dot + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(dot)
+    return 0
+
+
+def cmd_faulttable(args: argparse.Namespace) -> int:
+    network = _load(args.netlist)
+    faults = []
+    for spec in args.faults:
+        line, _, value = spec.rpartition("/")
+        if not line or value not in ("0", "1"):
+            raise SystemExit(f"bad fault spec {spec!r}; use line/0 or line/1")
+        faults.append(StuckAt(line, int(value)))
+    rows = fault_table(network, faults)
+    print(render_fault_table(network, rows))
+    bad = undetected_faults(rows)
+    if bad:
+        print(f"\nundetected wrong outputs: {', '.join(bad)}")
+    return 0 if not bad else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-checking alternating logic tools (Woodard & "
+        "Metze, ISCA 1978)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="run Algorithm 3.1 on a .bench file")
+    p.add_argument("netlist")
+    p.add_argument("--oracle", action="store_true",
+                   help="also run the exhaustive single-fault oracle")
+    p.add_argument("--listing", action="store_true",
+                   help="print the annotated netlist listing")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("testgen", help="derive alternating test pairs")
+    p.add_argument("netlist")
+    p.add_argument("--output", default=None,
+                   help="restrict to one output (truth-table route)")
+    p.add_argument("--structural", action="store_true",
+                   help="force the PODEM route")
+    p.set_defaults(func=cmd_testgen)
+
+    p = sub.add_parser("repair", help="make the network self-checking")
+    p.add_argument("netlist")
+    p.add_argument("--out", default=None, help="write the repaired .bench")
+    p.set_defaults(func=cmd_repair)
+
+    p = sub.add_parser("minority", help="convert NAND/NOR to minority modules")
+    p.add_argument("netlist")
+    p.add_argument("--out", default=None, help="write the converted .bench")
+    p.set_defaults(func=cmd_minority)
+
+    p = sub.add_parser("dot", help="Graphviz export (failing lines in red)")
+    p.add_argument("netlist")
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser("faulttable", help="Figure 3.6-style fault table")
+    p.add_argument("netlist")
+    p.add_argument("faults", nargs="+",
+                   help="fault specs like nab/0 or_ab/1")
+    p.set_defaults(func=cmd_faulttable)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""Algorithm 3.1 — the thesis's self-checking design and analysis algorithm.
+
+For an irredundant self-dual network (single or multiple output):
+
+1. Regard each output as independent; for every line in its cone, accept
+   the line if it passes one of the conditions A–E
+   (:mod:`repro.core.conditions`).
+2. A line from a subnetwork shared by more than one output that fails all
+   of A–E for some output is re-examined under the relaxed multi-output
+   condition (Corollary 3.2): its incorrect alternations must be
+   accompanied by a nonalternating pair on another output.
+3. If a line fails everything, the network is not self-checking.
+
+The analyzer mirrors this exactly, records *which* condition admitted each
+line (the data behind the thesis's Section 3.6 walkthrough), and can
+cross-check its verdict against the brute-force oracle of
+:mod:`repro.core.simulate` — they must agree on fault security for stem
+faults, which the property tests assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+from ..logic.evaluate import line_tables
+from ..logic.network import Network
+from ..logic.paths import cone_subnetwork
+from ..logic.truthtable import TruthTable
+from .conditions import (
+    Condition,
+    ConditionEResult,
+    condition_a,
+    condition_b,
+    condition_c,
+    condition_d,
+    condition_e,
+    corollary_3_2,
+)
+from .redundancy import redundant_lines
+
+
+@dataclasses.dataclass(frozen=True)
+class LineVerdict:
+    """Per-line outcome of Algorithm 3.1.
+
+    ``admitted_by`` maps each output (whose cone contains the line) to the
+    condition that admitted the line for that output, or ``None`` when the
+    line failed everything for that output.
+    """
+
+    line: str
+    admitted_by: Mapping[str, Optional[Condition]]
+    e_failures: Mapping[str, ConditionEResult]
+
+    @property
+    def self_checking(self) -> bool:
+        return all(cond is not None for cond in self.admitted_by.values())
+
+    def failing_outputs(self) -> Tuple[str, ...]:
+        return tuple(out for out, cond in self.admitted_by.items() if cond is None)
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkAnalysis:
+    """Full outcome of Algorithm 3.1 on one network."""
+
+    network: Network
+    alternating: bool
+    redundant: Tuple[str, ...]
+    lines: Mapping[str, LineVerdict]
+
+    @property
+    def is_self_checking(self) -> bool:
+        """SCAL verdict: alternating, irredundant, every line admitted."""
+        if not self.alternating or self.redundant:
+            return False
+        return all(v.self_checking for v in self.lines.values())
+
+    def failing_lines(self) -> Tuple[str, ...]:
+        return tuple(
+            line for line, v in self.lines.items() if not v.self_checking
+        )
+
+    def condition_histogram(self) -> Dict[Condition, int]:
+        """How many (line, output) admissions each condition supplied —
+        the shape of the Section 3.6 walkthrough."""
+        hist: Dict[Condition, int] = {}
+        for verdict in self.lines.values():
+            for cond in verdict.admitted_by.values():
+                if cond is not None:
+                    hist[cond] = hist.get(cond, 0) + 1
+        return hist
+
+    def summary(self) -> str:
+        status = "SELF-CHECKING" if self.is_self_checking else "NOT self-checking"
+        out = [f"Algorithm 3.1 on {self.network.name}: {status}"]
+        if not self.alternating:
+            out.append("  network is not alternating (some output not self-dual)")
+        if self.redundant:
+            out.append(f"  redundant lines: {', '.join(self.redundant)}")
+        hist = self.condition_histogram()
+        if hist:
+            parts = ", ".join(
+                f"{cond.value}: {count}" for cond, count in sorted(
+                    hist.items(), key=lambda item: item[0].value
+                )
+            )
+            out.append(f"  admissions by condition -> {parts}")
+        failing = self.failing_lines()
+        if failing:
+            for line in failing:
+                verdict = self.lines[line]
+                outs = ", ".join(verdict.failing_outputs())
+                out.append(f"  line {line}: fails for output(s) {outs}")
+        return "\n".join(out)
+
+
+def analyze_network(
+    network: Network,
+    check_redundancy: bool = True,
+    use_multi_output: bool = True,
+) -> NetworkAnalysis:
+    """Run Algorithm 3.1 on ``network``.
+
+    ``check_redundancy=False`` skips the Theorem 3.4 sweep when the caller
+    already knows the network is irredundant (it is the costliest step for
+    big netlists).  ``use_multi_output=False`` disables the Corollary 3.2
+    relaxation — useful for demonstrating exactly which lines *need* it
+    (lines 9 and 19 of the thesis's Figure 3.4 example).
+    """
+    tables = line_tables(network)
+    alternating = all(tables[out].is_self_dual() for out in network.outputs)
+    redundant: Tuple[str, ...] = ()
+    if check_redundancy:
+        redundant = tuple(redundant_lines(network))
+
+    cones: Dict[str, Network] = {}
+    cone_sets: Dict[str, Set[str]] = {}
+    for out in network.outputs:
+        cones[out] = cone_subnetwork(network, out)
+        cone_sets[out] = set(cones[out].lines())
+
+    shared_count: Dict[str, int] = {}
+    for line in network.lines():
+        shared_count[line] = sum(1 for out in network.outputs if line in cone_sets[out])
+
+    verdicts: Dict[str, LineVerdict] = {}
+    for line in network.lines():
+        admitted: Dict[str, Optional[Condition]] = {}
+        e_failures: Dict[str, ConditionEResult] = {}
+        for out in network.outputs:
+            if line not in cone_sets[out]:
+                continue
+            if line == out:
+                # The output stem itself: a stuck output is nonalternating
+                # for every pair, hence always detected (condition A view:
+                # a self-dual output alternates).
+                admitted[out] = Condition.A_ALTERNATES
+                continue
+            cond = _admit_single_output(
+                network, cones[out], tables, line, out
+            )
+            if cond is not None:
+                admitted[out] = cond
+                continue
+            e_res = condition_e(network, line, out, tables)
+            if e_res.holds:
+                admitted[out] = Condition.E_COROLLARY_3_1
+                continue
+            e_failures[out] = e_res
+            if (
+                use_multi_output
+                and shared_count[line] > 1
+                and corollary_3_2(network, line, out, e_res, tables)
+            ):
+                admitted[out] = Condition.MULTI_OUTPUT
+            else:
+                admitted[out] = None
+        verdicts[line] = LineVerdict(line, admitted, e_failures)
+    return NetworkAnalysis(
+        network=network,
+        alternating=alternating,
+        redundant=redundant,
+        lines=verdicts,
+    )
+
+
+def _admit_single_output(
+    network: Network,
+    cone: Network,
+    tables: Dict[str, TruthTable],
+    line: str,
+    out: str,
+) -> Optional[Condition]:
+    """Conditions A–D in the thesis's order (cheapest screens first)."""
+    if condition_a(tables, line):
+        return Condition.A_ALTERNATES
+    if condition_b(cone, line, out):
+        return Condition.B_NO_FANOUT_UNATE
+    if condition_c(cone, line, out):
+        return Condition.C_EQUAL_PARITY
+    if condition_d(network, tables, line, cone_lines=set(cone.lines())):
+        return Condition.D_STANDARD_GATE
+    return None
+
+
+def lines_needing_multi_output(analysis: NetworkAnalysis) -> Tuple[str, ...]:
+    """Lines admitted only via Corollary 3.2 for at least one output —
+    the thesis's "lines 9 and 19" class in the Figure 3.4 example."""
+    needy = []
+    for line, verdict in analysis.lines.items():
+        if any(c is Condition.MULTI_OUTPUT for c in verdict.admitted_by.values()):
+            needy.append(line)
+    return tuple(needy)

@@ -1,0 +1,177 @@
+"""Fault collapsing: equivalence and dominance reduction of fault lists.
+
+The thesis's Section 3.6 walkthrough starts by collapsing "equivalent
+pairs of lines" before analyzing anything; this module implements the
+full classical structural collapsing the walkthrough gestures at:
+
+* **equivalence** — faults indistinguishable at the gate boundary fold
+  together: for an AND gate, any input s-a-0 ≡ output s-a-0 (NAND:
+  input s-a-0 ≡ output s-a-1, and dually for OR/NOR); a NOT/BUF input
+  fault ≡ the corresponding output fault;
+* **dominance** — for an AND gate, the output s-a-1 dominates each input
+  s-a-1 (any test for the input fault also tests the output fault), so
+  the dominating fault can be dropped from a *detection* fault list.
+
+The result is a representative fault set that preserves single-fault
+coverage, verified against truth tables in the test suite.  Collapsing
+matters doubly for SCAL: every fault the oracle or PODEM must process is
+two exhaustive network evaluations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set, Tuple
+
+from ..logic.faults import Fault, PinStuckAt, StuckAt
+from ..logic.gates import GateKind
+from ..logic.network import Network
+
+#: For each collapsible kind: (controlling input value, forced output).
+_CONTROLLING = {
+    GateKind.AND: (0, 0),
+    GateKind.NAND: (0, 1),
+    GateKind.OR: (1, 1),
+    GateKind.NOR: (1, 0),
+}
+
+
+def _key(fault: Fault) -> Tuple:
+    if isinstance(fault, StuckAt):
+        return ("stem", fault.line, fault.value)
+    return ("pin", fault.gate, fault.pin_index, fault.value)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[Tuple, Tuple] = {}
+
+    def find(self, x: Tuple) -> Tuple:
+        self.parent.setdefault(x, x)
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: Tuple, b: Tuple) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+@dataclasses.dataclass(frozen=True)
+class CollapseReport:
+    """Outcome of structural fault collapsing."""
+
+    representatives: Tuple[Fault, ...]
+    total: int
+    equivalence_classes: int
+    dominated_dropped: int
+
+    @property
+    def collapse_ratio(self) -> float:
+        return len(self.representatives) / self.total if self.total else 1.0
+
+
+def equivalence_collapse(network: Network) -> Dict[Tuple, List[Fault]]:
+    """Group the stem+pin single-fault universe into equivalence classes.
+
+    Rules: for a gate with controlling value c and forced output f —
+    every input pin s-a-c ≡ the output stem s-a-f; NOT: pin s-a-v ≡
+    stem s-a-v̄; BUF: pin s-a-v ≡ stem s-a-v.  Additionally a pin fault
+    on the single branch of a non-fanout stem ≡ the stem fault.
+    """
+    uf = _UnionFind()
+    faults: Dict[Tuple, Fault] = {}
+
+    def register(fault: Fault) -> Tuple:
+        key = _key(fault)
+        faults.setdefault(key, fault)
+        uf.find(key)
+        return key
+
+    for line in network.lines():
+        for value in (0, 1):
+            register(StuckAt(line, value))
+    for gate in network.gates:
+        for pin, src in enumerate(gate.inputs):
+            for value in (0, 1):
+                pkey = register(PinStuckAt(gate.name, pin, value))
+                # Non-fanout branch == stem.
+                if network.fanout_count(src) == 1 and src not in network.outputs:
+                    uf.union(pkey, _key(StuckAt(src, value)))
+        kind = gate.kind
+        if kind in _CONTROLLING:
+            c, f = _CONTROLLING[kind]
+            out_key = _key(StuckAt(gate.name, f))
+            for pin in range(len(gate.inputs)):
+                uf.union(_key(PinStuckAt(gate.name, pin, c)), out_key)
+        elif kind in (GateKind.NOT, GateKind.BUF):
+            invert = kind is GateKind.NOT
+            for value in (0, 1):
+                out_value = (1 - value) if invert else value
+                uf.union(
+                    _key(PinStuckAt(gate.name, 0, value)),
+                    _key(StuckAt(gate.name, out_value)),
+                )
+
+    classes: Dict[Tuple, List[Fault]] = {}
+    for key, fault in faults.items():
+        classes.setdefault(uf.find(key), []).append(fault)
+    return classes
+
+
+def _dominated_keys(network: Network) -> Set[Tuple]:
+    """Output stem faults dominated by an input pin fault.
+
+    For AND (controlling 0 / forced 0): the output s-a-1 is detected by
+    any test for any input s-a-1 (non-controlling), so with all pin
+    faults kept the output s-a-1 may be dropped; dually for the other
+    standard gates.  NOT/BUF outputs are already equivalent, not merely
+    dominated.
+    """
+    dropped: Set[Tuple] = set()
+    for gate in network.gates:
+        kind = gate.kind
+        if kind not in _CONTROLLING or len(gate.inputs) < 2:
+            continue
+        c, f = _CONTROLLING[kind]
+        dropped.add(_key(StuckAt(gate.name, 1 - f)))
+    return dropped
+
+
+def collapse_faults(
+    network: Network, use_dominance: bool = False
+) -> CollapseReport:
+    """The representative single-fault list after collapsing.
+
+    Representatives prefer stem faults (they match the thesis's per-line
+    phrasing).  ``use_dominance`` additionally drops the dominated
+    output faults of multi-input standard gates — sound only for
+    *detection* fault lists over **irredundant** networks (if an input
+    s-a-noncontrolling fault is itself untestable, the dominated output
+    fault would lose its cover), which is why it is opt-in.
+    """
+    classes = equivalence_collapse(network)
+    dominated = _dominated_keys(network) if use_dominance else set()
+    representatives: List[Fault] = []
+    dropped = 0
+    total = sum(len(members) for members in classes.values())
+    for root, members in classes.items():
+        keys = {_key(m) for m in members}
+        if use_dominance and any(k in dominated for k in keys):
+            # The whole class shares one detection behaviour; if any
+            # member is a dominated output fault, every test for the
+            # kept input faults of that gate detects the class.  (As in
+            # classical collapsing this presumes the kept input faults
+            # are testable, i.e. an irredundant network.)
+            dropped += 1
+            continue
+        stems = [m for m in members if isinstance(m, StuckAt)]
+        representatives.append(stems[0] if stems else members[0])
+    return CollapseReport(
+        representatives=tuple(representatives),
+        total=total,
+        equivalence_classes=len(classes),
+        dominated_dropped=dropped,
+    )

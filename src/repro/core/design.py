@@ -1,0 +1,253 @@
+"""Constructive SCAL design and automatic repair.
+
+The thesis closes (Section 8.3, recommendation 1) by asking for
+"constructive design procedures for combinational logic: the tools for
+analyzing whether a network is self-checking have been provided; it may
+now be possible to show techniques of designing SCAL".  This module
+implements two such procedures on top of Algorithm 3.1:
+
+* :func:`design_scal_network` — the guaranteed-by-construction route:
+  self-dualize every output with the period clock (Yamamoto) and
+  re-synthesize two-level, which Section 3.3's results make
+  self-checking; verified by the oracle before returning.
+* :func:`make_self_checking` — the *repair* route generalizing the
+  Figure 3.7 fix: run Algorithm 3.1, and for every failing line
+  duplicate its driving gate once per fanout branch (the thesis's
+  "fed into a separate NAND gate so that line 20 no longer fans out"),
+  iterating until the analysis is clean.  Lines that fail without
+  fanning out cannot be fixed by duplication; their output cone is
+  re-synthesized two-level as the fallback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from ..logic.evaluate import functionally_equivalent, line_tables
+from ..logic.network import Gate, Network
+from ..logic.selfdual import PERIOD_CLOCK, self_dualize_table
+from ..logic.synthesis import multi_output_sop
+from ..logic.truthtable import TruthTable
+from .analysis import analyze_network
+from .simulate import ScalSimulator
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairStep:
+    """One action of the repair loop."""
+
+    action: str  # "duplicate" or "resynthesize"
+    target: str  # line or output name
+    gates_added: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairReport:
+    """Outcome of :func:`make_self_checking`."""
+
+    network: Network
+    steps: Tuple[RepairStep, ...]
+    success: bool
+    gates_before: int
+    gates_after: int
+
+    @property
+    def gate_overhead(self) -> int:
+        return self.gates_after - self.gates_before
+
+    def summary(self) -> str:
+        status = "repaired" if self.success else "NOT repaired"
+        lines = [
+            f"{self.network.name}: {status} "
+            f"({self.gates_before} -> {self.gates_after} gates)"
+        ]
+        for step in self.steps:
+            lines.append(
+                f"  {step.action} {step.target} (+{step.gates_added} gates)"
+            )
+        return "\n".join(lines)
+
+
+def design_scal_network(
+    tables: Dict[str, TruthTable],
+    names: Sequence[str],
+    clock_name: str = PERIOD_CLOCK,
+    style: str = "and-or",
+    share_products: bool = True,
+    network_name: str = "scal_design",
+    verify: bool = True,
+) -> Network:
+    """Build a SCAL network for arbitrary output functions.
+
+    Self-dualizes each output (one shared period-clock variable) and
+    synthesizes two-level with an input inverter layer.  With
+    ``verify=True`` the result is certified by the exhaustive oracle —
+    a failed certificate raises, so callers can rely on the contract.
+    """
+    sd_tables = {
+        out: self_dualize_table(table, clock_name)
+        for out, table in tables.items()
+    }
+    sd_names = tuple(names) + (clock_name,)
+    network = multi_output_sop(
+        sd_tables,
+        sd_names,
+        style=style,
+        network_name=network_name,
+        share_products=share_products,
+    )
+    if verify:
+        verdict = ScalSimulator(network).verdict()
+        if not verdict.is_self_checking:
+            # Product sharing can, in principle, couple outputs in a way
+            # Corollary 3.2 does not rescue; fall back to private
+            # products, which restores the per-output two-level argument.
+            network = multi_output_sop(
+                sd_tables,
+                sd_names,
+                style=style,
+                network_name=network_name,
+                share_products=False,
+            )
+            verdict = ScalSimulator(network).verdict()
+            if not verdict.is_self_checking:
+                raise AssertionError(
+                    "two-level SCAL construction failed certification: "
+                    + verdict.summary()
+                )
+    return network
+
+
+def duplicate_gate_for_branches(network: Network, line: str) -> Network:
+    """The Figure 3.7 transform: one private copy of ``line``'s driving
+    gate per fanout pin, so no copy fans out."""
+    if network.is_input(line):
+        raise ValueError("cannot duplicate a primary input")
+    driver = network.gate(line)
+    pins = network.fanout_count(line)
+    if pins <= 1:
+        return network
+    copies: List[Gate] = []
+    new_gates: List[Gate] = []
+    copy_index = 0
+    for gate in network.gates:
+        if gate.name == line:
+            new_gates.append(gate)  # keep the original for copy #1
+            continue
+        if line not in gate.inputs:
+            new_gates.append(gate)
+            continue
+        new_inputs = []
+        for src in gate.inputs:
+            if src != line:
+                new_inputs.append(src)
+                continue
+            if copy_index == 0:
+                new_inputs.append(line)  # first branch keeps the original
+            else:
+                copy_name = f"{line}_dup{copy_index}"
+                copies.append(Gate(copy_name, driver.kind, driver.inputs))
+                new_inputs.append(copy_name)
+            copy_index += 1
+        new_gates.append(Gate(gate.name, gate.kind, tuple(new_inputs)))
+    return Network(
+        network.inputs,
+        new_gates + copies,
+        network.outputs,
+        name=network.name,
+    )
+
+
+def _resynthesize_output(network: Network, output: str) -> Network:
+    """Replace one output's cone with a private two-level realization."""
+    tables = line_tables(network)
+    target = tables[output]
+    replacement = multi_output_sop(
+        {output: target.restrict_names(tuple(network.inputs))},
+        network.inputs,
+        network_name="resynth",
+        share_products=False,
+    )
+    keep: List[Gate] = []
+    still_needed = set()
+    for out in network.outputs:
+        if out != output:
+            still_needed |= network.cone(out)
+    for gate in network.gates:
+        if gate.name in still_needed and gate.name != output:
+            keep.append(gate)
+    rename = {}
+    for gate in replacement.gates:
+        new_name = gate.name if gate.name == output else f"rs_{output}_{gate.name}"
+        rename[gate.name] = new_name
+    for gate in replacement.gates:
+        keep.append(
+            Gate(
+                rename[gate.name],
+                gate.kind,
+                tuple(rename.get(src, src) for src in gate.inputs),
+            )
+        )
+    return Network(network.inputs, keep, network.outputs, name=network.name)
+
+
+def make_self_checking(
+    network: Network,
+    max_iterations: int = 10,
+    verify: bool = True,
+) -> RepairReport:
+    """Repair an alternating network until Algorithm 3.1 accepts it.
+
+    Strategy per iteration: take the failing lines; duplicate the driver
+    of any that fan out (Figure 3.7); if a failing line does not fan out
+    (duplication cannot help), re-synthesize the cone of one affected
+    output two-level.  Functional equivalence is preserved at every step
+    and asserted at the end.
+    """
+    original = network
+    steps: List[RepairStep] = []
+    current = network
+    for _ in range(max_iterations):
+        analysis = analyze_network(current)
+        if analysis.is_self_checking:
+            break
+        failing = analysis.failing_lines()
+        if not failing:
+            break
+        progressed = False
+        for line in failing:
+            if current.has_line(line) and current.fanout_count(line) > 1:
+                before = current.gate_count()
+                current = duplicate_gate_for_branches(current, line)
+                steps.append(
+                    RepairStep(
+                        "duplicate", line, current.gate_count() - before
+                    )
+                )
+                progressed = True
+        if not progressed:
+            # Fall back: re-synthesize the first affected output.
+            line = failing[0]
+            verdict = analysis.lines[line]
+            output = verdict.failing_outputs()[0]
+            before = current.gate_count()
+            current = _resynthesize_output(current, output)
+            steps.append(
+                RepairStep(
+                    "resynthesize", output, current.gate_count() - before
+                )
+            )
+    final = analyze_network(current)
+    success = final.is_self_checking
+    if verify and success:
+        assert functionally_equivalent(original, current)
+        oracle = ScalSimulator(current).verdict(include_pins=False)
+        success = oracle.is_self_checking
+    return RepairReport(
+        network=current,
+        steps=tuple(steps),
+        success=success,
+        gates_before=original.gate_count(),
+        gates_after=current.gate_count(),
+    )

@@ -1,0 +1,167 @@
+"""Report rendering: the Figure 3.6 fault table and analysis summaries.
+
+Figure 3.6 of the thesis tabulates, for chosen lines and stuck values,
+the two-period output pair produced for every input pair, marking
+
+* ``X`` — a nonalternating pair (the fault is *detected* there),
+* ``*`` — an incorrect alternating pair (the fault silently corrupts the
+  output — the self-checking violation).
+
+This module regenerates that table for any network, which is how the
+E-FIG3.4 bench reproduces the thesis's walkthrough.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..logic.evaluate import line_tables
+from ..logic.faults import Fault, MultipleFault, StuckAt
+from ..logic.network import Network
+
+FaultLike = Union[Fault, MultipleFault]
+
+
+@dataclasses.dataclass(frozen=True)
+class PairEntry:
+    """One cell of the fault table: the output pair plus its mark."""
+
+    first: int
+    second: int
+    mark: str  # "" normal, "X" nonalternating, "*" incorrect alternating
+
+    def render(self) -> str:
+        return f"{self.first},{self.second}{self.mark}"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultTableRow:
+    """One row: a (fault, output) pair across all input pairs."""
+
+    label: str
+    output: str
+    entries: Tuple[PairEntry, ...]
+
+    @property
+    def detected(self) -> bool:
+        return any(e.mark == "X" for e in self.entries)
+
+    @property
+    def has_incorrect_alternation(self) -> bool:
+        return any(e.mark == "*" for e in self.entries)
+
+
+def input_pairs(network: Network) -> List[Tuple[int, int]]:
+    """Canonical input pairs ``(X, X̄)`` in the thesis's order.
+
+    Anchors are the points whose *first-listed* input is 0, enumerated as
+    ascending binary numbers with the first input as the most significant
+    bit.  For three inputs A, B, C this yields (000,111), (001,110),
+    (010,101), (011,100) read as ABC strings — exactly Figure 3.6's
+    column order.
+    """
+    n = len(network.inputs)
+    full = (1 << n) - 1
+    pairs = []
+    for value in range(1 << max(n - 1, 0)):
+        point = 0
+        for i in range(n):
+            if (value >> (n - 1 - i)) & 1:
+                point |= 1 << i
+        pairs.append((point, point ^ full))
+    return pairs
+
+
+def pair_label(pair: Tuple[int, int], network: Network) -> str:
+    def bits(point: int) -> str:
+        return "".join(str((point >> i) & 1) for i in range(len(network.inputs)))
+
+    return f"({bits(pair[0])},{bits(pair[1])})"
+
+
+def fault_table(
+    network: Network,
+    faults: Sequence[FaultLike],
+    outputs: Optional[Sequence[str]] = None,
+    include_normal: bool = True,
+) -> List[FaultTableRow]:
+    """Regenerate a Figure 3.6-style table.
+
+    ``faults`` selects the rows (typically the interesting stem faults);
+    each produces one row per output that depends on the faulted line.
+    """
+    outs = list(outputs) if outputs is not None else list(network.outputs)
+    pairs = input_pairs(network)
+    normal = line_tables(network)
+    rows: List[FaultTableRow] = []
+    if include_normal:
+        for out in outs:
+            entries = tuple(
+                PairEntry(normal[out].value(a), normal[out].value(b), "")
+                for a, b in pairs
+            )
+            rows.append(FaultTableRow(label="normal", output=out, entries=entries))
+    for fault in faults:
+        faulty = line_tables(network, fault)
+        for out in outs:
+            if isinstance(fault, StuckAt) and fault.line not in network.cone(out):
+                continue
+            entries = []
+            for a, b in pairs:
+                v1, v2 = faulty[out].value(a), faulty[out].value(b)
+                n1, n2 = normal[out].value(a), normal[out].value(b)
+                if v1 == v2:
+                    mark = "X"
+                elif (v1, v2) != (n1, n2):
+                    mark = "*"
+                else:
+                    mark = ""
+                entries.append(PairEntry(v1, v2, mark))
+            rows.append(
+                FaultTableRow(
+                    label=fault.describe(), output=out, entries=tuple(entries)
+                )
+            )
+    return rows
+
+
+def render_fault_table(network: Network, rows: Sequence[FaultTableRow]) -> str:
+    """Text rendering in the thesis's layout."""
+    pairs = input_pairs(network)
+    header = ["line/fault", "output"] + [pair_label(p, network) for p in pairs]
+    widths = [max(len(header[0]), max((len(r.label) for r in rows), default=0)),
+              max(len(header[1]), max((len(r.output) for r in rows), default=0))]
+    widths += [max(len(h), 6) for h in header[2:]]
+    lines = []
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines.append(fmt(header))
+    lines.append(fmt(["-" * w for w in widths]))
+    for row in rows:
+        cells = [row.label, row.output] + [e.render() for e in row.entries]
+        lines.append(fmt(cells))
+    return "\n".join(lines)
+
+
+def undetected_faults(rows: Sequence[FaultTableRow]) -> List[str]:
+    """Fault labels that show an incorrect alternation (``*``) on some
+    output without a same-pair detection on any output — the Figure 3.6
+    reading that condemns line 20."""
+    by_fault: Dict[str, List[FaultTableRow]] = {}
+    for row in rows:
+        if row.label == "normal":
+            continue
+        by_fault.setdefault(row.label, []).append(row)
+    bad: List[str] = []
+    for label, fault_rows in by_fault.items():
+        n_pairs = len(fault_rows[0].entries)
+        for idx in range(n_pairs):
+            wrong = any(r.entries[idx].mark == "*" for r in fault_rows)
+            caught = any(r.entries[idx].mark == "X" for r in fault_rows)
+            if wrong and not caught:
+                bad.append(label)
+                break
+    return bad

@@ -1,0 +1,296 @@
+"""The SCAL oracle: exhaustive fault simulation under alternating operation.
+
+Definition 2.4 (self-checking) and Theorem 2.2 (its alternating-logic
+form) are the ground truth every analytic condition of Chapter 3 is
+screened against.  This module evaluates them *directly*: for every input
+pair ``(X, X̄)`` and every fault, classify each output pair as
+
+* **correct** — equals the fault-free alternating pair,
+* **nonalternating** — the two period values are equal; the checker flags
+  it, the fault is *detected*,
+* **incorrect alternating** — the pair alternates but is wrong; the fault
+  slips through undetected.  This is the fault-secure violation of
+  Theorem 3.1 (marked ``*`` in the thesis's Figure 3.6).
+
+Everything is computed word-parallel on truth-table bitmasks: a "set of
+input points" is one integer, and pair-level properties are obtained with
+:meth:`TruthTable.co_reflect` (the ``X → X̄`` index permutation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..logic.evaluate import line_tables
+from ..logic.faults import Fault, MultipleFault, enumerate_single_faults
+from ..logic.network import Network
+from ..logic.truthtable import TruthTable
+
+FaultLike = Union[Fault, MultipleFault]
+
+
+def _pair_close(table: TruthTable) -> TruthTable:
+    """Close a point set under the pairing ``X ↔ X̄``.
+
+    A point is in the result iff it or its complement is in the input —
+    the right notion for "the pair anchored at X has property P".
+    """
+    return table | table.co_reflect()
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultResponse:
+    """Pair-level response of one network to one fault.
+
+    All masks are pair-symmetric point sets over the input space:
+
+    * ``affected`` — pairs where some output differs from fault-free,
+    * ``detected`` — pairs where some output is nonalternating,
+    * ``violations`` — pairs where some output is wrong yet *every*
+      output alternates (the undetected-error case).
+    """
+
+    fault: FaultLike
+    affected: TruthTable
+    detected: TruthTable
+    violations: TruthTable
+
+    @property
+    def is_self_testing(self) -> bool:
+        """Revised Definition 2.4(a): the fault changes the output
+        sequence for some input (Smith's form, as adopted in Section 2.2)."""
+        return not self.affected.is_zero()
+
+    @property
+    def is_detected(self) -> bool:
+        """Some input pair yields a nonalternating (noncode) output."""
+        return not self.detected.is_zero()
+
+    @property
+    def is_fault_secure(self) -> bool:
+        """Definition 2.4(b): no code input maps to a *wrong code* output,
+        i.e. no incorrect-alternating pair survives undetected."""
+        return self.violations.is_zero()
+
+    @property
+    def is_self_checking(self) -> bool:
+        return self.is_self_testing and self.is_fault_secure
+
+    def violation_pairs(self) -> List[Tuple[int, int]]:
+        """Canonical ``(X, X̄)`` index pairs of undetected wrong outputs."""
+        return canonical_pairs(self.violations)
+
+
+def canonical_pairs(mask: TruthTable) -> List[Tuple[int, int]]:
+    """Each pair-symmetric mask point once, as ``(min, max)`` index pairs."""
+    full = (1 << mask.n) - 1
+    seen = set()
+    pairs = []
+    for point in mask.minterms():
+        key = (min(point, point ^ full), max(point, point ^ full))
+        if key not in seen:
+            seen.add(key)
+            pairs.append(key)
+    return pairs
+
+
+class ScalSimulator:
+    """Exhaustive SCAL fault simulation of one combinational network.
+
+    The fault-free line tables are computed once; each
+    :meth:`response` call re-evaluates the netlist under one fault (one
+    topological pass over bitmasks).
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.normal = line_tables(network)
+        self._normal_out = {out: self.normal[out] for out in network.outputs}
+
+    def response(self, fault: FaultLike) -> FaultResponse:
+        faulty = line_tables(self.network, fault)
+        n = len(self.network.inputs)
+        affected = TruthTable(n, 0)
+        detected = TruthTable(n, 0)
+        wrong = TruthTable(n, 0)
+        all_alternate = TruthTable(n, (1 << (1 << n)) - 1)
+        for out in self.network.outputs:
+            t_normal = self._normal_out[out]
+            t_fault = faulty[out]
+            diff = t_normal ^ t_fault
+            affected = affected | diff
+            wrong = wrong | diff
+            alternates = t_fault ^ t_fault.co_reflect()  # 1 where pair alternates
+            detected = detected | ~alternates
+            all_alternate = all_alternate & alternates
+        affected = _pair_close(affected)
+        detected = _pair_close(detected)  # already symmetric; harmless
+        violations = _pair_close(wrong) & all_alternate
+        return FaultResponse(fault, affected, detected, violations)
+
+    def responses(self, faults: Iterable[FaultLike]) -> List[FaultResponse]:
+        return [self.response(f) for f in faults]
+
+    # ------------------------------------------------------------------
+    # network-level verdicts
+    # ------------------------------------------------------------------
+    def single_fault_universe(
+        self, include_inputs: bool = True, include_pins: bool = True
+    ) -> List[Fault]:
+        """All single faults on lines that can reach some output.
+
+        Unconnected primary inputs and dead gates are not lines of the
+        network in the thesis's sense (nothing reads them), so their
+        trivially untestable faults are excluded from the sweep.
+        """
+        live = set()
+        for out in self.network.outputs:
+            live |= self.network.cone(out)
+        faults = enumerate_single_faults(
+            self.network, include_inputs=include_inputs, include_pins=include_pins
+        )
+        kept: List[Fault] = []
+        for fault in faults:
+            line = fault.line if hasattr(fault, "line") else fault.gate
+            if line in live:
+                kept.append(fault)
+        return kept
+
+    def verdict(
+        self,
+        faults: Optional[Sequence[FaultLike]] = None,
+        include_inputs: bool = True,
+        include_pins: bool = True,
+    ) -> "ScalVerdict":
+        """Self-checking verdict over a fault universe (default: all
+        single stem+pin stuck-at faults, Definition 2.1)."""
+        universe: Sequence[FaultLike]
+        if faults is None:
+            universe = self.single_fault_universe(include_inputs, include_pins)
+        else:
+            universe = list(faults)
+        insecure: List[FaultResponse] = []
+        untestable: List[FaultResponse] = []
+        for fault in universe:
+            resp = self.response(fault)
+            if not resp.is_fault_secure:
+                insecure.append(resp)
+            elif not resp.is_self_testing:
+                untestable.append(resp)
+        return ScalVerdict(
+            network=self.network,
+            fault_count=len(universe),
+            insecure=tuple(insecure),
+            untestable=tuple(untestable),
+        )
+
+    def is_alternating(self) -> bool:
+        """Theorem 2.1: every output self-dual."""
+        return all(t.is_self_dual() for t in self._normal_out.values())
+
+    def line_self_checking(self, line: str) -> bool:
+        """The thesis's per-line phrasing: both stem stuck-ats on ``line``
+        are fault-secure (and self-testing unless the line is redundant)."""
+        from ..logic.faults import StuckAt
+
+        for value in (0, 1):
+            resp = self.response(StuckAt(line, value))
+            if not resp.is_fault_secure:
+                return False
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalVerdict:
+    """Outcome of a full single-fault SCAL sweep."""
+
+    network: Network
+    fault_count: int
+    insecure: Tuple[FaultResponse, ...]
+    untestable: Tuple[FaultResponse, ...]
+
+    @property
+    def is_self_checking(self) -> bool:
+        """Self-checking over the swept universe: every fault is fault
+        secure, and every fault is self-testing (untestable faults sit on
+        redundant lines, which Theorem 3.5's irredundancy premise
+        excludes)."""
+        return not self.insecure and not self.untestable
+
+    @property
+    def is_fault_secure(self) -> bool:
+        return not self.insecure
+
+    def insecure_lines(self) -> List[str]:
+        """Stem names whose faults break fault security (pin faults are
+        reported as ``gate.pinK``)."""
+        names = []
+        for resp in self.insecure:
+            names.append(resp.fault.describe())
+        return names
+
+    def summary(self) -> str:
+        status = "SELF-CHECKING" if self.is_self_checking else "NOT self-checking"
+        lines = [
+            f"{self.network.name}: {status} "
+            f"({self.fault_count} single faults swept)"
+        ]
+        if self.insecure:
+            lines.append("  fault-secure violations:")
+            for resp in self.insecure:
+                pairs = resp.violation_pairs()
+                lines.append(
+                    f"    {resp.fault.describe()} -> undetected wrong output "
+                    f"on pairs {pairs}"
+                )
+        if self.untestable:
+            lines.append("  untestable (redundant-line) faults:")
+            for resp in self.untestable:
+                lines.append(f"    {resp.fault.describe()}")
+        return "\n".join(lines)
+
+
+def is_scal_network(
+    network: Network,
+    include_inputs: bool = True,
+    include_pins: bool = True,
+) -> bool:
+    """Definition 2.6 end-to-end: alternating (self-dual outputs) *and*
+    self-checking for all single stuck-at faults."""
+    sim = ScalSimulator(network)
+    if not sim.is_alternating():
+        return False
+    return sim.verdict(
+        include_inputs=include_inputs, include_pins=include_pins
+    ).is_self_checking
+
+
+def fault_coverage(
+    network: Network,
+    faults: Optional[Sequence[FaultLike]] = None,
+) -> Dict[str, float]:
+    """Coverage statistics for the merits discussion (Section 2.4).
+
+    Returns the fraction of swept faults that are detected (some pair
+    nonalternating), secure-but-silent (never affect the output), and
+    dangerous (produce an undetected wrong output for some pair).
+    """
+    sim = ScalSimulator(network)
+    universe = list(faults) if faults is not None else sim.single_fault_universe()
+    detected = silent = dangerous = 0
+    for fault in universe:
+        resp = sim.response(fault)
+        if not resp.is_fault_secure:
+            dangerous += 1
+        elif resp.is_detected:
+            detected += 1
+        else:
+            silent += 1
+    total = max(len(universe), 1)
+    return {
+        "faults": float(len(universe)),
+        "detected": detected / total,
+        "silent": silent / total,
+        "dangerous": dangerous / total,
+    }

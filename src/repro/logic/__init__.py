@@ -1,0 +1,97 @@
+"""Gate-level logic substrate for the SCAL reproduction.
+
+Everything the thesis's analysis runs on: gates, netlists, truth tables,
+fault models, exhaustive fault-injected evaluation, self-duality tools,
+structural path analysis, two-level synthesis, and an expression parser.
+"""
+
+from .benchfmt import (
+    BenchFormatError,
+    load_bench,
+    parse_bench,
+    save_bench,
+    write_bench,
+)
+from .hazards import HazardReport, analyze_hazards, hazard_free_cover, static_1_hazards
+from .render import annotate_with_analysis, render_dot, render_listing
+from .evaluate import (
+    evaluate_with_fault,
+    functionally_equivalent,
+    line_tables,
+    network_function,
+    output_tables,
+    outputs_with_fault,
+)
+from .faults import (
+    Fault,
+    MultipleFault,
+    PinStuckAt,
+    StuckAt,
+    enumerate_pin_faults,
+    enumerate_single_faults,
+    enumerate_stem_faults,
+)
+from .gates import GateKind, is_standard, is_unate
+from .network import Gate, Network, NetworkBuilder, NetworkError, merge_disjoint
+from .parse import parse_expression, parse_expressions
+from .paths import condition_b_holds, condition_c_holds, cone_subnetwork
+from .selfdual import (
+    PERIOD_CLOCK,
+    is_alternating_network,
+    network_is_self_dual,
+    self_dualize_network_xor,
+    self_dualize_table,
+)
+from .synthesis import Implicant, minimize, multi_output_sop, sop_network
+from .truthtable import TruthTable
+
+__all__ = [
+    "BenchFormatError",
+    "HazardReport",
+    "analyze_hazards",
+    "hazard_free_cover",
+    "static_1_hazards",
+    "Fault",
+    "Gate",
+    "GateKind",
+    "Implicant",
+    "MultipleFault",
+    "Network",
+    "NetworkBuilder",
+    "NetworkError",
+    "PERIOD_CLOCK",
+    "PinStuckAt",
+    "StuckAt",
+    "TruthTable",
+    "condition_b_holds",
+    "condition_c_holds",
+    "cone_subnetwork",
+    "enumerate_pin_faults",
+    "enumerate_single_faults",
+    "enumerate_stem_faults",
+    "evaluate_with_fault",
+    "functionally_equivalent",
+    "is_alternating_network",
+    "is_standard",
+    "is_unate",
+    "line_tables",
+    "merge_disjoint",
+    "minimize",
+    "multi_output_sop",
+    "network_function",
+    "network_is_self_dual",
+    "output_tables",
+    "outputs_with_fault",
+    "annotate_with_analysis",
+    "load_bench",
+    "parse_bench",
+    "render_dot",
+    "render_listing",
+    "save_bench",
+    "write_bench",
+    "parse_expression",
+    "parse_expressions",
+    "self_dualize_network_xor",
+    "self_dualize_table",
+    "sop_network",
+]

@@ -1,0 +1,122 @@
+"""ISCAS '85 ``.bench`` netlist format: parser and writer.
+
+The de-facto interchange format for gate-level benchmark circuits::
+
+    # comment
+    INPUT(a)
+    INPUT(b)
+    OUTPUT(f)
+    n1 = NAND(a, b)
+    f = NOT(n1)
+
+Supported gate names: AND, OR, NAND, NOR, NOT, XOR, XNOR, BUF/BUFF, and
+the extensions MAJ and MIN for this library's threshold modules.  The
+writer emits files the parser round-trips, so SCAL analyses can be run
+on circuits exchanged with other tools.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .gates import GateKind
+from .network import Gate, Network
+
+_GATE_NAMES: Dict[str, GateKind] = {
+    "AND": GateKind.AND,
+    "OR": GateKind.OR,
+    "NAND": GateKind.NAND,
+    "NOR": GateKind.NOR,
+    "NOT": GateKind.NOT,
+    "INV": GateKind.NOT,
+    "XOR": GateKind.XOR,
+    "XNOR": GateKind.XNOR,
+    "BUF": GateKind.BUF,
+    "BUFF": GateKind.BUF,
+    "MAJ": GateKind.MAJ,
+    "MIN": GateKind.MIN,
+    "CONST0": GateKind.CONST0,
+    "CONST1": GateKind.CONST1,
+}
+
+_KIND_NAMES: Dict[GateKind, str] = {
+    kind: name
+    for name, kind in _GATE_NAMES.items()
+    if name not in ("INV", "BUFF")
+}
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$")
+_GATE_RE = re.compile(r"^([^\s=]+)\s*=\s*([A-Za-z01]+)\s*\(([^()]*)\)$")
+
+
+class BenchFormatError(ValueError):
+    """Raised on malformed .bench text."""
+
+
+def parse_bench(text: str, name: str = "bench") -> Network:
+    """Parse ``.bench`` text into a :class:`Network`."""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Gate] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            keyword, signal = io_match.groups()
+            if keyword == "INPUT":
+                inputs.append(signal)
+            else:
+                outputs.append(signal)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match is None:
+            raise BenchFormatError(f"line {lineno}: cannot parse {raw!r}")
+        target, gate_name, arg_text = gate_match.groups()
+        kind = _GATE_NAMES.get(gate_name.upper())
+        if kind is None:
+            raise BenchFormatError(
+                f"line {lineno}: unknown gate type {gate_name!r}"
+            )
+        args = tuple(a.strip() for a in arg_text.split(",") if a.strip())
+        gates.append(Gate(target, kind, args))
+    if not outputs:
+        raise BenchFormatError("no OUTPUT declarations")
+    return Network(inputs, gates, outputs, name=name)
+
+
+def write_bench(network: Network, header: str = "") -> str:
+    """Serialize a network to ``.bench`` text (parser round-trips it)."""
+    lines: List[str] = []
+    if header:
+        for row in header.splitlines():
+            lines.append(f"# {row}")
+    lines.append(f"# {len(network.inputs)} inputs, "
+                 f"{len(network.outputs)} outputs, "
+                 f"{network.gate_count()} gates")
+    for inp in network.inputs:
+        lines.append(f"INPUT({inp})")
+    for out in network.outputs:
+        lines.append(f"OUTPUT({out})")
+    lines.append("")
+    for gate in network.gates:
+        kind_name = _KIND_NAMES[gate.kind]
+        args = ", ".join(gate.inputs)
+        lines.append(f"{gate.name} = {kind_name}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def load_bench(path: str, name: str = None) -> Network:
+    """Parse a ``.bench`` file from disk."""
+    with open(path) as handle:
+        text = handle.read()
+    if name is None:
+        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return parse_bench(text, name=name)
+
+
+def save_bench(network: Network, path: str, header: str = "") -> None:
+    with open(path, "w") as handle:
+        handle.write(write_bench(network, header=header))

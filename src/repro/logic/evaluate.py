@@ -1,0 +1,162 @@
+"""Exhaustive, word-parallel network evaluation with fault injection.
+
+Every Chapter-3 condition quantifies over *all* inputs, so the natural
+evaluator computes each line of the netlist as a full truth table (an
+integer bitmask over all ``2**n`` input points, see
+:mod:`repro.logic.truthtable`) in one topological pass.  Fault injection
+is then free: a stuck stem replaces a line's mask with all-0/all-1; a
+stuck pin overrides one operand of one gate.
+
+For networks whose input count makes ``2**n`` impractical the same entry
+points accept an explicit list of input points to evaluate ("sampled"
+mode); the SCAL oracle in :mod:`repro.core.simulate` uses that for the
+randomized coverage experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from .faults import Fault, MultipleFault, fault_overrides
+from .gates import evaluate as eval_gate
+from .gates import evaluate_mask
+from .network import Network
+from .truthtable import TruthTable
+
+
+def line_tables(
+    network: Network,
+    fault: Optional[Union[Fault, MultipleFault]] = None,
+) -> Dict[str, TruthTable]:
+    """Truth tables of every line, optionally under a fault.
+
+    The variable order of the tables is ``network.inputs`` (bit *i* of a
+    table index is input *i*), so tables from the same network compose
+    with plain ``&``/``|``/``^``.
+    """
+    n = len(network.inputs)
+    full = (1 << (1 << n)) - 1
+    stems: Mapping[str, int] = {}
+    pins: Mapping[Tuple[str, int], int] = {}
+    if fault is not None:
+        stems, pins = fault_overrides(fault)
+
+    masks: Dict[str, int] = {}
+    for i, name in enumerate(network.inputs):
+        if name in stems:
+            masks[name] = full if stems[name] else 0
+        else:
+            masks[name] = TruthTable.variable(i, n).bits
+    for gate in network.gates:
+        if gate.name in stems:
+            masks[gate.name] = full if stems[gate.name] else 0
+            continue
+        operands: List[int] = []
+        for pin, src in enumerate(gate.inputs):
+            key = (gate.name, pin)
+            if key in pins:
+                operands.append(full if pins[key] else 0)
+            else:
+                operands.append(masks[src])
+        masks[gate.name] = evaluate_mask(gate.kind, operands, full)
+    names = tuple(network.inputs)
+    return {line: TruthTable(n, bits, names) for line, bits in masks.items()}
+
+
+def output_tables(
+    network: Network,
+    fault: Optional[Union[Fault, MultipleFault]] = None,
+) -> Dict[str, TruthTable]:
+    """Truth tables of the network outputs, optionally under a fault."""
+    tables = line_tables(network, fault)
+    return {out: tables[out] for out in network.outputs}
+
+
+def network_function(network: Network, output: Optional[str] = None) -> TruthTable:
+    """The fault-free function of one output (default: the only output)."""
+    if output is None:
+        if len(network.outputs) != 1:
+            raise ValueError("network has multiple outputs; name one")
+        output = network.outputs[0]
+    return line_tables(network)[output]
+
+
+def evaluate_with_fault(
+    network: Network,
+    assignment: Mapping[str, int],
+    fault: Optional[Union[Fault, MultipleFault]] = None,
+) -> Dict[str, int]:
+    """Pointwise evaluation of every line under a fault."""
+    if fault is None:
+        return network.evaluate(assignment)
+    stems, pins = fault_overrides(fault)
+    values: Dict[str, int] = {}
+    for name in network.inputs:
+        values[name] = stems.get(name, int(assignment[name]) & 1)
+    for gate in network.gates:
+        if gate.name in stems:
+            values[gate.name] = stems[gate.name]
+            continue
+        operands = []
+        for pin, src in enumerate(gate.inputs):
+            key = (gate.name, pin)
+            operands.append(pins.get(key, values[src]))
+        values[gate.name] = eval_gate(gate.kind, operands)
+    return values
+
+
+def outputs_with_fault(
+    network: Network,
+    assignment: Mapping[str, int],
+    fault: Optional[Union[Fault, MultipleFault]] = None,
+) -> Tuple[int, ...]:
+    """Output tuple for one input assignment under a fault."""
+    values = evaluate_with_fault(network, assignment, fault)
+    return tuple(values[out] for out in network.outputs)
+
+
+def sampled_output_vectors(
+    network: Network,
+    points: Iterable[int],
+    fault: Optional[Union[Fault, MultipleFault]] = None,
+) -> List[Tuple[int, ...]]:
+    """Output tuples at an explicit list of truth-table points.
+
+    Used when the input space is too large to enumerate — the randomized
+    coverage benchmarks sample points instead.
+    """
+    results = []
+    for point in points:
+        assignment = network.assignment_from_index(point)
+        results.append(outputs_with_fault(network, assignment, fault))
+    return results
+
+
+def functionally_equivalent(a: Network, b: Network) -> bool:
+    """True when two networks compute identical output tuples everywhere.
+
+    Inputs are matched by name; both networks must have the same input
+    set and the same number of outputs (output *names* may differ — the
+    transformations of Chapters 4 and 6 rename lines).
+    """
+    if set(a.inputs) != set(b.inputs) or len(a.outputs) != len(b.outputs):
+        return False
+    ta = line_tables(a)
+    tb_raw = line_tables(b)
+    # Re-tabulate b's outputs under a's variable order so bitmasks align.
+    n = len(a.inputs)
+    order = {name: i for i, name in enumerate(a.inputs)}
+    for out_a, out_b in zip(a.outputs, b.outputs):
+        table_b = tb_raw[out_b]
+        remapped = 0
+        for i in range(1 << n):
+            # Build b's index for a's point i.
+            j = 0
+            for bi, name in enumerate(b.inputs):
+                if (i >> order[name]) & 1:
+                    j |= 1 << bi
+            if table_b.value(j):
+                remapped |= 1 << i
+        if remapped != ta[out_a].bits:
+            return False
+    return True

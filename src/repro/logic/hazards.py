@@ -1,0 +1,130 @@
+"""Static hazard analysis for two-level networks.
+
+Section 3.2's redundancy discussion carries a caveat: "The redundancies
+will also be assumed to be unintentional, i.e., not intended for such
+purposes as protecting from sequential logic hazard conditions."  This
+module supplies the other side of that trade so users can see it
+concretely:
+
+* a **static-1 hazard** exists in an AND–OR network when two adjacent
+  on-set points (Hamming distance 1) are covered by *different* products
+  only — during the input transition both products can momentarily be 0
+  and the output glitches;
+* the classical fix adds the **consensus term** bridging the pair — a
+  term that is logically redundant, and whose s-a-0 fault is therefore
+  untestable (exactly the one-direction redundancy of Theorem 3.4).
+
+So hazard-freedom and SCAL self-testing pull in opposite directions;
+:func:`hazard_free_cover` and :func:`analyze_hazards` put numbers on the
+conflict, and the E-HAZARD bench reports it as an ablation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from .synthesis import Implicant, cover_to_table, minimize, prime_implicants
+from .truthtable import TruthTable
+
+
+@dataclasses.dataclass(frozen=True)
+class Hazard:
+    """One static-1 hazard: an adjacent on-set pair split across products."""
+
+    point_a: int
+    point_b: int
+    variable: int  # the toggling variable
+
+    def describe(self, names: Sequence[str] = ()) -> str:
+        var = names[self.variable] if names else f"x{self.variable}"
+        return f"static-1 hazard on {var} between points {self.point_a} and {self.point_b}"
+
+
+def static_1_hazards(
+    cover: Sequence[Implicant], table: TruthTable
+) -> List[Hazard]:
+    """All static-1 hazards of an AND–OR realization of ``cover``."""
+    hazards: List[Hazard] = []
+    n = table.n
+    for point in range(1 << n):
+        if not table.value(point):
+            continue
+        for var in range(n):
+            mate = point ^ (1 << var)
+            if mate < point or not table.value(mate):
+                continue
+            # Is some single product covering both endpoints?
+            if any(p.covers(point) and p.covers(mate) for p in cover):
+                continue
+            hazards.append(Hazard(point, mate, var))
+    return hazards
+
+
+def hazard_free_cover(table: TruthTable) -> List[Implicant]:
+    """A static-1-hazard-free AND–OR cover.
+
+    Start from a minimal cover and add prime implicants (consensus-style
+    terms) until every adjacent on-set pair shares a product.  Every
+    added term is logically redundant — the cost the thesis's
+    irredundancy assumption rules out.
+    """
+    cover = list(minimize(table))
+    primes = prime_implicants(table.minterms(), [], table.n)
+    remaining = static_1_hazards(cover, table)
+    guard = 0
+    while remaining and guard < 4 * len(primes) + 8:
+        guard += 1
+        hazard = remaining[0]
+        bridging = [
+            p
+            for p in primes
+            if p.covers(hazard.point_a) and p.covers(hazard.point_b)
+        ]
+        if not bridging:
+            # Should not happen: adjacent on-set points always share a
+            # prime (their merge is an implicant contained in a prime).
+            break
+        best = max(bridging, key=lambda p: p.size(table.n))
+        cover.append(best)
+        remaining = static_1_hazards(cover, table)
+    return cover
+
+
+@dataclasses.dataclass(frozen=True)
+class HazardReport:
+    """The hazard-vs-testability trade-off for one function."""
+
+    minimal_products: int
+    minimal_hazards: int
+    hazard_free_products: int
+    redundant_terms_added: int
+
+    @property
+    def testability_cost(self) -> int:
+        """Each added consensus term is a line whose s-a-0 is untestable
+        (Theorem 3.4's one-direction redundancy)."""
+        return self.redundant_terms_added
+
+
+def analyze_hazards(table: TruthTable) -> HazardReport:
+    """Compare the minimal cover with the hazard-free one."""
+    minimal = minimize(table)
+    hazards = static_1_hazards(minimal, table)
+    free = hazard_free_cover(table)
+    assert cover_to_table(free, table.n).bits == table.bits
+    return HazardReport(
+        minimal_products=len(minimal),
+        minimal_hazards=len(hazards),
+        hazard_free_products=len(free),
+        redundant_terms_added=len(free) - len(minimal),
+    )
+
+
+def consensus_demo_table() -> TruthTable:
+    """The textbook case: ``F = a·b ∨ ā·c`` has a static-1 hazard on
+    ``a`` at b = c = 1; the consensus term ``b·c`` fixes it and is the
+    classic untestable-s-a-0 redundancy."""
+    return TruthTable.from_function(
+        lambda a, b, c: (a & b) | ((1 - a) & c), 3, ("a", "b", "c")
+    )

@@ -1,0 +1,178 @@
+"""A small boolean-expression front end for building networks.
+
+The thesis specifies its example functions algebraically
+(``F1 = A'B ∨ A'C ∨ BC``, ``F2 = A ⊕ B ⊕ C`` …); this parser turns the
+same notation into netlists so examples and tests can quote the paper
+directly.
+
+Grammar (precedence low→high)::
+
+    expr   := xor ( '|' xor | '+' xor )*
+    xor    := term ( '^' term )*
+    term   := factor ( '&' factor | '*' factor | factor )*   # juxtaposition = AND
+    factor := '~' factor | '!' factor | atom ("'")*
+    atom   := NAME | '0' | '1' | '(' expr ')'
+
+Common subexpressions are shared structurally (one gate per distinct
+normalized subterm), mirroring the thesis's recommendation to share logic.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .gates import GateKind
+from .network import Network, NetworkBuilder
+
+_TOKEN = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*|[()~!'&*|+^]|0|1)")
+
+
+class ParseError(ValueError):
+    """Raised on malformed boolean expressions."""
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize {remainder[:10]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser emitting gates into a NetworkBuilder."""
+
+    def __init__(self, builder: NetworkBuilder, tokens: List[str]) -> None:
+        self.builder = builder
+        self.tokens = tokens
+        self.pos = 0
+        self._cache: Dict[Tuple[str, Tuple[str, ...]], str] = {}
+        self._counter = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def emit(self, kind: GateKind, sources: Sequence[str]) -> str:
+        key = (kind.value, tuple(sorted(sources)))
+        if key in self._cache:
+            return self._cache[key]
+        self._counter += 1
+        line = self.builder.add(f"e{len(self.builder._gates) + 1}_{kind.value}", kind, list(sources))
+        self._cache[key] = line
+        return line
+
+    def parse_expr(self) -> str:
+        parts = [self.parse_xor()]
+        while self.peek() in ("|", "+"):
+            self.take()
+            parts.append(self.parse_xor())
+        if len(parts) == 1:
+            return parts[0]
+        return self.emit(GateKind.OR, parts)
+
+    def parse_xor(self) -> str:
+        parts = [self.parse_term()]
+        while self.peek() == "^":
+            self.take()
+            parts.append(self.parse_term())
+        if len(parts) == 1:
+            return parts[0]
+        return self.emit(GateKind.XOR, parts)
+
+    def parse_term(self) -> str:
+        parts = [self.parse_factor()]
+        while True:
+            nxt = self.peek()
+            if nxt in ("&", "*"):
+                self.take()
+                parts.append(self.parse_factor())
+            elif nxt is not None and (nxt == "(" or nxt in ("0", "1") or nxt[0].isalpha() or nxt in ("~", "!")):
+                parts.append(self.parse_factor())
+            else:
+                break
+        if len(parts) == 1:
+            return parts[0]
+        return self.emit(GateKind.AND, parts)
+
+    def parse_factor(self) -> str:
+        token = self.peek()
+        if token in ("~", "!"):
+            self.take()
+            inner = self.parse_factor()
+            return self.emit(GateKind.NOT, [inner])
+        line = self.parse_atom()
+        while self.peek() == "'":
+            self.take()
+            line = self.emit(GateKind.NOT, [line])
+        return line
+
+    def parse_atom(self) -> str:
+        token = self.take()
+        if token == "(":
+            inner = self.parse_expr()
+            if self.take() != ")":
+                raise ParseError("missing closing parenthesis")
+            return inner
+        if token == "0":
+            return self.emit(GateKind.CONST0, [])
+        if token == "1":
+            return self.emit(GateKind.CONST1, [])
+        if token[0].isalpha() or token[0] == "_":
+            if not self.builder.has_line(token):
+                self.builder.add_input(token)
+            return token
+        raise ParseError(f"unexpected token {token!r}")
+
+
+def parse_expressions(
+    expressions: Dict[str, str],
+    inputs: Optional[Sequence[str]] = None,
+    name: str = "expr",
+) -> Network:
+    """Build one network computing several named expressions.
+
+    ``inputs`` fixes the primary-input order (important because truth-table
+    bit positions follow it); variables encountered in the expressions but
+    not listed are appended in order of first use.
+    """
+    builder = NetworkBuilder(list(inputs or []), name=name)
+    parser: Optional[_Parser] = None
+    outputs: List[str] = []
+    for out_name, text in expressions.items():
+        tokens = _tokenize(text)
+        if parser is None:
+            parser = _Parser(builder, tokens)
+        else:
+            parser.tokens = tokens
+            parser.pos = 0
+        line = parser.parse_expr()
+        if parser.peek() is not None:
+            raise ParseError(f"trailing tokens in {text!r}")
+        builder.add(out_name, GateKind.BUF, [line])
+        outputs.append(out_name)
+    return builder.build(outputs)
+
+
+def parse_expression(
+    text: str,
+    inputs: Optional[Sequence[str]] = None,
+    output_name: str = "F",
+    name: str = "expr",
+) -> Network:
+    """Build a single-output network from one expression."""
+    return parse_expressions({output_name: text}, inputs=inputs, name=name)

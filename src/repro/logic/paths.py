@@ -1,0 +1,160 @@
+"""Structural path analysis: fanout, path parity, unate paths.
+
+Conditions B and C of Algorithm 3.1 are purely structural:
+
+* **B** (Theorem 3.7): the line does not fan out on its way to the output
+  and every gate on that single path is unate — then a stuck value can
+  push the output in only one direction, so a fault is never an
+  *incorrect alternation*, only a detectable non-alternation.
+* **C** (Theorem 3.8 / Definition 3.1): all paths from the line to the
+  output have the same parity (modulo-2 count of inversions).
+
+Both are computed here over the *cone subnetwork* of one output, because
+Algorithm 3.1 step 1 regards each output as independent ("Each network
+output will be regarded as independent of the others") — a line may fan
+out to gates of other outputs without affecting its condition B status for
+this one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .gates import GateKind, inverts, is_unate
+from .network import Gate, Network
+
+
+def cone_subnetwork(network: Network, output: str) -> Network:
+    """The single-output subnetwork generating ``output`` (Figure 3.5)."""
+    cone = network.cone(output)
+    inputs = [i for i in network.inputs if i in cone]
+    gates = [g for g in network.gates if g.name in cone]
+    return Network(inputs, gates, [output], name=f"{network.name}/{output}")
+
+
+def fans_out(network: Network, line: str) -> bool:
+    """True when the line drives more than one gate pin."""
+    return network.fanout_count(line) > 1
+
+
+def single_path_to_output(
+    network: Network, line: str, output: str
+) -> Optional[List[str]]:
+    """The unique line path from ``line`` to ``output``, or ``None``.
+
+    Exists when ``line`` and every intermediate line each drive exactly
+    one gate pin (within this network — call on a cone subnetwork for the
+    per-output view), ending at ``output``.  ``output`` itself may fan out
+    externally; only lines strictly before it must be fanout-free.
+    """
+    if not network.has_line(line):
+        raise KeyError(line)
+    path = [line]
+    current = line
+    while current != output:
+        dests = network.fanout(current)
+        pin_count = network.fanout_count(current)
+        if pin_count != 1 or len(dests) != 1:
+            return None
+        current = dests[0]
+        path.append(current)
+    return path
+
+
+def path_is_unate(network: Network, path: List[str]) -> bool:
+    """True when every gate on the path (after the first line) is unate."""
+    for name in path[1:]:
+        if not is_unate(network.gate(name).kind):
+            return False
+    return True
+
+
+def condition_b_holds(network: Network, line: str, output: str) -> bool:
+    """Theorem 3.7 check within one output cone."""
+    path = single_path_to_output(network, line, output)
+    if path is None:
+        return False
+    return path_is_unate(network, path)
+
+
+def path_parities(network: Network, line: str, output: str) -> FrozenSet[int]:
+    """The set of path parities (Definition 3.1) from ``line`` to ``output``.
+
+    Parity is counted over the gates the signal passes *through*, i.e. the
+    gates strictly after ``line`` on each path.  XOR/XNOR gates are not
+    signal-monotone, so a path through them has no well-defined single
+    parity; following the thesis's usage (condition C is about inversion
+    counts through standard/unate logic) a path through a non-unate gate
+    contributes *both* parities, which correctly disqualifies it from
+    condition C unless compensated.
+    """
+    memo: Dict[str, FrozenSet[int]] = {}
+
+    def walk(current: str) -> FrozenSet[int]:
+        if current == output:
+            return frozenset({0})
+        if current in memo:
+            return memo[current]
+        memo[current] = frozenset()  # cycle guard; networks are acyclic anyway
+        result: Set[int] = set()
+        for dest in network.fanout(current):
+            gate = network.gate(dest)
+            downstream = walk(dest)
+            pins = gate.inputs.count(current)
+            if pins == 0:
+                continue
+            kind = gate.kind
+            if kind in (GateKind.XOR, GateKind.XNOR):
+                contributions = {0, 1}
+            else:
+                contributions = {1 if inverts(kind) else 0}
+            for p in downstream:
+                for c in contributions:
+                    result.add(p ^ c)
+        memo[current] = frozenset(result)
+        return memo[current]
+
+    return walk(line)
+
+
+def condition_c_holds(network: Network, line: str, output: str) -> bool:
+    """Theorem 3.8 check: all paths to the output share one parity."""
+    parities = path_parities(network, line, output)
+    return len(parities) == 1
+
+
+def lines_of_output(network: Network, output: str) -> Tuple[str, ...]:
+    """All lines used in generating one output, in topological order
+    (Section 3.6 step 1)."""
+    cone = network.cone(output)
+    return tuple(line for line in network.lines() if line in cone)
+
+
+def equivalent_line_classes(network: Network) -> List[Tuple[str, ...]]:
+    """Group lines that are stuck-at-equivalent through buffer chains.
+
+    The thesis's Section 3.6 step 2 collapses "equivalent pairs of lines"
+    before analysis.  At netlist level the clean equivalence is a BUF gate:
+    its input stem and output stem always carry equal values and a stuck-at
+    on either is indistinguishable when the input stem has no other fanout.
+    """
+    parent: Dict[str, str] = {}
+
+    def find(x: str) -> str:
+        while parent.get(x, x) != x:
+            parent[x] = parent.get(parent[x], parent[x])
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for gate in network.gates:
+        if gate.kind is GateKind.BUF and network.fanout_count(gate.inputs[0]) == 1:
+            union(gate.inputs[0], gate.name)
+    groups: Dict[str, List[str]] = {}
+    for line in network.lines():
+        groups.setdefault(find(line), []).append(line)
+    return [tuple(members) for members in groups.values() if len(members) > 1]

@@ -1,0 +1,101 @@
+"""Netlist rendering: human-readable listings and Graphviz DOT export.
+
+Reproducing a 1977 paper means redrawing its figures; these helpers turn
+any :class:`Network` into (a) an indented text listing in topological
+order with fanout annotations — the form the worked examples print — and
+(b) DOT source for rendering with Graphviz, with optional highlights for
+the lines an analysis flags (the Figure 3.4 walkthrough marks lines 9
+and 20).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from .gates import GateKind
+from .network import Network
+
+_DOT_SHAPES = {
+    GateKind.AND: "house",
+    GateKind.NAND: "invhouse",
+    GateKind.OR: "ellipse",
+    GateKind.NOR: "ellipse",
+    GateKind.NOT: "invtriangle",
+    GateKind.BUF: "triangle",
+    GateKind.XOR: "diamond",
+    GateKind.XNOR: "diamond",
+    GateKind.MAJ: "hexagon",
+    GateKind.MIN: "hexagon",
+    GateKind.CONST0: "plaintext",
+    GateKind.CONST1: "plaintext",
+}
+
+
+def render_listing(network: Network, annotations: Optional[Mapping[str, str]] = None) -> str:
+    """A topological text listing with fanout counts.
+
+    ``annotations`` attaches a note to chosen lines (e.g. the condition
+    that admitted each line in an Algorithm 3.1 run).
+    """
+    annotations = dict(annotations or {})
+    rows = [f"network {network.name}"]
+    rows.append(f"  inputs:  {', '.join(network.inputs)}")
+    rows.append(f"  outputs: {', '.join(network.outputs)}")
+    for gate in network.gates:
+        fan = network.fanout_count(gate.name)
+        note = f"   # {annotations[gate.name]}" if gate.name in annotations else ""
+        args = ", ".join(gate.inputs)
+        rows.append(
+            f"  {gate.name:12s} = {gate.kind.value.upper():5s}({args})"
+            f"  [fanout {fan}]{note}"
+        )
+    return "\n".join(rows)
+
+
+def render_dot(
+    network: Network,
+    highlight: Sequence[str] = (),
+    title: Optional[str] = None,
+) -> str:
+    """Graphviz DOT source for the netlist.
+
+    ``highlight`` lines are drawn red — hand it an analysis's failing
+    lines to reproduce the thesis's marked figures.
+    """
+    marked = set(highlight)
+    lines = ["digraph network {", "  rankdir=LR;"]
+    if title or network.name:
+        lines.append(f'  label="{title or network.name}";')
+    for inp in network.inputs:
+        color = ' color="red"' if inp in marked else ""
+        lines.append(f'  "{inp}" [shape=circle{color}];')
+    for gate in network.gates:
+        shape = _DOT_SHAPES.get(gate.kind, "box")
+        color = ' color="red" fontcolor="red"' if gate.name in marked else ""
+        label = f"{gate.name}\\n{gate.kind.value.upper()}"
+        lines.append(f'  "{gate.name}" [shape={shape} label="{label}"{color}];')
+        for src in gate.inputs:
+            edge_color = ' [color="red"]' if src in marked else ""
+            lines.append(f'  "{src}" -> "{gate.name}"{edge_color};')
+    for out in network.outputs:
+        lines.append(f'  "out_{out}" [shape=doublecircle label="{out}"];')
+        lines.append(f'  "{out}" -> "out_{out}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def annotate_with_analysis(network: Network, analysis) -> Dict[str, str]:
+    """Annotations from a :class:`~repro.core.analysis.NetworkAnalysis`:
+    which condition admitted each line, or FAILS for the violators."""
+    notes: Dict[str, str] = {}
+    for line, verdict in analysis.lines.items():
+        if not verdict.admitted_by:
+            continue
+        if not verdict.self_checking:
+            notes[line] = "FAILS Algorithm 3.1"
+            continue
+        conditions = sorted(
+            {str(c) for c in verdict.admitted_by.values() if c is not None}
+        )
+        notes[line] = "condition " + "/".join(conditions)
+    return notes

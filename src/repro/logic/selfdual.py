@@ -1,0 +1,130 @@
+"""Self-dual functions and self-dualization (Definitions 2.5–2.7, Thm 2.1).
+
+A network realizes *alternating logic* iff its function is self-dual
+(Theorem 2.1): ``F(X̄) = ¬F(X)``.  Any function can be made self-dual with
+one extra input — the *period clock* φ, 0 in the first time period and 1
+in the second (Yamamoto et al., cited in Section 2.3).  Two constructions
+are provided:
+
+* :func:`self_dualize_table` — the canonical truth-table construction
+  ``F'(φ, X) = φ̄·F(X) ∨ φ·F^d(X)``; re-synthesizing it two-level (via
+  :mod:`repro.logic.synthesis`) yields networks that are self-checking by
+  the Yamamoto two-level theorem (Section 3.3).
+* :func:`self_dualize_network_xor` — the structural wrapper
+  ``F'(φ, X) = φ ⊕ F(x₁⊕φ, …, x_n⊕φ)``, which reuses the original netlist
+  at the cost of ``n+1`` XOR gates.  It is cheap but the XORs defeat
+  conditions B and D of Algorithm 3.1, so the result must be re-analyzed —
+  this is one of the ablations DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .evaluate import line_tables, network_function
+from .gates import GateKind
+from .network import Gate, Network, NetworkBuilder
+from .truthtable import TruthTable
+
+PERIOD_CLOCK = "phi"
+
+
+def is_self_dual_table(table: TruthTable) -> bool:
+    """Definition 2.7 on a truth table."""
+    return table.is_self_dual()
+
+
+def is_alternating_network(network: Network) -> bool:
+    """Theorem 2.1: the network is an alternating network iff every output
+    function is self-dual."""
+    tables = line_tables(network)
+    return all(tables[out].is_self_dual() for out in network.outputs)
+
+
+def self_dual_defect(table: TruthTable) -> Tuple[int, ...]:
+    """The input points where ``F(X̄) ≠ ¬F(X)`` — empty iff self-dual.
+
+    Useful in tests and in the design loop: the defect set localizes where
+    a hand-built "self-dual" module actually fails to alternate.
+    """
+    mismatch = table.co_reflect() ^ (~table)
+    return tuple(mismatch.minterms())
+
+
+def self_dualize_table(table: TruthTable, clock_name: str = PERIOD_CLOCK) -> TruthTable:
+    """Yamamoto construction: one extra variable makes any function self-dual.
+
+    The new variable is appended as the *last* (highest-index) variable so
+    existing point indices stay valid in the low half of the new table:
+    point ``i`` (φ=0) keeps value ``F(i)``; point ``i + 2**n`` (φ=1) takes
+    the dual's value ``F^d(i) = ¬F(ī)``.
+    """
+    n = table.n
+    dual = table.dual()
+    bits = table.bits | (dual.bits << (1 << n))
+    names = tuple(table.names) + (clock_name,) if table.names else ()
+    return TruthTable(n + 1, bits, names)
+
+
+def self_dualize_network_xor(
+    network: Network,
+    clock_name: str = PERIOD_CLOCK,
+    output: Optional[str] = None,
+) -> Network:
+    """Structural self-dualization: ``φ ⊕ F(X ⊕ φ)``.
+
+    Identity check: for ``H(φ,X) = φ ⊕ F(x₁⊕φ, …)`` we get
+    ``H(φ̄, X̄) = ¬φ ⊕ F(X ⊕ φ) = ¬H(φ, X)``, so H is self-dual, and
+    ``H(0, X) = F(X)`` recovers the original function in the first period.
+    Applied to every output when ``output`` is None.
+    """
+    outputs = [output] if output is not None else list(network.outputs)
+    builder = NetworkBuilder(list(network.inputs) + [clock_name], name=f"sd_{network.name}")
+    # XOR every primary input with the period clock.
+    mapped: Dict[str, str] = {}
+    for inp in network.inputs:
+        mapped[inp] = builder.add(f"{inp}_x", GateKind.XOR, [inp, clock_name])
+    for gate in network.gates:
+        builder.add(
+            gate.name, gate.kind, [mapped.get(src, src) for src in gate.inputs]
+        )
+        mapped.setdefault(gate.name, gate.name)
+    new_outputs = []
+    for out in outputs:
+        new_outputs.append(builder.add(f"{out}_sd", GateKind.XOR, [mapped[out], clock_name]))
+    return builder.build(new_outputs)
+
+
+def first_period_function(
+    sd_table: TruthTable, clock_index: Optional[int] = None
+) -> TruthTable:
+    """Recover ``F`` from a self-dualized table (the φ=0 cofactor with the
+    clock variable dropped)."""
+    n = sd_table.n
+    if clock_index is None:
+        clock_index = n - 1
+    bits = 0
+    for i in range(1 << (n - 1)):
+        # Rebuild the full-space index with clock=0.
+        low = i & ((1 << clock_index) - 1)
+        high = i >> clock_index
+        j = low | (high << (clock_index + 1))
+        if sd_table.value(j):
+            bits |= 1 << i
+    names = tuple(
+        name for k, name in enumerate(sd_table.names) if k != clock_index
+    ) if sd_table.names else ()
+    return TruthTable(n - 1, bits, names)
+
+
+def verify_self_dualization(original: TruthTable, dualized: TruthTable) -> bool:
+    """True when ``dualized`` is self-dual *and* restricts to ``original``
+    in the first period — the contract of both constructions."""
+    if not dualized.is_self_dual():
+        return False
+    return first_period_function(dualized).bits == original.bits
+
+
+def network_is_self_dual(network: Network, output: Optional[str] = None) -> bool:
+    """Self-duality of one network output (default: the only output)."""
+    return network_function(network, output).is_self_dual()

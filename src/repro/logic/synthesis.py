@@ -1,0 +1,287 @@
+"""Two-level synthesis: Quine–McCluskey minimization and SOP netlists.
+
+The thesis leans on two-level realizations twice:
+
+* Section 3.3 (after Theorem 3.7): *two-level self-dual networks with
+  monotonic gates are self-checking* — the result of Yamamoto et al.  So
+  re-synthesizing a self-dualized function two-level (AND–OR plus an input
+  inverter level, or NAND–NAND) is the guaranteed-safe SCAL construction.
+* Chapter 4's cost comparisons (Table 4.1) need *minimal* gate counts for
+  the combinational parts of the sequence-detector machines, which a
+  sum-of-products minimizer provides.
+
+The minimizer is a textbook Quine–McCluskey: prime implicant generation
+by iterated adjacent-term merging, then cover selection by essential
+primes plus a greedy completion (exact enough for the ≤10-variable
+functions this reproduction synthesizes; the cover is verified equal to
+the specification by construction in :func:`minimize`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .gates import GateKind
+from .network import Network, NetworkBuilder
+from .truthtable import TruthTable
+
+
+@dataclasses.dataclass(frozen=True)
+class Implicant:
+    """A product term: ``values`` on the cared bits, ``mask`` = cared bits.
+
+    Bit *i* of ``mask`` is 1 when variable *i* appears in the term; then
+    bit *i* of ``values`` gives its polarity (1 = positive literal).
+    """
+
+    values: int
+    mask: int
+
+    def covers(self, minterm: int) -> bool:
+        return (minterm & self.mask) == (self.values & self.mask)
+
+    def literals(self, n: int) -> Tuple[Tuple[int, int], ...]:
+        """``(variable index, polarity)`` pairs of the term."""
+        return tuple(
+            (i, (self.values >> i) & 1) for i in range(n) if (self.mask >> i) & 1
+        )
+
+    def size(self, n: int) -> int:
+        """Number of minterms covered, ``2**(n - #literals)``."""
+        return 1 << (n - bin(self.mask).count("1"))
+
+    def to_string(self, names: Sequence[str]) -> str:
+        parts = []
+        for i, name in enumerate(names):
+            if (self.mask >> i) & 1:
+                parts.append(name if (self.values >> i) & 1 else name + "'")
+        return "".join(parts) if parts else "1"
+
+
+def prime_implicants(
+    minterms: Iterable[int], dont_cares: Iterable[int], n: int
+) -> List[Implicant]:
+    """All prime implicants of the on-set ∪ don't-care set."""
+    care = set(minterms)
+    terms: Set[Tuple[int, int]] = {(m, (1 << n) - 1) for m in care}
+    terms |= {(m, (1 << n) - 1) for m in dont_cares}
+    primes: Set[Tuple[int, int]] = set()
+    while terms:
+        merged: Set[Tuple[int, int]] = set()
+        used: Set[Tuple[int, int]] = set()
+        by_mask: Dict[int, List[int]] = {}
+        for values, mask in terms:
+            by_mask.setdefault(mask, []).append(values)
+        for mask, group in by_mask.items():
+            group_set = set(group)
+            for values in group:
+                for i in range(n):
+                    bit = 1 << i
+                    if not (mask & bit):
+                        continue
+                    partner = values ^ bit
+                    if partner in group_set and (values & bit) == 0:
+                        merged.add((values & ~bit, mask & ~bit))
+                        used.add((values, mask))
+                        used.add((partner, mask))
+        primes |= terms - used
+        terms = merged
+    return [Implicant(v & m, m) for v, m in primes]
+
+
+def select_cover(
+    primes: List[Implicant], minterms: Iterable[int], n: int
+) -> List[Implicant]:
+    """Essential primes + greedy completion covering every on-set minterm."""
+    remaining = set(minterms)
+    cover: List[Implicant] = []
+    if not remaining:
+        return cover
+    covering: Dict[int, List[Implicant]] = {
+        m: [p for p in primes if p.covers(m)] for m in remaining
+    }
+    # Essential primes first.
+    for m, ps in covering.items():
+        if len(ps) == 1 and ps[0] not in cover:
+            cover.append(ps[0])
+    for p in cover:
+        remaining -= {m for m in remaining if p.covers(m)}
+    # Greedy completion: repeatedly take the prime covering the most
+    # uncovered minterms (largest term breaks ties — fewer literals).
+    while remaining:
+        best = max(
+            primes,
+            key=lambda p: (sum(1 for m in remaining if p.covers(m)), p.size(n)),
+        )
+        gained = {m for m in remaining if best.covers(m)}
+        if not gained:
+            raise ValueError("prime implicants do not cover the on-set")
+        cover.append(best)
+        remaining -= gained
+    return cover
+
+
+def minimize(
+    table: TruthTable, dont_cares: Optional[TruthTable] = None
+) -> List[Implicant]:
+    """A minimal-ish sum-of-products cover of ``table``.
+
+    Postcondition (asserted): the cover evaluates exactly to ``table`` on
+    all cared points.
+    """
+    n = table.n
+    dc = set(dont_cares.minterms()) if dont_cares is not None else set()
+    on = [m for m in table.minterms() if m not in dc]
+    primes = prime_implicants(on, dc, n)
+    cover = select_cover(primes, on, n)
+    for m in range(1 << n):
+        if m in dc:
+            continue
+        covered = any(p.covers(m) for p in cover)
+        if covered != bool(table.value(m)):
+            raise AssertionError("QM cover does not match specification")
+    return cover
+
+
+def cover_to_table(cover: Sequence[Implicant], n: int) -> TruthTable:
+    """Tabulate a sum-of-products cover."""
+    bits = 0
+    for m in range(1 << n):
+        if any(p.covers(m) for p in cover):
+            bits |= 1 << m
+    return TruthTable(n, bits)
+
+
+def literal_count(cover: Sequence[Implicant], n: int) -> int:
+    return sum(len(p.literals(n)) for p in cover)
+
+
+def sop_network(
+    table: TruthTable,
+    names: Optional[Sequence[str]] = None,
+    style: str = "and-or",
+    output_name: str = "F",
+    network_name: str = "sop",
+    dont_cares: Optional[TruthTable] = None,
+) -> Network:
+    """Synthesize a two-level network (plus an input inverter level).
+
+    ``style`` is ``"and-or"`` (AND product terms into one OR) or
+    ``"nand-nand"``.  Both are monotone beyond the inverter level, so a
+    self-dual ``table`` yields a network that is self-checking by the
+    Yamamoto two-level result quoted after Theorem 3.7.
+    """
+    if style not in ("and-or", "nand-nand"):
+        raise ValueError(f"unknown style {style!r}")
+    n = table.n
+    if names is None:
+        names = tuple(table.names) if table.names else tuple(f"x{i}" for i in range(n))
+    if len(names) != n:
+        raise ValueError("names length must equal variable count")
+    builder = NetworkBuilder(list(names), name=network_name)
+    if table.is_zero():
+        builder.add(output_name, GateKind.CONST0, [])
+        return builder.build([output_name])
+    if table.is_one():
+        builder.add(output_name, GateKind.CONST1, [])
+        return builder.build([output_name])
+    cover = minimize(table, dont_cares)
+    inverted: Dict[str, str] = {}
+
+    def literal_line(var: int, polarity: int) -> str:
+        name = names[var]
+        if polarity:
+            return name
+        if name not in inverted:
+            inverted[name] = builder.add(f"{name}_n", GateKind.NOT, [name])
+        return inverted[name]
+
+    first_kind = GateKind.AND if style == "and-or" else GateKind.NAND
+    second_kind = GateKind.OR if style == "and-or" else GateKind.NAND
+    product_lines: List[str] = []
+    for k, imp in enumerate(cover):
+        literals = imp.literals(n)
+        if not literals:
+            # Tautological product: the whole function is 1 (handled above)
+            # unless combined with others; realize as CONST1 feed.
+            line = builder.add(f"p{k}", GateKind.CONST1, [])
+        else:
+            sources = [literal_line(v, pol) for v, pol in literals]
+            if len(sources) == 1 and style == "and-or":
+                line = sources[0]
+            else:
+                line = builder.add(f"p{k}", first_kind, sources)
+        product_lines.append(line)
+    if len(product_lines) == 1 and style == "and-or":
+        builder.add(output_name, GateKind.BUF, product_lines)
+    else:
+        builder.add(output_name, second_kind, product_lines)
+    return builder.build([output_name])
+
+
+def multi_output_sop(
+    tables: Dict[str, TruthTable],
+    names: Sequence[str],
+    style: str = "and-or",
+    network_name: str = "sop",
+    share_products: bool = True,
+) -> Network:
+    """Synthesize several outputs over shared inputs.
+
+    With ``share_products=True`` identical product terms are realized once
+    and fanned out — the thesis's design recommendation 3 after Algorithm
+    3.1 ("share logic between as many outputs as possible") — at the price
+    that shared lines must then pass the relaxed Corollary 3.2 check.
+    """
+    if style not in ("and-or", "nand-nand"):
+        raise ValueError(f"unknown style {style!r}")
+    builder = NetworkBuilder(list(names), name=network_name)
+    inverted: Dict[str, str] = {}
+    product_cache: Dict[Tuple[Tuple[int, int], ...], str] = {}
+    n = len(names)
+    counter = [0]
+
+    def literal_line(var: int, polarity: int) -> str:
+        name = names[var]
+        if polarity:
+            return name
+        if name not in inverted:
+            inverted[name] = builder.add(f"{name}_n", GateKind.NOT, [name])
+        return inverted[name]
+
+    first_kind = GateKind.AND if style == "and-or" else GateKind.NAND
+    second_kind = GateKind.OR if style == "and-or" else GateKind.NAND
+    outputs: List[str] = []
+    for out_name, table in tables.items():
+        if table.n != n:
+            raise ValueError(f"table for {out_name!r} has wrong variable count")
+        if table.is_zero():
+            builder.add(out_name, GateKind.CONST0, [])
+            outputs.append(out_name)
+            continue
+        if table.is_one():
+            builder.add(out_name, GateKind.CONST1, [])
+            outputs.append(out_name)
+            continue
+        product_lines = []
+        for imp in minimize(table):
+            key = imp.literals(n)
+            if share_products and key in product_cache:
+                product_lines.append(product_cache[key])
+                continue
+            sources = [literal_line(v, pol) for v, pol in key]
+            if len(sources) == 1 and style == "and-or":
+                line = sources[0]
+            else:
+                counter[0] += 1
+                line = builder.add(f"p{counter[0]}", first_kind, sources)
+            if share_products:
+                product_cache[key] = line
+            product_lines.append(line)
+        if len(product_lines) == 1 and style == "and-or":
+            builder.add(out_name, GateKind.BUF, product_lines)
+        else:
+            builder.add(out_name, second_kind, product_lines)
+        outputs.append(out_name)
+    return builder.build(outputs)

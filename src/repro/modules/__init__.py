@@ -1,0 +1,68 @@
+"""SCAL building-block modules (Chapters 2, 6, 7): minority modules, the
+self-dual adder, shift register, and status storage."""
+
+from .catalog import (
+    CatalogEntry,
+    biased_majority_table,
+    closest_self_dual,
+    compose_self_dual,
+    majority_table,
+    minority_table,
+    self_dual_count,
+    self_dual_fraction,
+    standard_catalog,
+    xor_table,
+)
+from .adder import (
+    add_words,
+    alternating_add,
+    full_adder_network,
+    ripple_adder_network,
+)
+from .minority import (
+    ConversionReport,
+    conversion_report,
+    majority,
+    majority_from_minority,
+    minimal_minority_realization,
+    minority,
+    nand_via_minority,
+    nor_via_minority,
+    to_minority_network,
+    verify_theorem_6_2,
+    verify_theorem_6_3,
+)
+from .shifter import AlternatingShiftRegister, shift_word
+from .status import AlternatingStatusBit, AlternatingStatusRegister
+
+__all__ = [
+    "AlternatingShiftRegister",
+    "AlternatingStatusBit",
+    "AlternatingStatusRegister",
+    "CatalogEntry",
+    "ConversionReport",
+    "biased_majority_table",
+    "closest_self_dual",
+    "compose_self_dual",
+    "majority_table",
+    "minority_table",
+    "self_dual_count",
+    "self_dual_fraction",
+    "standard_catalog",
+    "xor_table",
+    "add_words",
+    "alternating_add",
+    "conversion_report",
+    "full_adder_network",
+    "majority",
+    "majority_from_minority",
+    "minimal_minority_realization",
+    "minority",
+    "nand_via_minority",
+    "nor_via_minority",
+    "ripple_adder_network",
+    "shift_word",
+    "to_minority_network",
+    "verify_theorem_6_2",
+    "verify_theorem_6_3",
+]

@@ -1,0 +1,104 @@
+"""Self-dual adders (Figure 2.2, Section 7.3).
+
+The full adder is the thesis's flagship free lunch: sum and carry are
+*inherently self-dual* ("some basic functions are already self-dual and
+involve no hardware cost to implement as SCAL — for example, the optimal
+adder").  Check: complementing a, b and carry-in complements both the sum
+bit and the carry-out.  A ripple adder of self-dual cells is therefore an
+alternating network as built.
+
+Two realizations are provided: a gate-level network per bit (for the
+self-checking analysis and the E-FIG2.2 bench) and a fast behavioural
+word adder for the CPU datapath.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..logic.gates import GateKind
+from ..logic.network import Network, NetworkBuilder
+
+
+def full_adder_network(name: str = "full_adder") -> Network:
+    """One self-dual full adder cell (inputs a, b, cin; outputs s, cout).
+
+    Realized two-level (AND–OR with an input inverter level) so the
+    Yamamoto result makes it self-checking as well as self-dual:
+      s    = Σ odd-parity minterms of (a, b, cin)
+      cout = MAJ(a, b, cin) = ab ∨ a·cin ∨ b·cin
+    """
+    builder = NetworkBuilder(["a", "b", "cin"], name=name)
+    an = builder.add("a_n", GateKind.NOT, ["a"])
+    bn = builder.add("b_n", GateKind.NOT, ["b"])
+    cn = builder.add("c_n", GateKind.NOT, ["cin"])
+    # Sum: the four odd-parity products.
+    p1 = builder.add("p1", GateKind.AND, ["a", bn, cn])
+    p2 = builder.add("p2", GateKind.AND, [an, "b", cn])
+    p3 = builder.add("p3", GateKind.AND, [an, bn, "cin"])
+    p4 = builder.add("p4", GateKind.AND, ["a", "b", "cin"])
+    builder.add("s", GateKind.OR, [p1, p2, p3, p4])
+    # Carry: majority products.
+    q1 = builder.add("q1", GateKind.AND, ["a", "b"])
+    q2 = builder.add("q2", GateKind.AND, ["a", "cin"])
+    q3 = builder.add("q3", GateKind.AND, ["b", "cin"])
+    builder.add("cout", GateKind.OR, [q1, q2, q3])
+    return builder.build(["s", "cout"])
+
+
+def ripple_adder_network(width: int, name: str = "ripple_adder") -> Network:
+    """A ``width``-bit ripple-carry adder from self-dual cells.
+
+    Inputs ``a0.., b0.., cin``; outputs ``s0.., cout``.  Each cell is the
+    two-level full adder, so every output function of the whole adder is
+    self-dual (composition of self-dual functions with self-dual
+    arguments is self-dual).
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    inputs = [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)]
+    inputs.append("cin")
+    builder = NetworkBuilder(inputs, name=name)
+    carry = "cin"
+    for i in range(width):
+        a, b = f"a{i}", f"b{i}"
+        an = builder.add(f"a{i}_n", GateKind.NOT, [a])
+        bn = builder.add(f"b{i}_n", GateKind.NOT, [b])
+        cn = builder.add(f"c{i}_n", GateKind.NOT, [carry])
+        p1 = builder.add(f"s{i}_p1", GateKind.AND, [a, bn, cn])
+        p2 = builder.add(f"s{i}_p2", GateKind.AND, [an, b, cn])
+        p3 = builder.add(f"s{i}_p3", GateKind.AND, [an, bn, carry])
+        p4 = builder.add(f"s{i}_p4", GateKind.AND, [a, b, carry])
+        builder.add(f"s{i}", GateKind.OR, [p1, p2, p3, p4])
+        q1 = builder.add(f"c{i}_q1", GateKind.AND, [a, b])
+        q2 = builder.add(f"c{i}_q2", GateKind.AND, [a, carry])
+        q3 = builder.add(f"c{i}_q3", GateKind.AND, [b, carry])
+        carry = builder.add(f"c{i+1}", GateKind.OR, [q1, q2, q3])
+    outputs = [f"s{i}" for i in range(width)] + [carry]
+    return builder.build(outputs)
+
+
+def add_words(
+    a: Sequence[int], b: Sequence[int], carry_in: int = 0
+) -> Tuple[List[int], int]:
+    """Behavioural ripple addition over little-endian bit lists."""
+    if len(a) != len(b):
+        raise ValueError("word width mismatch")
+    carry = int(carry_in) & 1
+    out: List[int] = []
+    for x, y in zip(a, b):
+        x, y = int(x) & 1, int(y) & 1
+        out.append(x ^ y ^ carry)
+        carry = (x & y) | (x & carry) | (y & carry)
+    return out, carry
+
+
+def alternating_add(
+    a: Sequence[int], b: Sequence[int], carry_in: int, phase: int
+) -> Tuple[List[int], int]:
+    """The adder as used in an alternating datapath: period 2 receives
+    complemented operands and, because the function is self-dual, returns
+    the complemented sum and carry.  This helper just evaluates the real
+    function on whatever it is given — the *alternation* emerges from the
+    self-duality, which the tests assert."""
+    return add_words(a, b, carry_in)

@@ -1,0 +1,184 @@
+"""A catalog of self-dual functions and modules (Section 7.3).
+
+Designing a SCAL CPU means assembling self-dual datapath pieces; the
+thesis names the adder, the shifter, and status storage and leaves "the
+study of the design of an alternating logic CPU" to further research.
+This catalog provides the raw material:
+
+* recognizers and counters for the self-dual function class (there are
+  exactly ``2**(2**(n-1))`` self-dual functions of n variables — the
+  low half of the table is free, the high half is forced);
+* named self-dual families with constructors: majority/minority of odd
+  arity, odd-arity XOR/XNOR-of-odd, the full-adder pair, multiplexers of
+  self-dual arms, and the Yamamoto closure operations (complement,
+  composition) under which the class is closed;
+* :func:`closest_self_dual` — the nearest self-dual function to an
+  arbitrary specification (minimum Hamming distance on the truth table),
+  useful when a designer may bend the spec instead of paying for φ.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from ..logic.truthtable import TruthTable
+
+
+def self_dual_count(n: int) -> int:
+    """``2**(2**(n-1))`` — choose the low half freely."""
+    if n < 1:
+        raise ValueError("need at least one variable")
+    return 1 << (1 << (n - 1))
+
+
+def is_closed_under_complement(table: TruthTable) -> bool:
+    """The class is closed under complement: ¬F is self-dual iff F is."""
+    return (~table).is_self_dual() == table.is_self_dual()
+
+
+def compose_self_dual(
+    outer: TruthTable, inners: Sequence[TruthTable]
+) -> TruthTable:
+    """Compose self-dual functions: ``F(G1(X), ..., Gk(X))``.
+
+    Self-dual functions are closed under composition (complementing X
+    complements every G_i, and the self-dual outer then complements) —
+    the structural fact behind building whole self-dual datapaths from
+    self-dual cells (the ripple adder argument).
+    """
+    if len(inners) != outer.n:
+        raise ValueError("arity mismatch")
+    if not inners:
+        raise ValueError("need at least one inner function")
+    n = inners[0].n
+    if any(g.n != n for g in inners):
+        raise ValueError("inner functions over different variable counts")
+    bits = 0
+    for point in range(1 << n):
+        inner_vals = tuple(g.value(point) for g in inners)
+        outer_point = sum(v << i for i, v in enumerate(inner_vals))
+        if outer.value(outer_point):
+            bits |= 1 << point
+    return TruthTable(n, bits)
+
+
+# ----------------------------------------------------------------------
+# named families
+# ----------------------------------------------------------------------
+
+
+def majority_table(n: int) -> TruthTable:
+    if n % 2 == 0:
+        raise ValueError("majority needs odd arity")
+    return TruthTable.from_function(
+        lambda *xs: int(2 * sum(xs) > len(xs)), n
+    )
+
+
+def minority_table(n: int) -> TruthTable:
+    if n % 2 == 0:
+        raise ValueError("minority needs odd arity")
+    return TruthTable.from_function(
+        lambda *xs: int(2 * sum(xs) < len(xs)), n
+    )
+
+
+def xor_table(n: int) -> TruthTable:
+    """Odd-arity XOR is self-dual; even-arity is not."""
+    return TruthTable.from_function(lambda *xs: sum(xs) % 2, n)
+
+
+def mux_table() -> TruthTable:
+    """The 2:1 multiplexer ``s ? b : a`` — the catalog's *negative*
+    example: complementing all inputs steers the *other* complemented
+    arm (``F(ā,b̄,s̄) = s ? ā : b̄ ≠ ¬F``), so a plain mux needs the φ
+    treatment before it can live in a SCAL datapath.  Variables
+    (a, b, s)."""
+    return TruthTable.from_function(
+        lambda a, b, s: b if s else a, 3
+    )
+
+
+def biased_majority_table() -> TruthTable:
+    """``MAJ(a, b, c̄)`` — self-dual (self-dual functions are closed
+    under complementing inputs), a useful carry-style steering cell."""
+    return TruthTable.from_function(
+        lambda a, b, c: int(a + b + (1 - c) > 1.5), 3
+    )
+
+
+def full_adder_sum_table() -> TruthTable:
+    return xor_table(3)
+
+
+def full_adder_carry_table() -> TruthTable:
+    return majority_table(3)
+
+
+@dataclasses.dataclass(frozen=True)
+class CatalogEntry:
+    name: str
+    table: TruthTable
+    section: str  # where the thesis uses it
+
+    @property
+    def self_dual(self) -> bool:
+        return self.table.is_self_dual()
+
+
+def standard_catalog() -> List[CatalogEntry]:
+    """The named self-dual modules a SCAL datapath draws from."""
+    return [
+        CatalogEntry("identity", TruthTable.variable(0, 1), "trivial"),
+        CatalogEntry("complement", ~TruthTable.variable(0, 1), "trivial"),
+        CatalogEntry("majority-3", majority_table(3), "Fig 2.2 carry"),
+        CatalogEntry("minority-3", minority_table(3), "Ch 6 module"),
+        CatalogEntry("majority-5", majority_table(5), "Ch 6 module"),
+        CatalogEntry("xor-3 (adder sum)", xor_table(3), "Fig 2.2 sum"),
+        CatalogEntry("xor-5", xor_table(5), "parity datapath"),
+        CatalogEntry(
+            "biased-majority MAJ(a,b,c')",
+            biased_majority_table(),
+            "datapath steering",
+        ),
+    ]
+
+
+def closest_self_dual(table: TruthTable) -> Tuple[TruthTable, int]:
+    """The self-dual function nearest to ``table`` (Hamming distance on
+    the truth table) and that distance.
+
+    For each complement pair (p, p̄) a self-dual function must take
+    complementary values; choose per pair whichever orientation agrees
+    with more of the specification — each disagreeing pair costs 1.
+    """
+    n = table.n
+    full_mask = (1 << n) - 1
+    bits = 0
+    distance = 0
+    for point in range(1 << (n - 1)):
+        mate = point ^ full_mask
+        v_low = table.value(point)
+        v_high = table.value(mate)
+        if v_high == 1 - v_low:
+            # Already consistent: keep both.
+            if v_low:
+                bits |= 1 << point
+            if v_high:
+                bits |= 1 << mate
+            continue
+        distance += 1
+        # Pick the orientation keeping the low point's value.
+        if v_low:
+            bits |= 1 << point
+        else:
+            bits |= 1 << mate
+    return TruthTable(n, bits, table.names), distance
+
+
+def self_dual_fraction(n: int) -> float:
+    """The vanishing fraction of boolean functions that are self-dual —
+    why arbitrary logic needs the φ variable."""
+    total = 1 << (1 << n)
+    return self_dual_count(n) / total

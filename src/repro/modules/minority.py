@@ -1,0 +1,201 @@
+"""Minority modules and the NAND/NOR conversion theorems (Chapter 6).
+
+A minority module ``m_I`` outputs 1 iff fewer than half of its I inputs
+are 1 (Figure 6.1a).  It is a complete gate set (Theorem 6.1: a 2-input
+NAND is ``m(x1, x2, 0)``), and with period-clock fan-in it realizes
+alternating logic directly:
+
+* **Theorem 6.2** — for an N-input NAND, with K = N−1 clock lines and
+  I = 2N−1 total inputs:
+  ``(m_I(X ‖ 0_K), m_I(X̄ ‖ 1_K)) = (NAND(X), AND(X))``
+* **Theorem 6.3** — dually for NOR/OR with the complemented clock.
+
+Since every line in or out of such a module alternates, the converted
+network is self-checking with respect to every line (Theorem 3.6).  The
+converter below rewrites any NAND or NOR network into minority modules
+with the right clock fan-in, and a small optimizer recognizes functions
+that *are* a single minority/majority module (the thesis's Figure 6.2c
+point: the contrived four-NAND example is really one 3-input minority
+gate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from ..logic.gates import GateKind
+from ..logic.network import Gate, Network, NetworkBuilder
+from ..logic.truthtable import TruthTable
+
+PERIOD_CLOCK = "phi"
+
+
+def minority(values: Sequence[int]) -> int:
+    """``m_I``: 1 iff ``W(A) < I/2`` (Figure 6.1a)."""
+    total = sum(int(v) & 1 for v in values)
+    return int(2 * total < len(values))
+
+
+def majority(values: Sequence[int]) -> int:
+    """Figure 6.1b; two minority modules implement it (Figure 6.1c)."""
+    return int(2 * sum(int(v) & 1 for v in values) > len(values))
+
+
+def majority_from_minority(values: Sequence[int]) -> int:
+    """Figure 6.1c: MAJ(X) = m₁(m_I(X)) — a minority inverter on a
+    minority module."""
+    return minority([minority(values)])
+
+
+def nand_via_minority(values: Sequence[int], phase: int) -> int:
+    """Theorem 6.2 applied pointwise: the module computes NAND in the
+    first period (clock lines at 0) and AND of the complemented inputs
+    in the second (clock lines at 1)."""
+    n = len(values)
+    k = n - 1
+    pad = [int(phase) & 1] * k
+    return minority(list(values) + pad)
+
+
+def nor_via_minority(values: Sequence[int], phase: int) -> int:
+    """Theorem 6.3: NOR in the first period with the *complemented*
+    period clock (pads at 1), OR of complements in the second."""
+    n = len(values)
+    k = n - 1
+    pad = [1 - (int(phase) & 1)] * k
+    return minority(list(values) + pad)
+
+
+@dataclasses.dataclass(frozen=True)
+class ConversionReport:
+    """Cost accounting of a minority conversion (Section 6.2's weighting:
+    module count and total input count, clock fan-in included)."""
+
+    modules: int
+    total_inputs: int
+    clock_inputs: int
+
+
+def to_minority_network(
+    network: Network,
+    clock_name: str = PERIOD_CLOCK,
+    name_suffix: str = "_minority",
+) -> Network:
+    """Rewrite a NAND/NOR/NOT network into minority modules (Thms 6.2/6.3).
+
+    NOT gates are 1-input NANDs (``m₁`` with no clock pads — a bare
+    minority inverter).  The produced network has the period clock as an
+    extra primary input; driving it with (0, 1) and the data inputs with
+    (X, X̄) yields the alternating pair (F(X), ¬F(X)).
+    """
+    allowed = {GateKind.NAND, GateKind.NOR, GateKind.NOT, GateKind.BUF}
+    for gate in network.gates:
+        if gate.kind not in allowed:
+            raise ValueError(
+                f"minority conversion handles NAND/NOR/NOT networks only; "
+                f"{gate.name} is {gate.kind.value}"
+            )
+    builder = NetworkBuilder(list(network.inputs) + [clock_name],
+                             name=network.name + name_suffix)
+    clock_n: Optional[str] = None
+    for gate in network.gates:
+        if gate.kind is GateKind.BUF:
+            builder.add(gate.name, GateKind.BUF, list(gate.inputs))
+            continue
+        n = len(gate.inputs)
+        if gate.kind in (GateKind.NOT,):
+            builder.add(gate.name, GateKind.MIN, list(gate.inputs))
+            continue
+        k = n - 1
+        if gate.kind is GateKind.NAND:
+            pads = [clock_name] * k
+        else:  # NOR uses the complemented clock (Theorem 6.3)
+            if clock_n is None and k > 0:
+                clock_n = builder.add(f"{clock_name}_n", GateKind.MIN, [clock_name])
+            pads = [clock_n] * k if k > 0 else []
+        builder.add(gate.name, GateKind.MIN, list(gate.inputs) + pads)
+    return builder.build(list(network.outputs))
+
+
+def conversion_report(minority_net: Network, clock_name: str = PERIOD_CLOCK) -> ConversionReport:
+    """Module/input counts of a converted network."""
+    modules = 0
+    total_inputs = 0
+    clock_inputs = 0
+    clock_lines = {clock_name, f"{clock_name}_n"}
+    for gate in minority_net.gates:
+        if gate.kind is not GateKind.MIN:
+            continue
+        modules += 1
+        total_inputs += len(gate.inputs)
+        clock_inputs += sum(1 for src in gate.inputs if src in clock_lines)
+    return ConversionReport(modules, total_inputs, clock_inputs)
+
+
+def minimal_minority_realization(
+    table: TruthTable, names: Sequence[str], clock_name: str = PERIOD_CLOCK
+) -> Optional[Network]:
+    """Recognize functions realizable as a single minority module.
+
+    The Figure 6.2 example: four NANDs (14 total inputs after direct
+    conversion) collapse to one 3-input minority module.  Pads, when
+    needed to shift the threshold, are period-clock lines so that the
+    module still alternates: a pad at value ``v`` in the first period is
+    φ (v = 0, Theorem 6.2 style) or φ̄ (v = 1, Theorem 6.3 style) and
+    automatically takes the complementary value in the second period.
+    Returns ``None`` when no single-module realization exists.
+    """
+    n = table.n
+    for pads in range(0, n):
+        for pad_value in (0, 1):
+            def fn(*xs: int, pads=pads, pad_value=pad_value) -> int:
+                return minority(list(xs) + [pad_value] * pads)
+
+            if TruthTable.from_function(fn, n).bits != table.bits:
+                continue
+            builder = NetworkBuilder(
+                list(names) + ([clock_name] if pads else []),
+                name="minority_minimal",
+            )
+            sources = list(names)
+            if pads:
+                pad_line = clock_name
+                if pad_value == 1:
+                    pad_line = builder.add(
+                        f"{clock_name}_n", GateKind.MIN, [clock_name]
+                    )
+                sources += [pad_line] * pads
+            builder.add("F", GateKind.MIN, sources)
+            return builder.build(["F"])
+    return None
+
+
+def verify_theorem_6_2(max_n: int = 6) -> bool:
+    """Exhaustively check Theorem 6.2 for all NAND widths up to ``max_n``."""
+    for n in range(1, max_n + 1):
+        for point in range(1 << n):
+            xs = [(point >> i) & 1 for i in range(n)]
+            nand = 1 - int(all(xs))
+            and_ = int(all(xs))
+            if nand_via_minority(xs, 0) != nand:
+                return False
+            comp = [1 - x for x in xs]
+            if nand_via_minority(comp, 1) != and_:
+                return False
+    return True
+
+
+def verify_theorem_6_3(max_n: int = 6) -> bool:
+    """Exhaustively check Theorem 6.3 for all NOR widths up to ``max_n``."""
+    for n in range(1, max_n + 1):
+        for point in range(1 << n):
+            xs = [(point >> i) & 1 for i in range(n)]
+            nor = 1 - int(any(xs))
+            or_ = int(any(xs))
+            if nor_via_minority(xs, 0) != nor:
+                return False
+            comp = [1 - x for x in xs]
+            if nor_via_minority(comp, 1) != or_:
+                return False
+    return True

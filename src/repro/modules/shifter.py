@@ -1,0 +1,91 @@
+"""Self-dual shift operation (Figure 7.4a).
+
+"The shift operation is self-dual.  It can be easily implemented ... by
+using two flip-flops instead of the usual one."  In alternating
+operation the shift register stores each bit's (value, complement) pair
+across the two time periods: stage k holds the true value after the
+first period and the complemented value after the second, so the
+register's outputs alternate exactly like the rest of the datapath.
+
+:class:`AlternatingShiftRegister` is the Figure 7.4a dual-flip-flop
+serial register; :func:`shift_word` is the behavioural word operation
+used by the CPU datapath (trivially self-dual: shifting the complement
+equals complementing the shift when the fill bit alternates too).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..seq.dff import DFlipFlop
+
+
+def shift_word(
+    word: Sequence[int], direction: str = "left", fill: int = 0
+) -> List[int]:
+    """Logical shift of a little-endian bit list by one position.
+
+    Self-duality: ``shift(w̄, fill=f̄) = ¬shift(w, fill=f)`` — the fill
+    bit participates in the alternation like any data input.
+    """
+    bits = [int(b) & 1 for b in word]
+    fill = int(fill) & 1
+    if direction == "left":
+        return [fill] + bits[:-1]
+    if direction == "right":
+        return bits[1:] + [fill]
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+class AlternatingShiftRegister:
+    """The Figure 7.4a serial shift register: two flip-flops per bit.
+
+    Per time period one new value enters; over an alternating pair the
+    register advances one logical position while its outputs alternate.
+    The per-bit second flip-flop is what makes the stored state alternate
+    visibly, so the standard SCAL checkers can monitor it.
+    """
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        # stage pairs: [ (ff_true, ff_comp) ] per bit position
+        self.cells: List[Tuple[DFlipFlop, DFlipFlop]] = [
+            (DFlipFlop(0), DFlipFlop(1)) for _ in range(width)
+        ]
+
+    def reset(self, values: Optional[Sequence[int]] = None) -> None:
+        values = list(values) if values is not None else [0] * self.width
+        for (ff_a, ff_b), v in zip(self.cells, values):
+            ff_a.reset(int(v) & 1)
+            ff_b.reset(1 - (int(v) & 1))
+
+    def outputs(self, phase: int) -> List[int]:
+        """The register contents as seen in period ``phase``."""
+        if int(phase) & 1:
+            return [ff_b.output for _, ff_b in self.cells]
+        return [ff_a.output for ff_a, _ in self.cells]
+
+    def shift_pair(self, bit_true: int, bit_comp: int) -> Tuple[List[int], List[int]]:
+        """Advance one logical position given the incoming alternating
+        pair; returns the (first period, second period) output views."""
+        first = self.outputs(0)
+        prev_true = [ff_a.output for ff_a, _ in self.cells]
+        prev_comp = [ff_b.output for _, ff_b in self.cells]
+        new_true = [int(bit_true) & 1] + prev_true[:-1]
+        new_comp = [int(bit_comp) & 1] + prev_comp[:-1]
+        for (ff_a, ff_b), t, c in zip(self.cells, new_true, new_comp):
+            ff_a.clock_edge(t, 1)
+            ff_a.clock_edge(t, 0)
+            ff_b.clock_edge(c, 1)
+            ff_b.clock_edge(c, 0)
+        second = self.outputs(1)
+        return first, second
+
+    def alternates(self) -> bool:
+        """Healthy invariant: the two views are complementary."""
+        return all(
+            ff_b.output == 1 - ff_a.output for ff_a, ff_b in self.cells
+        )
+
+    def flip_flop_count(self) -> int:
+        return 2 * self.width

@@ -1,0 +1,69 @@
+"""Self-dual status storage (Figure 7.4b).
+
+CPU status conditions (zero, carry, negative, …) are one-bit state; the
+thesis stores each "in two flip-flops as opposed to the usual one to
+achieve self-dual operation": one flip-flop latches the first-period
+(true) value, the other the second-period (complemented) value, and the
+visible status output alternates with the period clock like every other
+SCAL signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..seq.dff import DFlipFlop
+
+
+class AlternatingStatusBit:
+    """One status condition stored as a (true, complement) flip-flop pair."""
+
+    def __init__(self, initial: int = 0) -> None:
+        self.ff_true = DFlipFlop(int(initial) & 1)
+        self.ff_comp = DFlipFlop(1 - (int(initial) & 1))
+
+    def store_pair(self, value_true: int, value_comp: int) -> None:
+        """Latch one alternating pair (period 1 then period 2)."""
+        self.ff_true.clock_edge(value_true, 1)
+        self.ff_true.clock_edge(value_true, 0)
+        self.ff_comp.clock_edge(value_comp, 1)
+        self.ff_comp.clock_edge(value_comp, 0)
+
+    def read(self, phase: int) -> int:
+        return self.ff_comp.output if int(phase) & 1 else self.ff_true.output
+
+    @property
+    def alternates(self) -> bool:
+        """Healthy invariant — a violated pair is a detected fault."""
+        return self.ff_comp.output == 1 - self.ff_true.output
+
+    @property
+    def value(self) -> int:
+        return self.ff_true.output
+
+
+class AlternatingStatusRegister:
+    """A named bank of :class:`AlternatingStatusBit` (Z, C, N, V...)."""
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self.bits: Dict[str, AlternatingStatusBit] = {
+            name: AlternatingStatusBit() for name in names
+        }
+
+    def store_pairs(
+        self, true_values: Dict[str, int], comp_values: Dict[str, int]
+    ) -> None:
+        for name, bit in self.bits.items():
+            bit.store_pair(true_values[name], comp_values[name])
+
+    def read(self, name: str, phase: int) -> int:
+        return self.bits[name].read(phase)
+
+    def values(self) -> Dict[str, int]:
+        return {name: bit.value for name, bit in self.bits.items()}
+
+    def alternates(self) -> bool:
+        return all(bit.alternates for bit in self.bits.values())
+
+    def flip_flop_count(self) -> int:
+        return 2 * len(self.bits)

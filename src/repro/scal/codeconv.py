@@ -1,0 +1,177 @@
+"""The code-conversion SCAL sequential machine (Figure 4.5, Theorem 4.4).
+
+The thesis's memory-efficient alternative to dual flip-flops: keep the
+self-dual combinational block, but translate its alternating feedback
+``(Y, Ȳ)`` to an (n+1)-bit parity word (ALPT), store that, and translate
+back to alternating form (PALT) for the next step.  An n-bit machine then
+needs n+1 storage bits instead of 2n.
+
+Checkers monitor (1) alternation of the external Z outputs and of the
+fed-back Y outputs, and (2) the PALT's 1-out-of-2 code — the combination
+Theorem 4.4 proves sufficient for the feedback to be self-checking.
+
+Single-fault injection reaches every part of the loop: the combinational
+network (stem/pin stuck-ats), ALPT lines, memory (cells, data lines,
+address lines), and PALT lines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..logic.faults import Fault, MultipleFault
+from ..logic.network import Network
+from ..seq.encoding import StateEncoding
+from ..seq.machine import StateTable
+from ..system.memory import MemoryFault, ParityMemory, parity
+from .alternating import PERIOD_CLOCK, AlternatingRun, AlternatingStep
+from .dualff import self_dual_machine_network
+from .translators import ALPT, PALT, TranslatorFault
+
+FaultLike = Union[Fault, MultipleFault]
+
+
+@dataclasses.dataclass
+class CodeConversionMachine:
+    """The complete Figure 4.5 system for one sequential machine."""
+
+    machine: StateTable
+    network: Network
+    encoding: StateEncoding
+    alpt: ALPT
+    palt: PALT
+    memory: ParityMemory
+    state_address: int = 0
+    clock_name: str = PERIOD_CLOCK
+
+    @property
+    def input_names(self) -> Tuple[str, ...]:
+        return tuple(f"x{i}" for i in range(self.machine.n_inputs))
+
+    @property
+    def output_names(self) -> Tuple[str, ...]:
+        return tuple(f"Z{i}" for i in range(self.machine.n_outputs))
+
+    @property
+    def state_output_names(self) -> Tuple[str, ...]:
+        return tuple(f"Y{i}" for i in range(self.encoding.width))
+
+    def flip_flop_count(self) -> int:
+        """Storage cost: the thesis counts the n+1 feedback storage bits
+        (the ALPT's latches double as the single level of memory when the
+        feedback is through one level, Section 4.3)."""
+        return self.encoding.width + 1
+
+    def gate_count(self) -> int:
+        """Combinational gates plus the translator gates (n+2 XOR-class
+        gates: n PALT XORs, the ALPT parity tree, the PALT parity tree —
+        matching the Table 4.1 translator term ``+ n + 2``)."""
+        return self.network.gate_count(include_buffers=False) + (
+            self.encoding.width + 2
+        )
+
+    def reset(self) -> None:
+        self.memory.clear()
+        code = self.encoding.code(self.machine.initial_state)
+        addr_par = self._address_parity()
+        self.alpt.data_latches = list(code)
+        self.alpt.parity_latch = parity(code) ^ addr_par
+        self.memory.store(
+            self.state_address, list(code), parity(code) ^ addr_par
+        )
+
+    def _address_parity(self) -> int:
+        return parity(
+            [
+                (self.state_address >> i) & 1
+                for i in range(self.memory.address_bits)
+            ]
+        )
+
+    def run(
+        self,
+        vectors: Sequence[Tuple[int, ...]],
+        comb_fault: Optional[FaultLike] = None,
+        alpt_fault: Optional[TranslatorFault] = None,
+        palt_fault: Optional[TranslatorFault] = None,
+        memory_fault: Optional[MemoryFault] = None,
+    ) -> AlternatingRun:
+        """Drive logical input vectors through the full loop.
+
+        Returns one step per vector monitoring (Z..., Y...) alternation;
+        ``checker_flags[t]`` is True when the PALT's 1-out-of-2 code was
+        a noncode word at step *t*.
+        """
+        from ..logic.evaluate import evaluate_with_fault
+
+        if alpt_fault is not None and alpt_fault.site == "g":
+            # Common-clock failure (Theorem 4.1 case 5): all clock fanout
+            # is from one node, so the whole system stops.  Shutdown is
+            # regarded as a noncode state — reported as a detection.
+            return AlternatingRun((), (True,))
+        self.reset()
+        self.alpt.inject(alpt_fault)
+        self.palt.inject(palt_fault)
+        self.memory.inject(memory_fault)
+        monitored = list(self.output_names) + list(self.state_output_names)
+        addr_par = self._address_parity()
+        steps: List[AlternatingStep] = []
+        flags: List[bool] = []
+        for vector in vectors:
+            data, stored_parity = self.memory.load(self.state_address)
+            code = self.palt.code_output(data, stored_parity, addr_par)
+            code_bad = not PALT.code_valid(code)
+            period_values = []
+            y_pair = []
+            for phase in (0, 1):
+                present = self.palt.outputs_for_period(data, phase)
+                assignment = {
+                    name: (bit if phase == 0 else 1 - bit)
+                    for name, bit in zip(self.input_names, vector)
+                }
+                assignment[self.clock_name] = phase
+                for i, value in enumerate(present):
+                    assignment[f"y{i}"] = value
+                values = evaluate_with_fault(self.network, assignment, comb_fault)
+                period_values.append(tuple(values[m] for m in monitored))
+                y_pair.append(
+                    [values[name] for name in self.state_output_names]
+                )
+            word, new_parity = self.alpt.feed_pair(
+                y_pair[0], y_pair[1], address_parity=addr_par
+            )
+            self.memory.store(self.state_address, word, new_parity)
+            steps.append(AlternatingStep(period_values[0], period_values[1]))
+            flags.append(code_bad)
+        self.alpt.inject(None)
+        self.palt.inject(None)
+        self.memory.inject(None)
+        return AlternatingRun(tuple(steps), tuple(flags))
+
+    def decoded_outputs(self, run: AlternatingRun) -> List[Tuple[int, ...]]:
+        n_z = len(self.output_names)
+        return [step.first[:n_z] for step in run.steps]
+
+
+def to_code_conversion(
+    machine: StateTable,
+    encoding: Optional[StateEncoding] = None,
+    style: str = "and-or",
+    share_products: bool = True,
+    address_bits: int = 4,
+) -> CodeConversionMachine:
+    """Build the Figure 4.5 system for ``machine``."""
+    network, enc = self_dual_machine_network(
+        machine, encoding, style=style, share_products=share_products
+    )
+    width = enc.width
+    return CodeConversionMachine(
+        machine=machine,
+        network=network,
+        encoding=enc,
+        alpt=ALPT(width),
+        palt=PALT(width),
+        memory=ParityMemory(width, address_bits, fold_address_parity=False),
+        state_address=0,
+    )

@@ -1,0 +1,110 @@
+"""Hardware cost model and the Table 4.1 comparison (Section 4.5).
+
+The thesis compares three realizations of a sequential machine:
+
+======================  ==========  =====================
+approach                flip-flops  gates
+======================  ==========  =====================
+Kohavi (unchecked)      n           m
+Reynolds dual flip-flop 2n          1.8·m
+Code translator         n+1         1.8·m + n + 2
+======================  ==========  =====================
+
+with n, m the unchecked machine's flip-flop and gate counts and 1.8 the
+approximate SCAL conversion cost factor Reynolds measured.  The concrete
+thesis example (the 0101 sequence detector) lands at (2, 12), (4, 19)
+and (3, 23).  This module provides both the general formulas and a
+measured-cost extractor so the bench can print paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+from ..logic.network import Network
+
+#: Reynolds' approximate cost factor for converting normal logic to SCAL.
+REYNOLDS_COST_FACTOR = 1.8
+
+
+@dataclasses.dataclass(frozen=True)
+class CostReport:
+    """Hardware cost of one realization."""
+
+    approach: str
+    flip_flops: int
+    gates: float
+    gate_inputs: Optional[int] = None
+
+    def row(self) -> Tuple[str, str, str]:
+        gates = f"{self.gates:g}"
+        return self.approach, str(self.flip_flops), gates
+
+
+def kohavi_general(n: int, m: int) -> CostReport:
+    """The unchecked machine itself."""
+    return CostReport("Kohavi general", n, m)
+
+
+def reynolds_general(n: int, m: int) -> CostReport:
+    """Dual flip-flop SCAL (Table 4.1 row 'Reynolds general')."""
+    return CostReport("Reynolds general", 2 * n, REYNOLDS_COST_FACTOR * m)
+
+
+def translator_general(n: int, m: int) -> CostReport:
+    """Code-conversion SCAL (Table 4.1 row 'Translator general')."""
+    return CostReport(
+        "Translator general", n + 1, REYNOLDS_COST_FACTOR * m + n + 2
+    )
+
+
+#: The thesis's measured Table 4.1 for the 0101 sequence detector.
+THESIS_TABLE_4_1: Tuple[CostReport, ...] = (
+    CostReport("Kohavi example", 2, 12),
+    CostReport("Reynolds example", 4, 19),
+    CostReport("Translator example", 3, 23),
+)
+
+
+def measured_cost(
+    approach: str,
+    flip_flops: int,
+    network: Network,
+    extra_gates: int = 0,
+) -> CostReport:
+    """Extract a cost row from a synthesized realization."""
+    return CostReport(
+        approach,
+        flip_flops,
+        network.gate_count(include_buffers=False) + extra_gates,
+        gate_inputs=network.gate_input_count(),
+    )
+
+
+def render_cost_table(rows: Sequence[CostReport], title: str = "") -> str:
+    lines = []
+    if title:
+        lines.append(title)
+    header = ("approach", "flip-flops", "gates")
+    widths = [
+        max(len(header[0]), max(len(r.approach) for r in rows)),
+        len(header[1]),
+        max(len(header[2]), max(len(f"{r.gates:g}") for r in rows)),
+    ]
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        cells = r.row()
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def cost_factor(normal_gates: int, scal_gates: int) -> float:
+    """The measured SCAL conversion factor ``A`` (Section 7.4 uses it to
+    price ADR against TMR; Reynolds' average was 1.8)."""
+    if normal_gates <= 0:
+        raise ValueError("normal gate count must be positive")
+    return scal_gates / normal_gates

@@ -1,0 +1,172 @@
+"""The code translators of the code-conversion technique (Section 4.3).
+
+* **ALPT** (Alternating Logic to Parity Translator, Figure 4.4a): takes
+  the alternating pair ``(Y, Ȳ)`` produced by the self-dual block over
+  two periods and emits an (n+1)-bit parity code word for storage —
+  the data bits latched from the first (true) period on the 0→1 clock
+  transition, the parity bit latched from the second (complemented)
+  period on the 1→0 transition.  With an even word size the parity of
+  ``Ȳ`` equals the parity of ``Y``; for odd sizes the period clock is
+  folded in, the thesis's "convert an odd word size to even word size or
+  change the parity" remark.
+* **PALT** (Parity to Alternating Logic Translator, Figure 4.4b): takes
+  a stored code word and regenerates the alternating pair by XOR-ing
+  every line with the period clock, and produces a 1-out-of-2 code from
+  the stored parity bit and the complemented parity recomputed from its
+  own data outputs — the self-checking hook Theorem 4.3 relies on.
+
+Both are register-transfer-level models with *named internal fault
+sites* matching the line classes the proofs of Theorems 4.1 and 4.3 walk
+through (letters a–j as printed in Figures 4.4a/4.4b), so the theorems
+can be checked by exhaustive injection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from ..system.memory import parity
+
+
+@dataclasses.dataclass(frozen=True)
+class TranslatorFault:
+    """A stuck line inside a translator.
+
+    ``site`` names the line class from the thesis's figures; ``index``
+    selects the bit position for per-bit sites (ignored otherwise).
+
+    ALPT sites: ``a`` input line, ``b`` latch data-in, ``c`` latch
+    output, ``d`` latch clock, ``e`` parity-tree input, ``f`` parity
+    latch data-in, ``i`` parity latch output, ``h``/``j`` parity latch
+    clock, ``g`` common clock stem.
+
+    PALT sites: ``a`` stored-data input line, ``b`` XOR output (the
+    alternating data output), ``c``/``d`` period-clock branch into one
+    XOR, ``e`` parity-complement tree, ``f`` computed-parity output,
+    ``g``/``h`` the two 1-out-of-2 code output lines.
+    """
+
+    site: str
+    index: int
+    value: int
+
+    def describe(self) -> str:
+        return f"{self.site}[{self.index}] s/{self.value}"
+
+
+class ALPT:
+    """Alternating Logic to Parity Translator (Figure 4.4a)."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.data_latches: List[int] = [0] * width
+        self.parity_latch: int = 0
+        self.fault: Optional[TranslatorFault] = None
+
+    def inject(self, fault: Optional[TranslatorFault]) -> None:
+        self.fault = fault
+
+    def _stuck(self, site: str, index: int, value: int) -> int:
+        f = self.fault
+        if f is not None and f.site == site and f.index == index:
+            return f.value
+        return value
+
+    def feed_pair(
+        self,
+        true_values: Sequence[int],
+        comp_values: Sequence[int],
+        address_parity: int = 0,
+    ) -> Tuple[List[int], int]:
+        """Consume one alternating pair; return the (data, parity) word.
+
+        ``address_parity`` is folded into the parity bit when the word is
+        headed for random-access memory (Dussault's scheme).
+        """
+        if len(true_values) != self.width or len(comp_values) != self.width:
+            raise ValueError("value width mismatch")
+        f = self.fault
+        clock_dead = f is not None and f.site == "g"
+        # First period ends: 0->1 transition latches the true data values.
+        for k in range(self.width):
+            a = self._stuck("a", k, int(true_values[k]) & 1)
+            b = self._stuck("b", k, a)
+            if clock_dead or (f is not None and f.site == "d" and f.index == k):
+                pass  # latch clock stuck: retain the previous value
+            else:
+                self.data_latches[k] = b
+        # Second period ends: 1->0 transition latches the parity of the
+        # complemented values (for even width this equals the data
+        # parity; odd widths fold the period clock, i.e. a constant 1).
+        tree_inputs = []
+        for k in range(self.width):
+            a = self._stuck("a", k, int(comp_values[k]) & 1)
+            tree_inputs.append(self._stuck("e", k, a))
+        par = parity(tree_inputs) ^ (self.width & 1) ^ (int(address_parity) & 1)
+        par = self._stuck("f", 0, par)
+        if clock_dead or (f is not None and f.site in ("h", "j")):
+            pass  # parity latch clock stuck: retain previous parity
+        else:
+            self.parity_latch = par
+        data_out = [
+            self._stuck("c", k, self.data_latches[k]) for k in range(self.width)
+        ]
+        parity_out = self._stuck("i", 0, self.parity_latch)
+        return data_out, parity_out
+
+
+class PALT:
+    """Parity to Alternating Logic Translator (Figure 4.4b)."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.fault: Optional[TranslatorFault] = None
+
+    def inject(self, fault: Optional[TranslatorFault]) -> None:
+        self.fault = fault
+
+    def _stuck(self, site: str, index: int, value: int) -> int:
+        f = self.fault
+        if f is not None and f.site == site and f.index == index:
+            return f.value
+        return value
+
+    def outputs_for_period(
+        self, stored_data: Sequence[int], phase: int
+    ) -> List[int]:
+        """The alternating data outputs ``y_k = t_k ⊕ φ`` for one period."""
+        if len(stored_data) != self.width:
+            raise ValueError("stored word width mismatch")
+        outs = []
+        for k in range(self.width):
+            a = self._stuck("a", k, int(stored_data[k]) & 1)
+            clock = self._stuck("c", k, int(phase) & 1)
+            clock = self._stuck("d", k, clock)
+            outs.append(self._stuck("b", k, a ^ clock))
+        return outs
+
+    def code_output(
+        self,
+        stored_data: Sequence[int],
+        stored_parity: int,
+        address_parity: int = 0,
+    ) -> Tuple[int, int]:
+        """The 1-out-of-2 code pair (stored parity, complement of the
+        recomputed parity of the first-period data outputs).
+
+        Valid operation gives complementary values; equal values are a
+        noncode word — the checker input Theorem 4.3 requires.
+        """
+        first_period = self.outputs_for_period(stored_data, 0)
+        tree = [self._stuck("e", k, v) for k, v in enumerate(first_period)]
+        computed = parity(tree) ^ (int(address_parity) & 1)
+        complement = self._stuck("f", 0, 1 - computed)
+        g_line = self._stuck("g", 0, int(stored_parity) & 1)
+        h_line = self._stuck("h", 0, complement)
+        return g_line, h_line
+
+    @staticmethod
+    def code_valid(code: Tuple[int, int]) -> bool:
+        """1-out-of-2 validity: exactly one of the two rails is 1."""
+        return code[0] != code[1]

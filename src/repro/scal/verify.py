@@ -1,0 +1,164 @@
+"""Fault campaigns for SCAL sequential machines.
+
+The combinational oracle (:mod:`repro.core.simulate`) is exhaustive over
+inputs; sequential machines additionally carry state, so their campaigns
+drive a (seeded or supplied) input stream against every fault and
+classify the runs.  This is the API behind the Chapter 4 benches and the
+tool a user points at their own machine:
+
+    campaign = sequential_campaign(to_dual_flipflop(machine), vectors)
+    assert campaign.dangerous == 0
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..logic.faults import Fault, enumerate_stem_faults
+from ..seq.machine import StateTable
+from ..seq.simulator import FlipFlopFault
+from .codeconv import CodeConversionMachine
+from .dualff import DualFlipFlopMachine
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of a sequential single-fault campaign."""
+
+    machine_name: str
+    total: int
+    detected: int
+    silent: int
+    dangerous: int
+    dangerous_faults: Tuple[str, ...]
+    mean_detection_latency: Optional[float]
+
+    @property
+    def is_fault_secure(self) -> bool:
+        return self.dangerous == 0
+
+    def summary(self) -> str:
+        latency = (
+            f"{self.mean_detection_latency:.1f} steps"
+            if self.mean_detection_latency is not None
+            else "n/a"
+        )
+        return (
+            f"{self.machine_name}: {self.total} faults -> "
+            f"detected {self.detected}, silent {self.silent}, "
+            f"DANGEROUS {self.dangerous}; mean detection latency {latency}"
+        )
+
+
+def _campaign(
+    machine_name: str,
+    reference: List[Tuple[int, ...]],
+    runs,
+) -> CampaignResult:
+    total = detected = silent = dangerous = 0
+    latencies: List[int] = []
+    bad: List[str] = []
+    for label, run, decoded in runs:
+        total += 1
+        wrong = decoded != reference
+        if run.detected:
+            detected += 1
+            if run.first_detection is not None:
+                latencies.append(run.first_detection)
+        elif wrong:
+            dangerous += 1
+            bad.append(label)
+        else:
+            silent += 1
+    mean_latency = sum(latencies) / len(latencies) if latencies else None
+    return CampaignResult(
+        machine_name=machine_name,
+        total=total,
+        detected=detected,
+        silent=silent,
+        dangerous=dangerous,
+        dangerous_faults=tuple(bad),
+        mean_detection_latency=mean_latency,
+    )
+
+
+def dualff_campaign(
+    machine: DualFlipFlopMachine,
+    vectors: Sequence[Tuple[int, ...]],
+    include_inputs: bool = False,
+    include_flip_flops: bool = True,
+) -> CampaignResult:
+    """Single-fault campaign over a dual flip-flop machine: every
+    combinational stem fault plus (optionally) every flip-flop stage
+    output stuck."""
+    reference = machine.machine.run(list(vectors))
+
+    def runs():
+        for fault in enumerate_stem_faults(
+            machine.circuit.network, include_inputs=include_inputs
+        ):
+            run = machine.run(vectors, fault=fault)
+            yield fault.describe(), run, machine.decoded_outputs(run)
+        if include_flip_flops:
+            for state_line in machine.circuit.chains:
+                for stage in range(machine.circuit.depth):
+                    for value in (0, 1):
+                        ff = FlipFlopFault(state_line, stage, value)
+                        run = machine.run(vectors, ff_fault=ff)
+                        yield ff.describe(), run, machine.decoded_outputs(run)
+
+    return _campaign(machine.circuit.name, reference, runs())
+
+
+def codeconv_campaign(
+    machine: CodeConversionMachine,
+    vectors: Sequence[Tuple[int, ...]],
+    include_inputs: bool = False,
+) -> CampaignResult:
+    """Single-fault campaign over a code-conversion machine: every
+    combinational stem fault, every translator line class, every memory
+    fault."""
+    from ..scal.translators import TranslatorFault
+    from ..system.memory import single_memory_faults
+
+    reference = machine.machine.run(list(vectors))
+    width = machine.encoding.width
+
+    def runs():
+        for fault in enumerate_stem_faults(
+            machine.network, include_inputs=include_inputs
+        ):
+            run = machine.run(vectors, comb_fault=fault)
+            yield f"comb {fault.describe()}", run, machine.decoded_outputs(run)
+        alpt_sites = [(s, k) for s in "abcde" for k in range(width)]
+        alpt_sites += [("f", 0), ("i", 0), ("h", 0), ("g", 0)]
+        for site, k in alpt_sites:
+            for value in (0, 1):
+                tf = TranslatorFault(site, k, value)
+                run = machine.run(vectors, alpt_fault=tf)
+                yield f"alpt {tf.describe()}", run, machine.decoded_outputs(run)
+        palt_sites = [(s, k) for s in "abcde" for k in range(width)]
+        palt_sites += [("f", 0), ("g", 0), ("h", 0)]
+        for site, k in palt_sites:
+            for value in (0, 1):
+                tf = TranslatorFault(site, k, value)
+                run = machine.run(vectors, palt_fault=tf)
+                yield f"palt {tf.describe()}", run, machine.decoded_outputs(run)
+        for mf in single_memory_faults(width, machine.memory.address_bits):
+            run = machine.run(vectors, memory_fault=mf)
+            yield f"mem {mf.describe()}", run, machine.decoded_outputs(run)
+
+    return _campaign(f"{machine.machine.name}_codeconv", reference, runs())
+
+
+def random_vectors(
+    machine: StateTable, length: int, seed: int = 0
+) -> List[Tuple[int, ...]]:
+    """A seeded input stream exercising the machine."""
+    rnd = random.Random(seed)
+    return [
+        tuple(rnd.randint(0, 1) for _ in range(machine.n_inputs))
+        for _ in range(length)
+    ]

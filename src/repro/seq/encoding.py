@@ -1,0 +1,78 @@
+"""State assignment: mapping symbolic states to flip-flop code words."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Mapping, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class StateEncoding:
+    """A binary state assignment.
+
+    ``codes[state]`` is a little-endian bit tuple (bit *i* drives state
+    variable ``y_i``).  Unused code words become synthesis don't-cares.
+    """
+
+    codes: Mapping[str, Tuple[int, ...]]
+    width: int
+
+    def code(self, state: str) -> Tuple[int, ...]:
+        return self.codes[state]
+
+    def decode(self, bits: Sequence[int]) -> str:
+        key = tuple(int(b) & 1 for b in bits)
+        for state, code in self.codes.items():
+            if code == key:
+                return state
+        raise KeyError(f"no state with code {key}")
+
+    def used_points(self) -> Tuple[int, ...]:
+        return tuple(
+            sum(bit << i for i, bit in enumerate(code))
+            for code in self.codes.values()
+        )
+
+    def unused_points(self) -> Tuple[int, ...]:
+        used = set(self.used_points())
+        return tuple(p for p in range(1 << self.width) if p not in used)
+
+
+def minimum_width(n_states: int) -> int:
+    return max(1, math.ceil(math.log2(max(n_states, 1))))
+
+
+def binary_encoding(states: Sequence[str], width: int = None) -> StateEncoding:
+    """Index-order binary assignment (the textbook default)."""
+    w = width if width is not None else minimum_width(len(states))
+    if (1 << w) < len(states):
+        raise ValueError("width too small for the state count")
+    codes = {
+        state: tuple((index >> b) & 1 for b in range(w))
+        for index, state in enumerate(states)
+    }
+    return StateEncoding(codes, w)
+
+
+def gray_encoding(states: Sequence[str], width: int = None) -> StateEncoding:
+    """Gray-code assignment — adjacent state indices differ in one bit,
+    which tends to reduce product terms in the next-state logic."""
+    w = width if width is not None else minimum_width(len(states))
+    if (1 << w) < len(states):
+        raise ValueError("width too small for the state count")
+    codes = {}
+    for index, state in enumerate(states):
+        gray = index ^ (index >> 1)
+        codes[state] = tuple((gray >> b) & 1 for b in range(w))
+    return StateEncoding(codes, w)
+
+
+def one_hot_encoding(states: Sequence[str]) -> StateEncoding:
+    """One flip-flop per state; expensive but simple next-state logic."""
+    w = len(states)
+    codes = {
+        state: tuple(1 if i == index else 0 for i in range(w))
+        for index, state in enumerate(states)
+    }
+    return StateEncoding(codes, w)

@@ -1,0 +1,141 @@
+"""Finite-state (Mealy) machine model — the Figure 4.1a standard model.
+
+The thesis's sequential chapter starts from the textbook machine: a
+combinational block computing outputs ``Z`` and next state ``Y`` from
+inputs ``X`` and present state ``y``, with a bank of D delays in the
+feedback path.  :class:`StateTable` is the symbolic form (states by name,
+inputs as bit tuples); synthesis to gates lives in
+:mod:`repro.seq.synthesis`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+InputVector = Tuple[int, ...]
+OutputVector = Tuple[int, ...]
+
+
+class StateTableError(ValueError):
+    """Raised on inconsistent state tables."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Transition:
+    """One row cell: present state + input → next state + output."""
+
+    next_state: str
+    output: OutputVector
+
+
+class StateTable:
+    """A completely specified Mealy machine.
+
+    ``table[state][input_vector] = (next_state, output_vector)``.  The
+    machine must be complete: every state defines every input vector of
+    the declared input width.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[str],
+        n_inputs: int,
+        n_outputs: int,
+        table: Mapping[str, Mapping[InputVector, Tuple[str, OutputVector]]],
+        initial_state: str,
+        name: str = "machine",
+    ) -> None:
+        self.name = name
+        self.states: Tuple[str, ...] = tuple(states)
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.initial_state = initial_state
+        if initial_state not in self.states:
+            raise StateTableError("initial state not in state list")
+        if len(set(self.states)) != len(self.states):
+            raise StateTableError("duplicate state names")
+        self._table: Dict[str, Dict[InputVector, Transition]] = {}
+        expected_inputs = set(self.input_vectors())
+        for state in self.states:
+            if state not in table:
+                raise StateTableError(f"state {state!r} missing from table")
+            row: Dict[InputVector, Transition] = {}
+            for vector, (nxt, output) in table[state].items():
+                vec = tuple(int(v) & 1 for v in vector)
+                if len(vec) != n_inputs:
+                    raise StateTableError(
+                        f"input vector {vector} has wrong width for {state!r}"
+                    )
+                if nxt not in self.states:
+                    raise StateTableError(f"unknown next state {nxt!r}")
+                out = tuple(int(v) & 1 for v in output)
+                if len(out) != n_outputs:
+                    raise StateTableError(
+                        f"output vector {output} has wrong width for {state!r}"
+                    )
+                row[vec] = Transition(nxt, out)
+            if set(row) != expected_inputs:
+                raise StateTableError(f"state {state!r} is not completely specified")
+            self._table[state] = row
+
+    def input_vectors(self) -> List[InputVector]:
+        """All input vectors, little-endian bit order (bit i = input i)."""
+        return [
+            tuple((i >> b) & 1 for b in range(self.n_inputs))
+            for i in range(1 << self.n_inputs)
+        ]
+
+    def transition(self, state: str, vector: InputVector) -> Transition:
+        return self._table[state][tuple(vector)]
+
+    def step(self, state: str, vector: InputVector) -> Tuple[str, OutputVector]:
+        t = self.transition(state, vector)
+        return t.next_state, t.output
+
+    def run(
+        self, inputs: Iterable[InputVector], state: str = None
+    ) -> List[OutputVector]:
+        """Reference simulation from ``state`` (default: initial state)."""
+        current = state if state is not None else self.initial_state
+        outputs: List[OutputVector] = []
+        for vector in inputs:
+            current, out = self.step(current, vector)
+            outputs.append(out)
+        return outputs
+
+    def reachable_states(self, start: str = None) -> Tuple[str, ...]:
+        start = start if start is not None else self.initial_state
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            state = frontier.pop()
+            for vector in self.input_vectors():
+                nxt = self.transition(state, vector).next_state
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return tuple(s for s in self.states if s in seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StateTable({self.name!r}, {len(self.states)} states, "
+            f"{self.n_inputs} in, {self.n_outputs} out)"
+        )
+
+
+def single_input_table(
+    name: str,
+    rows: Mapping[str, Mapping[int, Tuple[str, int]]],
+    initial_state: str,
+) -> StateTable:
+    """Convenience constructor for 1-input/1-output machines like the
+    0101 sequence detector: ``rows[state][x] = (next_state, z)``."""
+    states = list(rows)
+    table = {
+        state: {
+            (x,): (nxt, (z,)) for x, (nxt, z) in row.items()
+        }
+        for state, row in rows.items()
+    }
+    return StateTable(states, 1, 1, table, initial_state, name=name)

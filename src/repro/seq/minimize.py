@@ -1,0 +1,78 @@
+"""State minimization for completely specified Mealy machines.
+
+The Kohavi-style synthesis flow the thesis assumes (Chapter 4) starts
+from a *reduced* state table; this is the classical partition-refinement
+minimizer: states are first grouped by their output rows, then blocks
+are split until every pair of same-block states sends each input to the
+same block.  The reduced machine is equivalent by construction and the
+tests verify it on random streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .machine import StateTable
+
+
+def equivalence_classes(machine: StateTable) -> List[Tuple[str, ...]]:
+    """Blocks of pairwise-equivalent states (Moore/Hopcroft refinement)."""
+    vectors = machine.input_vectors()
+    # Initial partition: identical output rows.
+    block_of: Dict[str, int] = {}
+    signature: Dict[Tuple, int] = {}
+    for state in machine.states:
+        sig = tuple(machine.transition(state, v).output for v in vectors)
+        block_of[state] = signature.setdefault(sig, len(signature))
+
+    while True:
+        refined_signature: Dict[Tuple, int] = {}
+        refined: Dict[str, int] = {}
+        for state in machine.states:
+            sig = (
+                block_of[state],
+                tuple(
+                    block_of[machine.transition(state, v).next_state]
+                    for v in vectors
+                ),
+            )
+            refined[state] = refined_signature.setdefault(sig, len(refined_signature))
+        if len(refined_signature) == len(signature):
+            block_of = refined
+            break
+        block_of = refined
+        signature = refined_signature
+
+    blocks: Dict[int, List[str]] = {}
+    for state in machine.states:
+        blocks.setdefault(block_of[state], []).append(state)
+    return [tuple(members) for _idx, members in sorted(blocks.items())]
+
+
+def minimize_machine(machine: StateTable) -> StateTable:
+    """The reduced machine (one representative state per block)."""
+    blocks = equivalence_classes(machine)
+    representative: Dict[str, str] = {}
+    for block in blocks:
+        for state in block:
+            representative[state] = block[0]
+    new_states = [block[0] for block in blocks]
+    table: Dict[str, Dict[Tuple[int, ...], Tuple[str, Tuple[int, ...]]]] = {}
+    for state in new_states:
+        row = {}
+        for vector in machine.input_vectors():
+            t = machine.transition(state, vector)
+            row[vector] = (representative[t.next_state], t.output)
+        table[state] = row
+    return StateTable(
+        new_states,
+        machine.n_inputs,
+        machine.n_outputs,
+        table,
+        representative[machine.initial_state],
+        name=f"{machine.name}_min",
+    )
+
+
+def is_minimal(machine: StateTable) -> bool:
+    return len(equivalence_classes(machine)) == len(machine.states)

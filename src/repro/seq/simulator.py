@@ -1,0 +1,152 @@
+"""Clocked simulation of gate-level sequential circuits.
+
+A :class:`SequentialCircuit` is the Figure 4.1a model made executable: a
+combinational :class:`~repro.logic.network.Network` whose inputs include
+the present-state lines, plus a feedback map *next-state output line →
+present-state input line* realized with D delay chains.  ``depth=1``
+gives the standard machine; ``depth=2`` gives the dual flip-flop
+alternating machine of Figure 4.2a.
+
+Faults can be injected persistently into the combinational network (any
+stem/pin stuck-at) or onto a flip-flop output — the fault lives for the
+whole simulated run, matching the permanent single-fault model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..logic.evaluate import evaluate_with_fault
+from ..logic.faults import Fault, MultipleFault
+from ..logic.network import Network
+from .dff import DelayChain
+
+FaultLike = Union[Fault, MultipleFault]
+
+
+@dataclasses.dataclass(frozen=True)
+class FlipFlopFault:
+    """The output of the ``index``-th stage of one feedback chain stuck."""
+
+    state_line: str
+    stage: int
+    value: int
+
+    def describe(self) -> str:
+        return f"ff[{self.state_line}#{self.stage}] s/{self.value}"
+
+
+class SequentialCircuit:
+    """A combinational network closed through D flip-flop chains."""
+
+    def __init__(
+        self,
+        network: Network,
+        feedback: Mapping[str, str],
+        depth: int = 1,
+        initial_state: Optional[Mapping[str, int]] = None,
+        name: str = "sequential",
+    ) -> None:
+        """``feedback`` maps next-state *output* line → present-state
+        *input* line.  Present-state lines must be primary inputs of the
+        network; next-state lines must be among its outputs."""
+        self.name = name
+        self.network = network
+        self.depth = depth
+        self.feedback: Dict[str, str] = dict(feedback)
+        for next_line, present_line in self.feedback.items():
+            if next_line not in network.outputs:
+                raise ValueError(f"{next_line!r} is not a network output")
+            if present_line not in network.inputs:
+                raise ValueError(f"{present_line!r} is not a network input")
+        self.external_inputs: Tuple[str, ...] = tuple(
+            i for i in network.inputs if i not in self.feedback.values()
+        )
+        self.external_outputs: Tuple[str, ...] = tuple(
+            o for o in network.outputs if o not in self.feedback
+        )
+        init = dict(initial_state or {})
+        self.chains: Dict[str, DelayChain] = {
+            present: DelayChain(depth, init.get(present, 0))
+            for present in self.feedback.values()
+        }
+        self._initial = {p: init.get(p, 0) for p in self.feedback.values()}
+
+    def reset(self, state: Optional[Mapping[str, int]] = None) -> None:
+        values = dict(self._initial)
+        if state:
+            values.update(state)
+        for present, chain in self.chains.items():
+            chain.reset(values.get(present, 0))
+
+    @property
+    def present_state(self) -> Dict[str, int]:
+        return {line: chain.output for line, chain in self.chains.items()}
+
+    def step(
+        self,
+        inputs: Mapping[str, int],
+        fault: Optional[FaultLike] = None,
+        ff_fault: Optional[FlipFlopFault] = None,
+    ) -> Dict[str, int]:
+        """One clock period: evaluate, then latch on the rising edge.
+
+        Returns the values of all network lines for this period (external
+        outputs included), as seen *before* the edge.
+        """
+        assignment = dict(inputs)
+        for present, chain in self.chains.items():
+            assignment[present] = chain.output
+        if ff_fault is not None and ff_fault.stage == self.depth - 1:
+            # A stuck final-stage output corrupts the present state seen
+            # by the combinational logic.
+            assignment[ff_fault.state_line] = ff_fault.value
+        values = evaluate_with_fault(self.network, assignment, fault)
+        for next_line, present in self.feedback.items():
+            chain = self.chains[present]
+            d = values[next_line]
+            if (
+                ff_fault is not None
+                and ff_fault.state_line == present
+                and ff_fault.stage < self.depth - 1
+            ):
+                # Intermediate-stage stuck: corrupt the shifted value.
+                chain.clock_edge(d, 1)
+                chain.stages[ff_fault.stage].q = ff_fault.value
+            else:
+                chain.clock_edge(d, 1)
+            chain.clock_edge(d, 0)  # falling edge re-arms the chain
+        return values
+
+    def run(
+        self,
+        input_stream: Iterable[Mapping[str, int]],
+        fault: Optional[FaultLike] = None,
+        ff_fault: Optional[FlipFlopFault] = None,
+        reset: bool = True,
+    ) -> List[Dict[str, int]]:
+        """Simulate a whole input stream; returns per-period line values."""
+        if reset:
+            self.reset()
+        trace = []
+        for inputs in input_stream:
+            trace.append(self.step(inputs, fault=fault, ff_fault=ff_fault))
+        return trace
+
+    def output_trace(
+        self,
+        input_stream: Iterable[Mapping[str, int]],
+        fault: Optional[FaultLike] = None,
+        ff_fault: Optional[FlipFlopFault] = None,
+        reset: bool = True,
+    ) -> List[Tuple[int, ...]]:
+        """External-output tuples per period."""
+        trace = self.run(input_stream, fault=fault, ff_fault=ff_fault, reset=reset)
+        return [tuple(v[o] for o in self.external_outputs) for v in trace]
+
+    def flip_flop_count(self) -> int:
+        return self.depth * len(self.chains)
+
+    def gate_count(self) -> int:
+        return self.network.gate_count(include_buffers=False)

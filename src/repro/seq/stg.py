@@ -1,0 +1,171 @@
+"""State-transition-graph utilities for Mealy machines.
+
+Supporting tools around :class:`StateTable`:
+
+* DOT export for drawing the machine (pairs with the netlist renderer);
+* reachability pruning — unreachable states waste flip-flops and create
+  don't-care codes the synthesis could otherwise exploit;
+* **homing sequences** — an input sequence whose output response
+  identifies the final state.  The thesis's fault model "assume[s] that
+  the network is free of faults when it is initially used"; after a
+  transient upset, applying a homing sequence re-establishes a known
+  state so alternating operation can resume (the recovery step the
+  Figure 5.7 latched-status design implies);
+* **distinguishing pairs** — the refinement witnesses behind state
+  minimization, exposed for diagnosis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .machine import InputVector, StateTable
+
+
+def render_stg_dot(machine: StateTable, title: Optional[str] = None) -> str:
+    """Graphviz DOT source of the state-transition graph."""
+    lines = ["digraph stg {", "  rankdir=LR;"]
+    lines.append(f'  label="{title or machine.name}";')
+    lines.append(
+        f'  "__start" [shape=point]; "__start" -> "{machine.initial_state}";'
+    )
+    for state in machine.states:
+        lines.append(f'  "{state}" [shape=circle];')
+    for state in machine.states:
+        for vector in machine.input_vectors():
+            t = machine.transition(state, vector)
+            in_label = "".join(map(str, vector))
+            out_label = "".join(map(str, t.output))
+            lines.append(
+                f'  "{state}" -> "{t.next_state}" '
+                f'[label="{in_label}/{out_label}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def prune_unreachable(machine: StateTable) -> StateTable:
+    """Drop states unreachable from the initial state."""
+    reachable = set(machine.reachable_states())
+    if reachable == set(machine.states):
+        return machine
+    states = [s for s in machine.states if s in reachable]
+    table = {
+        state: {
+            vector: (
+                machine.transition(state, vector).next_state,
+                machine.transition(state, vector).output,
+            )
+            for vector in machine.input_vectors()
+        }
+        for state in states
+    }
+    return StateTable(
+        states,
+        machine.n_inputs,
+        machine.n_outputs,
+        table,
+        machine.initial_state,
+        name=f"{machine.name}_pruned",
+    )
+
+
+def distinguishing_sequence(
+    machine: StateTable, a: str, b: str, max_length: int = 8
+) -> Optional[List[InputVector]]:
+    """A shortest input sequence whose outputs differ from states a, b
+    (None when the states are equivalent within the length bound)."""
+    if a == b:
+        return None
+    frontier: List[Tuple[str, str, List[InputVector]]] = [(a, b, [])]
+    seen: Set[Tuple[str, str]] = {(a, b)}
+    while frontier:
+        next_frontier = []
+        for sa, sb, prefix in frontier:
+            if len(prefix) >= max_length:
+                continue
+            for vector in machine.input_vectors():
+                ta = machine.transition(sa, vector)
+                tb = machine.transition(sb, vector)
+                path = prefix + [vector]
+                if ta.output != tb.output:
+                    return path
+                key = (ta.next_state, tb.next_state)
+                if key not in seen and ta.next_state != tb.next_state:
+                    seen.add(key)
+                    next_frontier.append((ta.next_state, tb.next_state, path))
+        frontier = next_frontier
+    return None
+
+
+def homing_sequence(
+    machine: StateTable, max_length: int = 12
+) -> Optional[List[InputVector]]:
+    """An input sequence after which the observed outputs determine the
+    final state (every minimal machine has one).
+
+    Search over *current-state uncertainty* partitions: start with all
+    states in one block; an input splits blocks by output and maps them
+    to successor sets; done when every block is a singleton.
+    """
+    initial: FrozenSet[FrozenSet[str]] = frozenset(
+        {frozenset(machine.states)}
+    )
+
+    def apply(partition, vector):
+        new_blocks: Set[FrozenSet[str]] = set()
+        for block in partition:
+            groups: Dict[Tuple, Set[str]] = {}
+            for state in block:
+                t = machine.transition(state, vector)
+                groups.setdefault(t.output, set()).add(t.next_state)
+            for successors in groups.values():
+                new_blocks.add(frozenset(successors))
+        return frozenset(new_blocks)
+
+    def solved(partition):
+        return all(len(block) == 1 for block in partition)
+
+    frontier: List[Tuple[FrozenSet[FrozenSet[str]], List[InputVector]]] = [
+        (initial, [])
+    ]
+    seen = {initial}
+    while frontier:
+        next_frontier = []
+        for partition, prefix in frontier:
+            if solved(partition):
+                return prefix
+            if len(prefix) >= max_length:
+                continue
+            for vector in machine.input_vectors():
+                nxt = apply(partition, vector)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    next_frontier.append((nxt, prefix + [vector]))
+        frontier = next_frontier
+    return None
+
+
+def final_state_after_homing(
+    machine: StateTable,
+    start_state: str,
+    sequence: Sequence[InputVector],
+) -> Tuple[str, Tuple[Tuple[int, ...], ...]]:
+    """Run a homing sequence from an (unknown to the observer) start
+    state; return the final state and the observed output response."""
+    current = start_state
+    outputs = []
+    for vector in sequence:
+        current, out = machine.step(current, vector)
+        outputs.append(out)
+    return current, tuple(outputs)
+
+
+def homing_identifies_state(machine: StateTable, sequence: Sequence[InputVector]) -> bool:
+    """Verify the homing property: equal responses imply equal final
+    states, over every possible start state."""
+    by_response: Dict[Tuple, Set[str]] = {}
+    for start in machine.states:
+        final, response = final_state_after_homing(machine, start, sequence)
+        by_response.setdefault(response, set()).add(final)
+    return all(len(finals) == 1 for finals in by_response.values())

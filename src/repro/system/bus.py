@@ -1,0 +1,127 @@
+"""The encoded bus and code-reply peripherals (Figures 7.1 / 7.3).
+
+The computer-system model moves parity-coded words over a shared bus;
+peripherals answer through *code reply* signals — "the reply signals
+would provide assurance that the correct data transfer had been made".
+This module models the transfer path with single-fault injection (one
+stuck bus line) and the reply handshake: a transfer is acknowledged only
+when the receiver's code check passes, so a corrupted word yields a
+missing/negative reply instead of silent acceptance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .memory import parity
+
+
+@dataclasses.dataclass(frozen=True)
+class BusFault:
+    """One bus line stuck (data lines 0..w-1, line w = the parity line)."""
+
+    line: int
+    value: int
+
+    def describe(self) -> str:
+        return f"bus.line{self.line} s/{self.value}"
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one bus transfer."""
+
+    data: Tuple[int, ...]
+    code_ok: bool
+    reply: Tuple[int, int]  # 1-out-of-2 code reply
+
+    @property
+    def acknowledged(self) -> bool:
+        return self.reply[0] != self.reply[1] and self.reply == (1, 0)
+
+
+class EncodedBus:
+    """A parity-coded bus of ``width`` data lines + one parity line."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.fault: Optional[BusFault] = None
+
+    def inject(self, fault: Optional[BusFault]) -> None:
+        if fault is not None and not 0 <= fault.line <= self.width:
+            raise ValueError("bus line out of range")
+        self.fault = fault
+
+    def transfer(self, data: Sequence[int]) -> Tuple[List[int], int]:
+        """Drive a word (sender computes parity); return what arrives."""
+        if len(data) != self.width:
+            raise ValueError("word width mismatch")
+        word = [int(b) & 1 for b in data] + [parity(data)]
+        if self.fault is not None:
+            word[self.fault.line] = self.fault.value
+        return word[: self.width], word[self.width]
+
+
+class Peripheral:
+    """A receiver with the Figure 7.1 code-reply behaviour."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.received: List[Tuple[int, ...]] = []
+
+    def accept(self, data: Sequence[int], parity_bit: int) -> TransferResult:
+        ok = parity(list(data) + [int(parity_bit) & 1]) == 0
+        if ok:
+            self.received.append(tuple(int(b) & 1 for b in data))
+            reply = (1, 0)  # positive code reply
+        else:
+            reply = (0, 1)  # negative code reply: do not accept
+        return TransferResult(tuple(int(b) & 1 for b in data), ok, reply)
+
+
+class BusSystem:
+    """Sender → bus → peripheral, with the reply checked by the sender."""
+
+    def __init__(self, width: int, peripheral_name: str = "device") -> None:
+        self.bus = EncodedBus(width)
+        self.peripheral = Peripheral(peripheral_name)
+
+    def send(self, data: Sequence[int]) -> TransferResult:
+        arrived, parity_bit = self.bus.transfer(data)
+        return self.peripheral.accept(arrived, parity_bit)
+
+    def fault_sweep(self, words: Sequence[Sequence[int]]) -> Dict[str, int]:
+        """Inject every single bus-line fault; count outcomes.
+
+        A fault is *dangerous* if some transfer delivers wrong data with
+        a positive reply; the parity line makes that impossible for
+        single stuck lines (a flipped data line breaks parity; a flipped
+        parity line breaks it too).
+        """
+        detected = silent = dangerous = 0
+        for line in range(self.bus.width + 1):
+            for value in (0, 1):
+                self.bus.inject(BusFault(line, value))
+                fault_detected = fault_wrong = False
+                for word in words:
+                    result = self.send(word)
+                    wrong = result.data != tuple(
+                        int(b) & 1 for b in word
+                    )
+                    if not result.acknowledged:
+                        fault_detected = True
+                    elif wrong:
+                        fault_wrong = True
+                if fault_wrong:
+                    dangerous += 1
+                elif fault_detected:
+                    detected += 1
+                else:
+                    silent += 1
+        self.bus.inject(None)
+        return {
+            "detected": detected,
+            "silent": silent,
+            "dangerous": dangerous,
+        }

@@ -1,0 +1,138 @@
+"""Parity-encoded memory with address-parity folding (Sections 4.3, 7.2).
+
+The code-conversion technique stores an *n*-bit word plus one parity bit:
+"only n+1 bits are required to provide the necessary code distance for
+single fault detection".  For random-access memory the thesis adopts
+Dussault's scheme: "the address selection of memory must be self-checking
+... by including the parity of the address with the parity of the data
+stored" — a stuck address line then makes the write-side and read-side
+folded parities disagree, and the 1-out-of-2 code at the PALT breaks.
+
+Fault injection covers the memory's single-fault modes: one stuck data
+cell bit, one stuck data line (affects every access), and one stuck
+address line (the misaddressing fault the folding is there to catch).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def parity(bits: Sequence[int]) -> int:
+    """Even-parity sum (XOR) of a bit sequence."""
+    acc = 0
+    for b in bits:
+        acc ^= int(b) & 1
+    return acc
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryFault:
+    """One single fault inside the memory subsystem.
+
+    ``kind`` is one of ``"cell"`` (one stored bit of one word stuck),
+    ``"data_line"`` (one bit position stuck on every read),
+    ``"address_line"`` (one address bit stuck for every access).
+    """
+
+    kind: str
+    index: int
+    value: int
+    address: Optional[int] = None  # for "cell": which word
+
+    def describe(self) -> str:
+        if self.kind == "cell":
+            return f"mem.cell[{self.address}].bit{self.index} s/{self.value}"
+        return f"mem.{self.kind}{self.index} s/{self.value}"
+
+
+class ParityMemory:
+    """Word-addressable storage of (data, parity) code words."""
+
+    def __init__(
+        self,
+        word_bits: int,
+        address_bits: int = 4,
+        fold_address_parity: bool = True,
+    ) -> None:
+        self.word_bits = word_bits
+        self.address_bits = address_bits
+        self.fold_address_parity = fold_address_parity
+        self._cells: Dict[int, List[int]] = {}
+        self.fault: Optional[MemoryFault] = None
+
+    # ------------------------------------------------------------------
+    def _effective_address(self, address: int) -> int:
+        if self.fault is not None and self.fault.kind == "address_line":
+            bit = 1 << self.fault.index
+            address = (address & ~bit) | (self.fault.value << self.fault.index)
+        return address & ((1 << self.address_bits) - 1)
+
+    def _address_parity(self, address: int) -> int:
+        if not self.fold_address_parity:
+            return 0
+        return parity(
+            [(address >> i) & 1 for i in range(self.address_bits)]
+        )
+
+    def store(self, address: int, data: Sequence[int], data_parity: int) -> None:
+        """Store a word with its parity bit, folding the parity of the
+        address *as presented by the requester* (a stuck address line
+        inside the memory then routes the word, with the requester's
+        address parity, to the wrong cell)."""
+        stored_parity = (int(data_parity) & 1) ^ self._address_parity(address)
+        cell = [int(b) & 1 for b in data] + [stored_parity]
+        self._cells[self._effective_address(address)] = cell
+
+    def load(self, address: int) -> Tuple[List[int], int]:
+        """Read ``(data bits, parity bit)`` with the address parity
+        unfolded against the address the requester presents.
+
+        Unwritten cells read as zero words initialized *pre-fault* with
+        correct addressing: their stored parity carries the fold of the
+        physical cell index, so a healthy read of a fresh cell is a
+        valid code word while a misaddressed read still trips the check.
+        """
+        effective = self._effective_address(address)
+        default = [0] * self.word_bits + [self._address_parity(effective)]
+        cell = list(self._cells.get(effective, default))
+        if self.fault is not None:
+            if (
+                self.fault.kind == "cell"
+                and self._effective_address(self.fault.address or 0)
+                == self._effective_address(address)
+            ):
+                cell[self.fault.index] = self.fault.value
+            elif self.fault.kind == "data_line":
+                cell[self.fault.index] = self.fault.value
+        data = cell[: self.word_bits]
+        stored_parity = cell[self.word_bits]
+        return data, stored_parity ^ self._address_parity(address)
+
+    def check_word(self, data: Sequence[int], parity_bit: int) -> bool:
+        """Even-parity validity of a (data, parity) code word."""
+        return parity(list(data) + [int(parity_bit) & 1]) == 0
+
+    def inject(self, fault: Optional[MemoryFault]) -> None:
+        self.fault = fault
+
+    def clear(self) -> None:
+        self._cells.clear()
+        self.fault = None
+
+
+def single_memory_faults(
+    word_bits: int, address_bits: int, addresses: Sequence[int] = (0,)
+) -> List[MemoryFault]:
+    """The single-fault universe of one memory instance."""
+    faults: List[MemoryFault] = []
+    for index in range(word_bits + 1):
+        for value in (0, 1):
+            faults.append(MemoryFault("data_line", index, value))
+            for addr in addresses:
+                faults.append(MemoryFault("cell", index, value, address=addr))
+    for index in range(address_bits):
+        for value in (0, 1):
+            faults.append(MemoryFault("address_line", index, value))
+    return faults

@@ -1,0 +1,123 @@
+"""Reliability economics — the Figure 7.2 trade-off (Section 7.2).
+
+The thesis's argument for single-fault protection is economic: assume
+functions exist giving (1) fault-protection degrees, (2) the owner's
+benefit from each degree, (3) the minimum design cost achieving it, and
+(4) utility = benefit − cost.  "For the types of costs and values shown
+in Figure 7.2, the peak utility is reached when single fault protection
+is used."  The bench regenerates the figure's bars from this parametric
+model: benefit saturates (most field failures are single faults — the
+Section 1.2 failure-model discussion), while cost keeps climbing through
+unidirectional- and multiple-fault coverage.
+
+Also here: the hardcore replication reliability of Figure 5.5b and a
+simple exponential-lifetime system model used by the coverage bench.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Protection degrees in increasing coverage order.
+PROTECTION_DEGREES: Tuple[str, ...] = (
+    "none",
+    "single fault",
+    "unidirectional faults",
+    "multiple faults",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class TradeoffPoint:
+    """One bar group of Figure 7.2."""
+
+    degree: str
+    benefit: float
+    cost: float
+
+    @property
+    def utility(self) -> float:
+        return self.benefit - self.cost
+
+
+def default_parameters() -> Dict[str, Sequence[float]]:
+    """Calibrated to the thesis's qualitative shape.
+
+    Benefits reflect the single-fault model's empirical dominance
+    (Section 1.2: a high percentage of physical failures manifest as
+    single-line faults): covering single faults buys most of the
+    available reliability benefit; the remaining fault classes add
+    little.  Costs follow the design space: alternating logic ≈ 1.8–2×
+    for single faults, inverter-free/space-coded designs for
+    unidirectional coverage, and massive replication for multiple
+    faults.  Units are arbitrary (the figure's y-axis is unlabelled).
+    """
+    return {
+        "benefit": (0.0, 7.0, 7.8, 8.0),
+        "cost": (0.0, 2.0, 4.5, 9.0),
+    }
+
+
+def tradeoff_curve(
+    benefit: Sequence[float] = None, cost: Sequence[float] = None
+) -> List[TradeoffPoint]:
+    """The Figure 7.2 bars; peak utility lands at 'single fault' for the
+    default parameters (asserted by the tests)."""
+    params = default_parameters()
+    benefit = list(benefit) if benefit is not None else list(params["benefit"])
+    cost = list(cost) if cost is not None else list(params["cost"])
+    if len(benefit) != len(PROTECTION_DEGREES) or len(cost) != len(
+        PROTECTION_DEGREES
+    ):
+        raise ValueError("need one benefit and cost per protection degree")
+    return [
+        TradeoffPoint(degree, b, c)
+        for degree, b, c in zip(PROTECTION_DEGREES, benefit, cost)
+    ]
+
+
+def peak_utility_degree(points: Sequence[TradeoffPoint]) -> str:
+    return max(points, key=lambda p: p.utility).degree
+
+
+def render_tradeoff(points: Sequence[TradeoffPoint], scale: int = 4) -> str:
+    """ASCII rendering of the Figure 7.2 bar groups."""
+    lines = []
+    for p in points:
+        lines.append(f"{p.degree}:")
+        for label, value in (
+            ("benefit", p.benefit),
+            ("cost", p.cost),
+            ("utility", p.utility),
+        ):
+            bar = "#" * max(int(round(value * scale)), 0)
+            lines.append(f"  {label:8s} {value:6.2f} {bar}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# system-level reliability helpers
+# ----------------------------------------------------------------------
+
+
+def mission_reliability(
+    failure_rate: float, mission_time: float, coverage: float
+) -> float:
+    """Probability a self-checking system completes a mission without an
+    *undetected* wrong result: failures arrive Poisson(λt); each is
+    caught with probability ``coverage`` (a caught failure stops the
+    system safely — counted as mission-safe here)."""
+    if failure_rate < 0 or mission_time < 0:
+        raise ValueError("rates and times must be non-negative")
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError("coverage must be a probability")
+    undetected_rate = failure_rate * (1.0 - coverage)
+    return math.exp(-undetected_rate * mission_time)
+
+
+def hardcore_chain_reliability(p_module_fail: float, n: int) -> float:
+    """Figure 5.5b replication: the hardcore misses a system fault only
+    if all n modules have failed — probability ``1 − p^n`` of working."""
+    return 1.0 - p_module_fail ** n

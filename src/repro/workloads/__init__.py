@@ -1,0 +1,73 @@
+"""Workloads: the thesis's worked examples and random populations."""
+
+from .benchcircuits import (
+    fig32_xor_path_network,
+    fig62_nand_network,
+    minority3_table,
+    section32_example,
+)
+from .detectors import (
+    THESIS_COSTS,
+    kohavi_0101,
+    kohavi_circuit,
+    pattern_positions,
+    reference_outputs,
+    reynolds_0101,
+    translator_0101,
+)
+from .fig34 import (
+    FIG36_PAIR_LABELS,
+    THESIS_LINE_MAP,
+    expected_output_functions,
+    fig34_network,
+    fig37_fixed_network,
+)
+from .machines import (
+    debouncer,
+    machine_suite,
+    modulo_counter,
+    parity_checker,
+    serial_adder,
+    traffic_light,
+)
+from .randomlogic import (
+    random_alternating_network,
+    random_input_vectors,
+    random_machine,
+    random_mixed_network,
+    random_nand_network,
+    random_self_dual_table,
+    random_truth_table,
+)
+
+__all__ = [
+    "FIG36_PAIR_LABELS",
+    "THESIS_COSTS",
+    "THESIS_LINE_MAP",
+    "expected_output_functions",
+    "fig32_xor_path_network",
+    "fig34_network",
+    "fig37_fixed_network",
+    "fig62_nand_network",
+    "kohavi_0101",
+    "kohavi_circuit",
+    "machine_suite",
+    "modulo_counter",
+    "parity_checker",
+    "debouncer",
+    "minority3_table",
+    "serial_adder",
+    "traffic_light",
+    "pattern_positions",
+    "random_alternating_network",
+    "random_input_vectors",
+    "random_machine",
+    "random_mixed_network",
+    "random_nand_network",
+    "random_self_dual_table",
+    "random_truth_table",
+    "reference_outputs",
+    "reynolds_0101",
+    "section32_example",
+    "translator_0101",
+]

@@ -1,0 +1,89 @@
+"""Small named circuits quoted from the thesis's figures.
+
+Kept separate from :mod:`repro.workloads.fig34` (the Section 3.6 worked
+example) — these are the one-off illustrations:
+
+* Figure 3.2 — the XOR-on-the-path example showing why non-unate gates
+  void Theorem 3.7 (incorrect alternation through an XOR);
+* the Section 3.2 Karnaugh-map example (a 4-variable function with an
+  internal line g) used for the Theorem 3.2 test-generation walkthrough;
+* Figure 6.2a — the contrived four-NAND network that is really a
+  3-input minority function.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..logic.gates import GateKind
+from ..logic.network import Network, NetworkBuilder
+from ..logic.truthtable import TruthTable
+
+
+def fig32_xor_path_network() -> Network:
+    """Figure 3.2's shape: a line g whose path to the output passes
+    through an XOR gate, so a stuck g can flip the output in *both*
+    periods — the incorrect alternation Theorem 3.7 excludes for unate
+    paths.
+
+    Built self-dual so it is a legitimate alternating network:
+    ``F = (a·b) ⊕ (a∨b) ⊕ c = a ⊕ b ⊕ c``.  The line ``g = a·b`` does
+    *not* alternate (``ā·b̄ ≠ ¬(a·b)``), so ``g`` stuck-at 1 flips the
+    output in both periods whenever exactly one of a, b is 1 — the
+    figure's undetected incorrect alternation.
+    """
+    builder = NetworkBuilder(["a", "b", "c"], name="fig3.2")
+    g = builder.add("g", GateKind.AND, ["a", "b"])
+    h = builder.add("h", GateKind.OR, ["a", "b"])
+    builder.add("F", GateKind.XOR, [g, h, "c"])
+    return builder.build(["F"])
+
+
+def section32_example() -> Tuple[Network, str]:
+    """The Section 3.2 four-variable test-generation example.
+
+    The thesis's exact Karnaugh maps are OCR-damaged; this reconstruction
+    keeps the *setup*: a self-dual four-variable function computed
+    through an internal line ``g = x1·x2`` whose Theorem 3.2 analysis is
+    non-trivial — both stuck directions are testable with specific
+    alternating pairs and no direction is an incorrect alternation.
+
+    The function is the Yamamoto form with x4 as the dualizing variable:
+    ``F = x̄4·G ∨ x4·G^d`` with ``G = x1x2 ∨ x̄1x̄2x3`` (chosen so that
+    neither gating direction of x̄4 is redundant), which is self-dual by
+    construction.  Returns (network, g_line_name).
+    """
+    builder = NetworkBuilder(["x1", "x2", "x3", "x4"], name="sec3.2")
+    n1 = builder.add("x1_n", GateKind.NOT, ["x1"])
+    n2 = builder.add("x2_n", GateKind.NOT, ["x2"])
+    n4 = builder.add("x4_n", GateKind.NOT, ["x4"])
+    g = builder.add("g", GateKind.AND, ["x1", "x2"])
+    s = builder.add("s", GateKind.AND, [n1, n2, "x3"])
+    p1 = builder.add("p1", GateKind.AND, [g, n4])
+    p2 = builder.add("p2", GateKind.AND, [s, n4])
+    # G^d = (x1 ∨ x2)(x̄1 ∨ x̄2 ∨ x3), minimal cover x1x̄2 ∨ x̄1x2 ∨ x1x3.
+    t1 = builder.add("t1", GateKind.AND, ["x1", n2, "x4"])
+    t2 = builder.add("t2", GateKind.AND, [n1, "x2", "x4"])
+    t3 = builder.add("t3", GateKind.AND, ["x1", "x3", "x4"])
+    builder.add("F", GateKind.OR, [p1, p2, t1, t2, t3])
+    return builder.build(["F"]), "g"
+
+
+def fig62_nand_network() -> Network:
+    """Figure 6.2a: the four-NAND realization of the 3-input minority
+    function (NANDs of pairs, ANDed): really one minority module."""
+    builder = NetworkBuilder(["A", "B", "C"], name="fig6.2a")
+    m1 = builder.add("m1", GateKind.NAND, ["A", "B"])
+    m2 = builder.add("m2", GateKind.NAND, ["A", "C"])
+    m3 = builder.add("m3", GateKind.NAND, ["B", "C"])
+    # AND of the three NANDs = "fewer than two inputs high" = minority.
+    n = builder.add("n", GateKind.NAND, [m1, m2, m3])
+    builder.add("f", GateKind.NAND, [n])
+    return builder.build(["f"])
+
+
+def minority3_table() -> TruthTable:
+    """The 3-input minority function (Figure 6.1a truth table)."""
+    return TruthTable.from_function(
+        lambda a, b, c: int(a + b + c < 1.5), 3, ("A", "B", "C")
+    )

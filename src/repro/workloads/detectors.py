@@ -1,0 +1,90 @@
+"""The 0101 sequence detector in its three thesis realizations
+(Section 4.5, Figures 4.8–4.10, Table 4.1).
+
+Kohavi's example machine — the comparison workload Reynolds and the
+thesis both reuse — detects overlapping occurrences of the serial input
+pattern 0101 (Mealy output: z = 1 on the final 1).  The three builds:
+
+* :func:`kohavi_0101` / :func:`kohavi_circuit` — the plain machine
+  (Figure 4.8; thesis cost row: 2 flip-flops, 12 gates),
+* :func:`reynolds_0101` — Reynolds' dual flip-flop SCAL version
+  (Figure 4.9; thesis: 4 flip-flops, 19 gates),
+* :func:`translator_0101` — the code-conversion version
+  (Figure 4.10; thesis: 3 flip-flops, 23 gates).
+
+Our gate counts come from our own Quine–McCluskey synthesis, so they
+differ in absolute value from the thesis's hand counts; Table 4.1's
+*shape* (translator saves flip-flops over dual-FF at comparable gate
+cost) is what the E-TAB4.1 bench checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..scal.codeconv import CodeConversionMachine, to_code_conversion
+from ..scal.dualff import DualFlipFlopMachine, to_dual_flipflop
+from ..seq.encoding import StateEncoding
+from ..seq.machine import StateTable, single_input_table
+from ..seq.synthesis import SynthesizedMachine, synthesize_machine
+
+#: Thesis Table 4.1 (flip-flops, gates) for the three realizations.
+THESIS_COSTS: Dict[str, Tuple[int, int]] = {
+    "kohavi": (2, 12),
+    "reynolds": (4, 19),
+    "translator": (3, 23),
+}
+
+
+def kohavi_0101() -> StateTable:
+    """The overlapping 0101 detector state table (four states).
+
+    S0: no useful prefix seen; S1: trailing 0; S2: trailing 01;
+    S3: trailing 010.  From S3 an input 1 completes 0101 (z = 1) and
+    leaves the machine holding the overlap-capable suffix 01 (→ S2).
+    """
+    rows = {
+        "S0": {0: ("S1", 0), 1: ("S0", 0)},
+        "S1": {0: ("S1", 0), 1: ("S2", 0)},
+        "S2": {0: ("S3", 0), 1: ("S0", 0)},
+        "S3": {0: ("S1", 0), 1: ("S2", 1)},
+    }
+    return single_input_table("seq0101", rows, "S0")
+
+
+def kohavi_circuit(
+    encoding: Optional[StateEncoding] = None,
+) -> SynthesizedMachine:
+    """The plain gate-level machine (Figure 4.8)."""
+    machine = kohavi_0101()
+    return synthesize_machine(machine, encoding)
+
+
+def reynolds_0101(
+    encoding: Optional[StateEncoding] = None,
+) -> DualFlipFlopMachine:
+    """Reynolds' SCAL 0101 detector (Figure 4.9)."""
+    return to_dual_flipflop(kohavi_0101(), encoding)
+
+
+def translator_0101(
+    encoding: Optional[StateEncoding] = None,
+) -> CodeConversionMachine:
+    """The translator implementation (Figure 4.10)."""
+    return to_code_conversion(kohavi_0101(), encoding)
+
+
+def reference_outputs(bits: List[int]) -> List[int]:
+    """Golden z stream for a serial input bit list."""
+    machine = kohavi_0101()
+    return [z for (z,) in machine.run([(b,) for b in bits])]
+
+
+def pattern_positions(bits: List[int]) -> List[int]:
+    """Indices where an (overlapping) 0101 ends — a second golden model
+    used by the tests to validate the state table itself."""
+    positions = []
+    for i in range(3, len(bits)):
+        if bits[i - 3 : i + 1] == [0, 1, 0, 1]:
+            positions.append(i)
+    return positions

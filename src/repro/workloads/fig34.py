@@ -1,0 +1,121 @@
+"""Reconstruction of the thesis's Figure 3.4 example network (Section 3.6).
+
+The figure's drawing is unrecoverable from the scanned text, but its
+behaviour is fully pinned down by the surrounding prose and by the
+Figure 3.6 normal-output rows, which give the three output functions:
+
+    F1 = Ā·B ∨ Ā·C ∨ B·C   (= MAJ(Ā, B, C))
+    F2 = A ⊕ B ⊕ C
+    F3 = MAJ(A, B, C) = A·B ∨ B·C ∨ A·C
+
+and the key line-level facts:
+
+* line 9 — a ``NAND(A, B)`` shared between the F2 and F3 subnetworks.
+  Its stuck-at-0 turns F2 into the self-dual function ``C``: an
+  *incorrect alternating* output on F2 (starred in Figure 3.6 at the two
+  pairs where A⊕B = 1), while F3 collapses to constant 1 and is
+  nonalternating on every pair — so the fault is detected and the
+  multi-output Corollary 3.2 admits the line.  Our ``nab`` line
+  reproduces the thesis's ``9 s/0`` table rows for F2 and F3 exactly.
+* line 20 — an intermediate used only inside F2's subnetwork that fans
+  out with unequal path parity; its stuck-at-0 also produces an
+  incorrect alternating F2, but with no other output to catch it the
+  network is **not self-checking**.  Our ``or_ab`` line (= A∨B feeding
+  both the (A⊕B)·C̄ product and, complemented, the Ā·B̄·C product)
+  plays that role: s-a-0 again collapses F2 to ``C``.
+* Figure 3.7's fix — feed the offending gate's inputs "into a separate
+  NAND gate so that line 20 no longer fans out", i.e. duplicate the
+  gate.  :func:`fig37_fixed_network` duplicates ``or_ab`` into two
+  single-fanout copies, after which every line passes Algorithm 3.1 and
+  the network is fully self-checking.
+
+The netlist (all NAND/NOT, as in the thesis's figure):
+
+    An = NOT A          Bn = NOT B          Cn = NOT C
+    nab  = NAND(A, B)                       -- thesis line 9
+    nbc  = NAND(B, C)       nac = NAND(A, C)
+    F3   = NAND(nab, nbc, nac)
+    n1b  = NAND(An, B)      n1c = NAND(An, C)
+    F1   = NAND(n1b, n1c, nbc)
+    or_ab  = NAND(An, Bn)   (= A ∨ B)       -- thesis line 20
+    nor_ab = NOT(or_ab)     (= Ā·B̄)
+    nab_n  = NOT(nab)       (= A·B)
+    g1 = NAND(nab, Cn, or_ab)   -- (A⊕B)·C̄ product
+    g2 = NAND(nab_n, C)         -- A·B·C product
+    g3 = NAND(nor_ab, C)        -- Ā·B̄·C product
+    F2 = NAND(g1, g2, g3)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..logic.gates import GateKind
+from ..logic.network import Network, NetworkBuilder
+
+#: Map from the thesis's line numbers to this reconstruction's line names.
+THESIS_LINE_MAP: Dict[str, str] = {
+    "9": "nab",
+    "20": "or_ab",
+}
+
+#: Input pair labels in Figure 3.6's column order (ABC notation).
+FIG36_PAIR_LABELS: Tuple[str, ...] = (
+    "(000,111)",
+    "(001,110)",
+    "(010,101)",
+    "(011,100)",
+)
+
+
+def _common_prefix(builder: NetworkBuilder) -> None:
+    builder.add("An", GateKind.NOT, ["A"])
+    builder.add("Bn", GateKind.NOT, ["B"])
+    builder.add("Cn", GateKind.NOT, ["C"])
+    builder.add("nab", GateKind.NAND, ["A", "B"])
+    builder.add("nbc", GateKind.NAND, ["B", "C"])
+    builder.add("nac", GateKind.NAND, ["A", "C"])
+    builder.add("F3", GateKind.NAND, ["nab", "nbc", "nac"])
+    builder.add("n1b", GateKind.NAND, ["An", "B"])
+    builder.add("n1c", GateKind.NAND, ["An", "C"])
+    builder.add("F1", GateKind.NAND, ["n1b", "n1c", "nbc"])
+    builder.add("nab_n", GateKind.NOT, ["nab"])
+
+
+def fig34_network() -> Network:
+    """The Figure 3.4 reconstruction — **not** self-checking (line
+    ``or_ab``, the thesis's line 20, fails for stuck-at 0)."""
+    builder = NetworkBuilder(["A", "B", "C"], name="fig3.4")
+    _common_prefix(builder)
+    builder.add("or_ab", GateKind.NAND, ["An", "Bn"])
+    builder.add("nor_ab", GateKind.NOT, ["or_ab"])
+    builder.add("g1", GateKind.NAND, ["nab", "Cn", "or_ab"])
+    builder.add("g2", GateKind.NAND, ["nab_n", "C"])
+    builder.add("g3", GateKind.NAND, ["nor_ab", "C"])
+    builder.add("F2", GateKind.NAND, ["g1", "g2", "g3"])
+    return builder.build(["F1", "F2", "F3"])
+
+
+def fig37_fixed_network() -> Network:
+    """The Figure 3.7 fix: duplicate the ``or_ab`` gate so the line no
+    longer fans out (one extra NAND, as in the thesis).  Self-checking."""
+    builder = NetworkBuilder(["A", "B", "C"], name="fig3.7")
+    _common_prefix(builder)
+    builder.add("or_ab", GateKind.NAND, ["An", "Bn"])
+    builder.add("or_ab2", GateKind.NAND, ["An", "Bn"])  # the added gate
+    builder.add("nor_ab", GateKind.NOT, ["or_ab2"])
+    builder.add("g1", GateKind.NAND, ["nab", "Cn", "or_ab"])
+    builder.add("g2", GateKind.NAND, ["nab_n", "C"])
+    builder.add("g3", GateKind.NAND, ["nor_ab", "C"])
+    builder.add("F2", GateKind.NAND, ["g1", "g2", "g3"])
+    return builder.build(["F1", "F2", "F3"])
+
+
+def expected_output_functions() -> Dict[str, str]:
+    """The three output functions as quoted from Section 3.6 (expression
+    syntax of :mod:`repro.logic.parse`)."""
+    return {
+        "F1": "A' B | A' C | B C",
+        "F2": "A ^ B ^ C",
+        "F3": "A B | B C | A C",
+    }

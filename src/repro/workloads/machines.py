@@ -1,0 +1,105 @@
+"""A library of classic small sequential machines.
+
+Realistic state tables beyond the 0101 detector, used by the sequential
+campaigns and the minimization tests:
+
+* :func:`serial_adder` — the canonical 2-input/1-output carry machine;
+* :func:`parity_checker` — 1 state bit, output = running parity;
+* :func:`modulo_counter` — counts input pulses mod k, flags wraparound;
+* :func:`debouncer` — accepts a level change only after two agreeing
+  samples (a tiny industrial controller);
+* :func:`traffic_light` — a 2-bit cyclic controller with a request
+  input (Mealy output = "walk" grant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..seq.machine import StateTable
+
+
+def serial_adder() -> StateTable:
+    """Adds two serial bit streams LSB-first; state = carry."""
+    table = {
+        "C0": {
+            (0, 0): ("C0", (0,)),
+            (1, 0): ("C0", (1,)),
+            (0, 1): ("C0", (1,)),
+            (1, 1): ("C1", (0,)),
+        },
+        "C1": {
+            (0, 0): ("C0", (1,)),
+            (1, 0): ("C1", (0,)),
+            (0, 1): ("C1", (0,)),
+            (1, 1): ("C1", (1,)),
+        },
+    }
+    return StateTable(["C0", "C1"], 2, 1, table, "C0", name="serial_adder")
+
+
+def parity_checker() -> StateTable:
+    """Output 1 when an odd number of 1s has been seen so far."""
+    table = {
+        "EVEN": {(0,): ("EVEN", (0,)), (1,): ("ODD", (1,))},
+        "ODD": {(0,): ("ODD", (1,)), (1,): ("EVEN", (0,))},
+    }
+    return StateTable(["EVEN", "ODD"], 1, 1, table, "EVEN", name="parity")
+
+
+def modulo_counter(k: int = 5) -> StateTable:
+    """Counts 1-pulses modulo ``k``; output pulses on wraparound."""
+    if k < 2:
+        raise ValueError("modulus must be at least 2")
+    states = [f"N{i}" for i in range(k)]
+    table: Dict[str, Dict[Tuple[int, ...], Tuple[str, Tuple[int, ...]]]] = {}
+    for i, state in enumerate(states):
+        nxt = states[(i + 1) % k]
+        wrap = 1 if i == k - 1 else 0
+        table[state] = {
+            (0,): (state, (0,)),
+            (1,): (nxt, (wrap,)),
+        }
+    return StateTable(states, 1, 1, table, states[0], name=f"mod{k}_counter")
+
+
+def debouncer() -> StateTable:
+    """Outputs the debounced level, holding the old level while a change
+    is being confirmed (two agreeing samples flip it)."""
+    table = {
+        "L": {(0,): ("L", (0,)), (1,): ("L1", (0,))},
+        "L1": {(0,): ("L", (0,)), (1,): ("H", (0,))},
+        "H": {(1,): ("H", (1,)), (0,): ("H0", (1,))},
+        "H0": {(1,): ("H", (1,)), (0,): ("L", (1,))},
+    }
+    return StateTable(["L", "L1", "H", "H0"], 1, 1, table, "L", name="debounce")
+
+
+def traffic_light() -> StateTable:
+    """A cyclic NS/EW controller; input = pedestrian request, output =
+    walk grant (only during the all-red state when requested)."""
+    table = {
+        "NS_GREEN": {(0,): ("NS_YELLOW", (0,)), (1,): ("NS_YELLOW", (0,))},
+        "NS_YELLOW": {(0,): ("ALL_RED", (0,)), (1,): ("ALL_RED", (0,))},
+        "ALL_RED": {(0,): ("EW_GREEN", (0,)), (1,): ("EW_GREEN", (1,))},
+        "EW_GREEN": {(0,): ("NS_GREEN", (0,)), (1,): ("NS_GREEN", (0,))},
+    }
+    return StateTable(
+        ["NS_GREEN", "NS_YELLOW", "ALL_RED", "EW_GREEN"],
+        1,
+        1,
+        table,
+        "NS_GREEN",
+        name="traffic",
+    )
+
+
+def machine_suite() -> Tuple[StateTable, ...]:
+    """The whole library, for sweeps."""
+    return (
+        serial_adder(),
+        parity_checker(),
+        modulo_counter(5),
+        debouncer(),
+        traffic_light(),
+    )

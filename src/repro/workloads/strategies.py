@@ -1,0 +1,164 @@
+"""Reusable Hypothesis strategies for SCAL property testing.
+
+The repository's property tests quantify over truth tables, self-dual
+tables, netlists, and machines; these strategies make those populations
+first-class so downstream users can property-test their own SCAL
+constructions:
+
+    from hypothesis import given
+    from repro.workloads.strategies import alternating_networks
+
+    @given(alternating_networks(max_inputs=3))
+    def test_my_invariant(net):
+        ...
+
+Everything here is deterministic under Hypothesis's seeds (no ambient
+randomness).
+"""
+
+from __future__ import annotations
+
+
+from hypothesis import strategies as st
+
+from ..logic.gates import GateKind
+from ..logic.network import Network, NetworkBuilder
+from ..logic.truthtable import TruthTable
+from ..seq.machine import StateTable, single_input_table
+
+
+def truth_tables(
+    min_inputs: int = 1, max_inputs: int = 4
+) -> st.SearchStrategy[TruthTable]:
+    """Uniformly random boolean functions."""
+    return st.integers(min_inputs, max_inputs).flatmap(
+        lambda n: st.builds(
+            TruthTable,
+            st.just(n),
+            st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+        )
+    )
+
+
+def self_dual_tables(
+    min_inputs: int = 1, max_inputs: int = 4
+) -> st.SearchStrategy[TruthTable]:
+    """Uniformly random *self-dual* functions: the low half of the table
+    is free, the high half is its complemented mirror."""
+
+    def build(n: int, low_bits: int) -> TruthTable:
+        full_mask = (1 << n) - 1
+        bits = 0
+        for point in range(1 << (n - 1)):
+            value = (low_bits >> point) & 1
+            if value:
+                bits |= 1 << point
+            else:
+                bits |= 1 << (point ^ full_mask)
+        return TruthTable(n, bits)
+
+    return st.integers(min_inputs, max_inputs).flatmap(
+        lambda n: st.builds(
+            build,
+            st.just(n),
+            st.integers(min_value=0, max_value=(1 << (1 << (n - 1))) - 1),
+        )
+    )
+
+
+def networks(
+    min_inputs: int = 2,
+    max_inputs: int = 4,
+    max_gates: int = 8,
+    kinds: tuple = (
+        GateKind.NAND,
+        GateKind.NOR,
+        GateKind.AND,
+        GateKind.OR,
+        GateKind.NOT,
+        GateKind.XOR,
+    ),
+) -> st.SearchStrategy[Network]:
+    """Random acyclic multi-level networks (single output)."""
+
+    def build(n_inputs: int, plan: list) -> Network:
+        builder = NetworkBuilder(
+            [f"x{i}" for i in range(n_inputs)], name="hyp_net"
+        )
+        available = [f"x{i}" for i in range(n_inputs)]
+        for g, (kind_index, picks) in enumerate(plan):
+            kind = kinds[kind_index % len(kinds)]
+            if kind is GateKind.NOT:
+                sources = [available[picks[0] % len(available)]]
+            else:
+                count = max(2, min(3, len(picks)))
+                sources = []
+                for p in picks[:count]:
+                    candidate = available[p % len(available)]
+                    if candidate not in sources:
+                        sources.append(candidate)
+                if len(sources) < 2:
+                    sources.append(available[0])
+            line = builder.add(f"g{g}", kind, sources)
+            available.append(line)
+        return builder.build([available[-1]])
+
+    plan_entry = st.tuples(
+        st.integers(min_value=0, max_value=len(kinds) - 1),
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=3),
+    )
+    return st.integers(min_inputs, max_inputs).flatmap(
+        lambda n: st.builds(
+            build,
+            st.just(n),
+            st.lists(plan_entry, min_size=1, max_size=max_gates),
+        )
+    )
+
+
+def alternating_networks(
+    min_inputs: int = 2, max_inputs: int = 3, style: str = "and-or"
+) -> st.SearchStrategy[Network]:
+    """Random two-level *SCAL* networks (self-dual by construction,
+    self-checking by the Yamamoto two-level result)."""
+    from ..logic.synthesis import sop_network
+
+    return self_dual_tables(min_inputs, max_inputs).map(
+        lambda table: sop_network(
+            table,
+            names=[f"x{i}" for i in range(table.n)],
+            style=style,
+            network_name="hyp_alt",
+        )
+    )
+
+
+def machines(
+    min_states: int = 2, max_states: int = 5
+) -> st.SearchStrategy[StateTable]:
+    """Random single-input/single-output Mealy machines."""
+
+    def build(n_states: int, choices: list) -> StateTable:
+        states = [f"Q{i}" for i in range(n_states)]
+        rows = {}
+        index = 0
+        for state in states:
+            row = {}
+            for x in (0, 1):
+                nxt, out = choices[index % len(choices)]
+                row[x] = (states[nxt % n_states], out)
+                index += 1
+            rows[state] = row
+        return single_input_table("hyp_machine", rows, states[0])
+
+    choice = st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=1),
+    )
+    return st.integers(min_states, max_states).flatmap(
+        lambda n: st.builds(
+            build,
+            st.just(n),
+            st.lists(choice, min_size=2 * n, max_size=2 * n),
+        )
+    )

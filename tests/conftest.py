@@ -1,0 +1,28 @@
+"""Shared fixtures for the SCAL reproduction test suite."""
+
+import random
+
+import pytest
+
+from repro.workloads.detectors import kohavi_0101
+from repro.workloads.fig34 import fig34_network, fig37_fixed_network
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def fig34():
+    return fig34_network()
+
+
+@pytest.fixture
+def fig37():
+    return fig37_fixed_network()
+
+
+@pytest.fixture
+def detector():
+    return kohavi_0101()

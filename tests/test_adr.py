@@ -1,0 +1,135 @@
+"""Tests for ADR, TMR, and the Figure 7.5 system (repro.system.adr)."""
+
+import pytest
+
+from repro.system.adr import (
+    AdrSystem,
+    FaultyModule,
+    Fig75System,
+    StuckOutputBit,
+    TmrSystem,
+    design_comparison,
+    is_word_self_dual,
+)
+
+WIDTH = 8
+MASK = (1 << WIDTH) - 1
+
+
+def rotate_left(x: int) -> int:
+    return ((x << 1) | (x >> (WIDTH - 1))) & MASK
+
+
+def not_self_dual(x: int) -> int:
+    return (3 * x + 7) & MASK
+
+
+class TestSelfDualWords:
+    def test_rotate_is_self_dual(self):
+        assert is_word_self_dual(rotate_left, WIDTH)
+
+    def test_bitwise_not_is_self_dual(self):
+        assert is_word_self_dual(lambda x: (~x) & MASK, WIDTH)
+
+    def test_affine_is_not(self):
+        assert not is_word_self_dual(not_self_dual, WIDTH)
+
+
+class TestAdr:
+    def test_no_fault_no_retry(self):
+        adr = AdrSystem(FaultyModule(rotate_left, WIDTH))
+        outcome = adr.execute(0b1011)
+        assert outcome.correct and not outcome.retried
+
+    def test_corrects_every_single_stuck_output_bit(self):
+        """Shedletsky's claim on a self-dual module: the complement pass
+        recovers the correct word for any stuck output line."""
+        for k in range(WIDTH):
+            for v in (0, 1):
+                adr = AdrSystem(
+                    FaultyModule(rotate_left, WIDTH, StuckOutputBit(k, v))
+                )
+                for x in range(0, 256, 7):
+                    outcome = adr.execute(x)
+                    assert outcome.correct, (k, v, x)
+                    assert not outcome.unrecoverable
+
+    def test_retry_happens_iff_sensitized(self):
+        adr = AdrSystem(FaultyModule(rotate_left, WIDTH, StuckOutputBit(0, 0)))
+        sensitized = [x for x in range(256) if rotate_left(x) & 1]
+        for x in sensitized[:5]:
+            assert adr.execute(x).retried
+        clean = [x for x in range(256) if not rotate_left(x) & 1]
+        for x in clean[:5]:
+            assert not adr.execute(x).retried
+
+
+class TestTmr:
+    def test_masks_single_faulty_copy(self):
+        for faulty in range(3):
+            tmr = TmrSystem(
+                rotate_left, WIDTH, faulty_copy=faulty,
+                fault=StuckOutputBit(4, 1),
+            )
+            for x in range(0, 256, 11):
+                assert tmr.execute(x) == rotate_left(x)
+
+    def test_healthy(self):
+        tmr = TmrSystem(rotate_left, WIDTH)
+        assert tmr.execute(5) == rotate_left(5)
+
+
+class TestFig75:
+    def test_full_speed_until_fault(self):
+        system = Fig75System(rotate_left, WIDTH)
+        outcome = system.execute(7)
+        assert not outcome.degraded and outcome.correct
+
+    def test_degrades_and_stays_correct_scal_fault(self):
+        system = Fig75System(
+            rotate_left, WIDTH, scal_fault=StuckOutputBit(2, 0)
+        )
+        outcomes = [system.execute(x) for x in range(128)]
+        assert all(o.correct for o in outcomes)
+        assert system.degraded
+        assert any(o.fault_detected for o in outcomes)
+
+    def test_degrades_and_stays_correct_normal_fault(self):
+        system = Fig75System(
+            rotate_left, WIDTH, normal_fault=StuckOutputBit(5, 1)
+        )
+        outcomes = [system.execute(x) for x in range(128)]
+        assert all(o.correct for o in outcomes)
+        assert system.degraded
+
+
+class TestDesignComparison:
+    def test_cost_ordering(self):
+        rows = {r.approach: r for r in design_comparison()}
+        adr = rows["ADR (Shedletsky)"]
+        fig75 = rows["normal + SCAL parallel (Fig 7.5)"]
+        tmr = rows["TMR"]
+        # The Section 7.4 argument: ADR ≈ 4x is the worst corrector;
+        # Fig 7.5 undercuts TMR when A < 2.
+        assert adr.cost_factor > tmr.cost_factor
+        assert fig75.cost_factor < tmr.cost_factor
+
+    def test_fig75_beats_tmr_only_when_a_below_two(self):
+        rows_hi = {
+            r.approach: r for r in design_comparison(a_factor=2.5)
+        }
+        assert (
+            rows_hi["normal + SCAL parallel (Fig 7.5)"].cost_factor
+            > rows_hi["TMR"].cost_factor
+        )
+
+    def test_correctors_marked(self):
+        for row in design_comparison():
+            if row.approach in (
+                "ADR (Shedletsky)",
+                "normal + SCAL parallel (Fig 7.5)",
+                "TMR",
+            ):
+                assert row.corrects_single_faults
+            else:
+                assert not row.corrects_single_faults

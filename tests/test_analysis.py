@@ -1,0 +1,111 @@
+"""Tests for Algorithm 3.1 (repro.core.analysis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    Condition,
+    analyze_network,
+    lines_needing_multi_output,
+)
+from repro.core.simulate import ScalSimulator
+from repro.logic.network import expand_fanout_branches
+from repro.logic.parse import parse_expression
+from repro.modules.adder import full_adder_network
+from repro.workloads.fig34 import fig34_network, fig37_fixed_network
+from repro.workloads.randomlogic import random_alternating_network
+
+
+class TestOnThesisExamples:
+    def test_fig34_not_self_checking(self, fig34):
+        analysis = analyze_network(fig34)
+        assert analysis.alternating
+        assert not analysis.redundant
+        assert not analysis.is_self_checking
+        assert analysis.failing_lines() == ("or_ab",)
+
+    def test_fig34_line9_needs_multi_output(self, fig34):
+        analysis = analyze_network(fig34)
+        assert lines_needing_multi_output(analysis) == ("nab",)
+
+    def test_fig34_without_multi_output_condition(self, fig34):
+        analysis = analyze_network(fig34, use_multi_output=False)
+        failing = set(analysis.failing_lines())
+        assert "nab" in failing and "or_ab" in failing
+
+    def test_fig37_fix_is_self_checking(self, fig37):
+        analysis = analyze_network(fig37)
+        assert analysis.is_self_checking
+        # The shared line 9 analog still needs Corollary 3.2.
+        assert lines_needing_multi_output(analysis) == ("nab",)
+
+    def test_full_adder_self_checking(self):
+        analysis = analyze_network(full_adder_network())
+        assert analysis.is_self_checking
+
+    def test_majority_self_checking(self):
+        net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+        assert analyze_network(net).is_self_checking
+
+    def test_non_alternating_network_flagged(self):
+        net = parse_expression("a & b", inputs=["a", "b"])
+        analysis = analyze_network(net)
+        assert not analysis.alternating
+        assert not analysis.is_self_checking
+
+
+class TestReporting:
+    def test_condition_histogram(self, fig37):
+        hist = analyze_network(fig37).condition_histogram()
+        assert hist[Condition.A_ALTERNATES] >= 3  # at least the inputs
+        assert hist.get(Condition.MULTI_OUTPUT, 0) == 1
+
+    def test_summary_mentions_failing_line(self, fig34):
+        text = analyze_network(fig34).summary()
+        assert "NOT self-checking" in text
+        assert "or_ab" in text
+
+    def test_summary_self_checking(self, fig37):
+        assert "SELF-CHECKING" in analyze_network(fig37).summary()
+
+    def test_line_verdicts_cover_cone_outputs_only(self, fig34):
+        analysis = analyze_network(fig34)
+        verdict = analysis.lines["g2"]
+        assert set(verdict.admitted_by) == {"F2"}
+
+
+class TestSoundnessProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_analysis_agrees_with_oracle(self, rnd):
+        """On expanded networks (every pin a stem), Algorithm 3.1's
+        verdict must match the exhaustive oracle over stem+pin faults."""
+        net = random_alternating_network(rnd, 3)
+        expanded = expand_fanout_branches(net)
+        analysis = analyze_network(expanded)
+        oracle = ScalSimulator(net).verdict(include_pins=True)
+        assert analysis.is_self_checking == oracle.is_self_checking
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_admitted_lines_are_oracle_secure(self, rnd):
+        """Per-line soundness: any line the analyzer admits must be
+        fault-secure in the oracle (for stem faults)."""
+        net = random_alternating_network(rnd, 3)
+        analysis = analyze_network(net)
+        sim = ScalSimulator(net)
+        for line, verdict in analysis.lines.items():
+            if verdict.self_checking and verdict.admitted_by:
+                assert sim.line_self_checking(line), line
+
+    def test_fig34_oracle_agreement(self, fig34):
+        expanded = expand_fanout_branches(fig34)
+        analysis = analyze_network(expanded)
+        oracle = ScalSimulator(fig34).verdict(include_pins=True)
+        assert not analysis.is_self_checking
+        assert not oracle.is_self_checking
+
+    def test_fig37_oracle_agreement(self, fig37):
+        expanded = expand_fanout_branches(fig37)
+        assert analyze_network(expanded).is_self_checking
+        assert ScalSimulator(fig37).verdict(include_pins=True).is_self_checking

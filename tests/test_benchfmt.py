@@ -1,0 +1,87 @@
+"""Tests for the ISCAS .bench format (repro.logic.benchfmt)."""
+
+import os
+
+import pytest
+
+from repro.logic.benchfmt import (
+    BenchFormatError,
+    load_bench,
+    parse_bench,
+    save_bench,
+    write_bench,
+)
+from repro.logic.evaluate import functionally_equivalent, network_function
+from repro.workloads.fig34 import fig34_network
+
+SAMPLE = """
+# a majority gate
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+
+n1 = NAND(a, b)
+n2 = NAND(b, c)
+n3 = NAND(a, c)
+f = NAND(n1, n2, n3)
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        net = parse_bench(SAMPLE, name="maj")
+        assert net.inputs == ("a", "b", "c")
+        assert net.outputs == ("f",)
+        assert net.gate_count() == 4
+        table = network_function(net)
+        assert table.is_self_dual()  # majority
+
+    def test_comments_and_blank_lines_ignored(self):
+        net = parse_bench("INPUT(x)\n# hi\n\nOUTPUT(y)\ny = NOT(x) # inline\n")
+        assert net.output_values({"x": 0}) == (1,)
+
+    def test_inv_and_buff_aliases(self):
+        net = parse_bench(
+            "INPUT(x)\nOUTPUT(z)\ny = INV(x)\nz = BUFF(y)\n"
+        )
+        assert net.output_values({"x": 1}) == (0,)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(x)\nOUTPUT(y)\ny = FROB(x)\n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(x)\nOUTPUT(y)\nthis is not a gate\n")
+
+    def test_missing_outputs_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(x)\ny = NOT(x)\n")
+
+
+class TestRoundTrip:
+    def test_fig34_round_trips(self, fig34):
+        text = write_bench(fig34, header="figure 3.4 reconstruction")
+        back = parse_bench(text, name="fig3.4")
+        assert functionally_equivalent(fig34, back)
+        assert back.gate_count() == fig34.gate_count()
+
+    def test_header_in_output(self, fig34):
+        text = write_bench(fig34, header="hello")
+        assert text.startswith("# hello")
+
+    def test_file_round_trip(self, tmp_path, fig34):
+        path = os.path.join(tmp_path, "fig34.bench")
+        save_bench(fig34, path)
+        loaded = load_bench(path)
+        assert functionally_equivalent(fig34, loaded)
+        assert loaded.name == "fig34"
+
+
+class TestAnalysisOnParsedCircuits:
+    def test_scal_analysis_of_bench_text(self):
+        from repro.core import analyze_network
+
+        net = parse_bench(SAMPLE, name="maj")
+        assert analyze_network(net).is_self_checking

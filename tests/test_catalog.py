@@ -1,0 +1,134 @@
+"""Tests for the self-dual module catalog (repro.modules.catalog)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.truthtable import TruthTable, all_functions
+from repro.modules.catalog import (
+    closest_self_dual,
+    compose_self_dual,
+    majority_table,
+    minority_table,
+    mux_table,
+    self_dual_count,
+    self_dual_fraction,
+    standard_catalog,
+    xor_table,
+)
+
+tables = st.integers(min_value=1, max_value=4).flatmap(
+    lambda n: st.builds(
+        TruthTable,
+        st.just(n),
+        st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+    )
+)
+
+
+class TestCounting:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_count_matches_enumeration(self, n):
+        enumerated = sum(1 for t in all_functions(n) if t.is_self_dual())
+        assert enumerated == self_dual_count(n)
+
+    def test_fraction_vanishes(self):
+        assert self_dual_fraction(1) == 0.5
+        assert self_dual_fraction(3) == pytest.approx(2 ** -4)
+        assert self_dual_fraction(4) < self_dual_fraction(3)
+
+
+class TestFamilies:
+    def test_every_catalog_entry_self_dual(self):
+        for entry in standard_catalog():
+            assert entry.self_dual, entry.name
+
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_odd_majority_minority(self, n):
+        assert majority_table(n).is_self_dual()
+        assert minority_table(n).is_self_dual()
+        assert (majority_table(n) ^ minority_table(n)).is_one()
+
+    def test_even_majority_rejected(self):
+        with pytest.raises(ValueError):
+            majority_table(4)
+
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_odd_xor_self_dual(self, n):
+        assert xor_table(n).is_self_dual()
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_even_xor_not_self_dual(self, n):
+        assert not xor_table(n).is_self_dual()
+
+    def test_mux_semantics_and_non_self_duality(self):
+        mux = mux_table()
+        # point = a + 2b + 4s
+        assert mux.value(0b001) == 1  # s=0 -> a=1
+        assert mux.value(0b110) == 1  # s=1 -> b=1
+        assert mux.value(0b101) == 0  # s=1 -> b=0
+        # The catalog's negative example: a plain mux is NOT self-dual.
+        assert not mux.is_self_dual()
+
+    def test_biased_majority_self_dual(self):
+        from repro.modules.catalog import biased_majority_table
+
+        assert biased_majority_table().is_self_dual()
+
+
+class TestClosure:
+    @settings(max_examples=40)
+    @given(tables)
+    def test_complement_closure(self, t):
+        assert (~t).is_self_dual() == t.is_self_dual()
+
+    def test_composition_of_self_duals_is_self_dual(self):
+        maj = majority_table(3)
+        inners = [
+            xor_table(3),
+            majority_table(3),
+            minority_table(3),
+        ]
+        composed = compose_self_dual(maj, inners)
+        assert composed.is_self_dual()
+
+    def test_composition_semantics(self):
+        # identity outer: F(g) = g.
+        identity = TruthTable.variable(0, 1)
+        inner = xor_table(3)
+        assert compose_self_dual(identity, [inner]).bits == inner.bits
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            compose_self_dual(majority_table(3), [xor_table(3)])
+
+
+class TestClosestSelfDual:
+    @settings(max_examples=60)
+    @given(tables)
+    def test_result_is_self_dual(self, t):
+        nearest, _distance = closest_self_dual(t)
+        assert nearest.is_self_dual()
+
+    @settings(max_examples=60)
+    @given(tables)
+    def test_distance_is_achieved(self, t):
+        nearest, distance = closest_self_dual(t)
+        assert (nearest ^ t).count_ones() == distance
+
+    @settings(max_examples=40)
+    @given(tables)
+    def test_zero_distance_iff_already_self_dual(self, t):
+        _nearest, distance = closest_self_dual(t)
+        assert (distance == 0) == t.is_self_dual()
+
+    def test_optimality_small(self):
+        """Exhaustive optimality check over all 2-variable functions."""
+        for t in all_functions(2):
+            _nearest, distance = closest_self_dual(t)
+            best = min(
+                (sd ^ t).count_ones()
+                for sd in all_functions(2)
+                if sd.is_self_dual()
+            )
+            assert distance == best

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.logic.benchfmt import load_bench, save_bench
+from repro.workloads.fig34 import fig34_network, fig37_fixed_network
+
+
+@pytest.fixture
+def fig34_bench(tmp_path):
+    path = os.path.join(tmp_path, "fig34.bench")
+    save_bench(fig34_network(), path)
+    return path
+
+
+@pytest.fixture
+def fig37_bench(tmp_path):
+    path = os.path.join(tmp_path, "fig37.bench")
+    save_bench(fig37_fixed_network(), path)
+    return path
+
+
+class TestAnalyze:
+    def test_failing_network_exits_1(self, fig34_bench, capsys):
+        assert main(["analyze", fig34_bench]) == 1
+        out = capsys.readouterr().out
+        assert "NOT self-checking" in out
+        assert "or_ab" in out
+
+    def test_passing_network_exits_0(self, fig37_bench, capsys):
+        assert main(["analyze", fig37_bench, "--oracle"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("SELF-CHECKING") >= 2  # analysis + oracle
+
+    def test_listing_flag(self, fig34_bench, capsys):
+        main(["analyze", fig34_bench, "--listing"])
+        out = capsys.readouterr().out
+        assert "FAILS Algorithm 3.1" in out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "/nonexistent/x.bench"])
+
+
+class TestTestgen:
+    def test_truth_table_route(self, fig37_bench, capsys):
+        assert main(["testgen", fig37_bench, "--output", "F3"]) == 0
+        out = capsys.readouterr().out
+        assert "s/0" in out and "s/1" in out
+
+    def test_structural_route(self, fig37_bench, capsys):
+        code = main(["testgen", fig37_bench, "--structural"])
+        out = capsys.readouterr().out
+        assert "pair anchored" in out
+        # or_ab-free network: every fault should get a pair or be benign;
+        # exit code reflects whether any line lacked a pair.
+        assert code in (0, 1)
+
+
+class TestRepair:
+    def test_repairs_and_writes(self, fig34_bench, tmp_path, capsys):
+        out_path = os.path.join(tmp_path, "fixed.bench")
+        assert main(["repair", fig34_bench, "--out", out_path]) == 0
+        text = capsys.readouterr().out
+        assert "repaired" in text
+        fixed = load_bench(out_path)
+        from repro.core import analyze_network
+
+        assert analyze_network(fixed).is_self_checking
+
+
+class TestMinority:
+    def test_converts_nand_network(self, tmp_path, capsys):
+        from repro.workloads.benchcircuits import fig62_nand_network
+
+        src = os.path.join(tmp_path, "fig62.bench")
+        save_bench(fig62_nand_network(), src)
+        dst = os.path.join(tmp_path, "fig62_min.bench")
+        assert main(["minority", src, "--out", dst]) == 0
+        out = capsys.readouterr().out
+        assert "minority modules" in out
+        converted = load_bench(dst)
+        assert any(g.kind.value == "min" for g in converted.gates)
+
+
+class TestDot:
+    def test_dot_output(self, fig34_bench, capsys):
+        assert main(["dot", fig34_bench]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert 'color="red"' in out  # or_ab highlighted
+
+
+class TestFaultTable:
+    def test_table_with_bad_fault(self, fig34_bench, capsys):
+        code = main(["faulttable", fig34_bench, "nab/0", "or_ab/0"])
+        out = capsys.readouterr().out
+        assert "1,1X" in out
+        assert "undetected wrong outputs" in out
+        assert code == 1
+
+    def test_clean_table(self, fig37_bench, capsys):
+        assert main(["faulttable", fig37_bench, "nab/1"]) == 0
+
+    def test_bad_fault_spec(self, fig34_bench):
+        with pytest.raises(SystemExit):
+            main(["faulttable", fig34_bench, "nab"])

@@ -1,0 +1,151 @@
+"""Tests for the Section 7.2 comparison codes (repro.checkers.codes)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkers.codes import (
+    berger_check_width,
+    berger_encode,
+    berger_error_detected,
+    berger_valid,
+    code_size,
+    data_capacity,
+    encoding_comparison,
+    inject_unidirectional,
+    m_out_of_n_codewords,
+    m_out_of_n_valid,
+    render_encoding_comparison,
+)
+
+
+class TestBerger:
+    def test_check_width(self):
+        assert berger_check_width(1) == 1
+        assert berger_check_width(3) == 2
+        assert berger_check_width(4) == 3
+        assert berger_check_width(8) == 4
+        with pytest.raises(ValueError):
+            berger_check_width(0)
+
+    def test_encode_valid(self):
+        for data_bits in (2, 3, 4, 6):
+            for word in range(1 << data_bits):
+                data = [(word >> i) & 1 for i in range(data_bits)]
+                assert berger_valid(berger_encode(data), data_bits)
+
+    def test_wrong_check_rejected(self):
+        encoded = berger_encode([1, 0, 1, 0])
+        encoded[-1] ^= 1
+        assert not berger_valid(encoded, 4)
+
+    @settings(max_examples=150)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.randoms(use_true_random=False),
+    )
+    def test_detects_all_unidirectional_errors(self, data_bits, rnd):
+        """The Berger property: every unidirectional error (any number
+        of lines stuck at one value) breaks the check."""
+        word_value = rnd.randrange(1 << data_bits)
+        data = [(word_value >> i) & 1 for i in range(data_bits)]
+        encoded = berger_encode(data)
+        total = len(encoded)
+        k = rnd.randint(1, total)
+        positions = rnd.sample(range(total), k)
+        direction = rnd.randint(0, 1)
+        corrupted = inject_unidirectional(encoded, positions, direction)
+        if corrupted == encoded:
+            return  # nothing actually flipped
+        assert berger_error_detected(encoded, data_bits, positions, direction)
+
+    def test_bidirectional_errors_can_slip(self):
+        """The limit of the code: compensating flips in both directions
+        may be missed — the reason Berger only claims unidirectional."""
+        data_bits = 3
+        found_miss = False
+        for word in range(1 << data_bits):
+            data = [(word >> i) & 1 for i in range(data_bits)]
+            encoded = berger_encode(data)
+            for flips in itertools.combinations(range(data_bits), 2):
+                corrupted = list(encoded)
+                corrupted[flips[0]] ^= 1
+                corrupted[flips[1]] ^= 1
+                changed = corrupted != encoded
+                same_zeros = sum(
+                    1 for b in corrupted[:data_bits] if not b
+                ) == sum(1 for b in encoded[:data_bits] if not b)
+                if changed and same_zeros and berger_valid(corrupted, data_bits):
+                    found_miss = True
+        assert found_miss
+
+
+class TestMOutOfN:
+    def test_codeword_count(self):
+        assert len(m_out_of_n_codewords(1, 2)) == 2
+        assert len(m_out_of_n_codewords(2, 4)) == 6
+        assert code_size(2, 4) == 6
+
+    def test_validity(self):
+        assert m_out_of_n_valid([1, 0, 1, 0], 2)
+        assert not m_out_of_n_valid([1, 1, 1, 0], 2)
+
+    def test_one_out_of_two_is_checker_code(self):
+        words = m_out_of_n_codewords(1, 2)
+        assert set(words) == {(1, 0), (0, 1)}
+
+    def test_unidirectional_always_detected(self):
+        for word in m_out_of_n_codewords(2, 5):
+            for k in range(1, 5):
+                for positions in itertools.combinations(range(5), k):
+                    for direction in (0, 1):
+                        corrupted = inject_unidirectional(
+                            word, list(positions), direction
+                        )
+                        if tuple(corrupted) == word:
+                            continue
+                        assert not m_out_of_n_valid(corrupted, 2)
+
+    def test_data_capacity(self):
+        assert data_capacity(2, 4) == 2  # 6 codewords -> 2 bits
+        assert data_capacity(3, 6) == 4  # 20 codewords -> 4 bits
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            m_out_of_n_codewords(5, 3)
+
+
+class TestEncodingComparison:
+    def test_rows_present(self):
+        rows = {r.code: r for r in encoding_comparison(8)}
+        assert "single parity" in rows
+        assert "Berger" in rows
+        assert "alternating (time)" in rows
+
+    def test_parity_cheapest_space_code(self):
+        rows = encoding_comparison(8)
+        parity_row = next(r for r in rows if r.code == "single parity")
+        space_rows = [
+            r for r in rows if r.code != "alternating (time)"
+        ]
+        assert parity_row.redundancy_bits == min(
+            r.redundancy_bits for r in space_rows
+        )
+
+    def test_alternating_needs_no_extra_wires(self):
+        rows = encoding_comparison(8)
+        alt = next(r for r in rows if r.code == "alternating (time)")
+        assert alt.redundancy_bits == 0
+
+    def test_unidirectional_column(self):
+        rows = {r.code: r for r in encoding_comparison(8)}
+        assert not rows["single parity"].detects_unidirectional
+        assert rows["Berger"].detects_unidirectional
+
+    def test_render(self):
+        text = render_encoding_comparison(8)
+        assert "Berger" in text
+        assert "out-of-" in text

@@ -1,0 +1,99 @@
+"""Tests for the Figure 7.3 computer and its single-fault sweep."""
+
+from repro.system.computer import (
+    ScalComputer,
+    countdown_program,
+    demo_program,
+)
+from repro.system.cpu import CpuFault, Instruction, Op, reference_run
+from repro.system.memory import MemoryFault
+
+
+class TestPrograms:
+    def test_demo_program_results(self):
+        program, data = demo_program()
+        acc, mem = reference_run(program, data)
+        # mem[10] = 2*(a+b) - c, mem[11] = (a+b) >> 1
+        a, b, c = data[0], data[1], data[2]
+        assert mem[10] == (2 * (a + b) - c) % 256
+        assert mem[11] == ((a + b) % 256) >> 1
+
+    def test_countdown_program_halts_at_zero(self):
+        program = countdown_program(5)
+        acc, _mem = reference_run(program, {5: 1})
+        assert acc == 0
+
+
+class TestRun:
+    def test_healthy_run(self):
+        comp = ScalComputer()
+        program, data = demo_program()
+        result = comp.run(program, data)
+        assert result.halted and not result.detected
+
+    def test_faulty_run_detected(self):
+        comp = ScalComputer()
+        program, data = demo_program()
+        result = comp.run(program, data, cpu_fault=CpuFault("alu_bit", 0, 1))
+        assert result.detected
+
+    def test_memory_fault_injected(self):
+        comp = ScalComputer()
+        program, data = demo_program()
+        result = comp.run(
+            program, data, memory_fault=MemoryFault("data_line", 0, 1)
+        )
+        assert result.detected
+
+
+class TestSweep:
+    def test_demo_sweep_no_dangerous_faults(self):
+        """The thesis's end-to-end claim: the Figure 7.3 encoding leaves
+        no single fault able to corrupt results silently."""
+        comp = ScalComputer()
+        program, data = demo_program()
+        outcome = comp.sweep(program, data)
+        assert outcome.dangerous == 0, outcome.dangerous_faults
+        assert outcome.detected > 0
+        assert outcome.coverage == 1.0
+
+    def test_countdown_sweep_no_dangerous_faults(self):
+        comp = ScalComputer()
+        outcome = comp.sweep(countdown_program(5), {5: 1})
+        assert outcome.dangerous == 0, outcome.dangerous_faults
+
+    def test_sweep_buckets_sum(self):
+        comp = ScalComputer()
+        program, data = demo_program()
+        outcome = comp.sweep(program, data)
+        assert outcome.detected + outcome.silent + outcome.dangerous == outcome.total
+
+    def test_cpu_fault_universe_size(self):
+        comp = ScalComputer(width=8)
+        assert len(comp.cpu_fault_universe()) == 3 * 8 * 2
+
+
+class TestMultiplyProgram:
+    def test_computes_product(self):
+        from repro.system.computer import multiply_program
+
+        program, data = multiply_program()
+        acc, mem = reference_run(program, data, max_steps=500)
+        assert mem[12] == data[0] * data[1]
+
+    def test_scal_run_matches(self):
+        from repro.system.computer import multiply_program
+
+        comp = ScalComputer()
+        program, data = multiply_program()
+        result = comp.run(program, data, max_steps=500)
+        assert result.halted and not result.detected
+        assert result.memory_words[12] == data[0] * data[1]
+
+    def test_sweep_no_dangerous(self):
+        from repro.system.computer import multiply_program
+
+        comp = ScalComputer()
+        program, data = multiply_program()
+        outcome = comp.sweep(program, data, max_steps=500)
+        assert outcome.dangerous == 0, outcome.dangerous_faults

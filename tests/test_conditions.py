@@ -1,0 +1,158 @@
+"""Tests for conditions A-E and the Corollary 3.2 relaxation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import (
+    condition_a,
+    condition_d,
+    condition_e,
+    corollary_3_1_formula,
+    corollary_3_2,
+)
+from repro.core.simulate import ScalSimulator
+from repro.logic.evaluate import line_tables
+from repro.logic.faults import StuckAt
+from repro.logic.gates import GateKind
+from repro.logic.network import NetworkBuilder
+from repro.logic.parse import parse_expression
+from repro.workloads.fig34 import fig34_network
+from repro.workloads.randomlogic import random_alternating_network, random_mixed_network
+
+
+class TestConditionA:
+    def test_inputs_alternate(self):
+        net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+        tables = line_tables(net)
+        for inp in net.inputs:
+            assert condition_a(tables, inp)
+
+    def test_inverter_of_input_alternates(self):
+        b = NetworkBuilder(["a", "b", "c"])
+        an = b.add("an", GateKind.NOT, ["a"])
+        b.add("f", GateKind.MAJ, [an, "b", "c"])
+        net = b.build(["f"])
+        assert condition_a(line_tables(net), "an")
+
+    def test_and_gate_does_not_alternate(self):
+        net = fig34_network()
+        tables = line_tables(net)
+        assert not condition_a(tables, "nab")
+        assert not condition_a(tables, "or_ab")
+
+
+class TestConditionD:
+    def test_line_beside_alternating_input(self):
+        """g = AND(a,b) feeds a NAND together with input c (alternating)."""
+        b = NetworkBuilder(["a", "b", "c"])
+        g = b.add("g", GateKind.AND, ["a", "b"])
+        b.add("f", GateKind.NAND, [g, "c"])
+        net = b.build(["f"])
+        assert condition_d(net, line_tables(net), "g")
+
+    def test_rejected_for_xor_destination(self):
+        b = NetworkBuilder(["a", "b", "c"])
+        g = b.add("g", GateKind.AND, ["a", "b"])
+        b.add("f", GateKind.XOR, [g, "c"])
+        net = b.build(["f"])
+        assert not condition_d(net, line_tables(net), "g")
+
+    def test_rejected_when_fanout(self):
+        b = NetworkBuilder(["a", "b", "c"])
+        g = b.add("g", GateKind.AND, ["a", "b"])
+        b.add("f1", GateKind.NAND, [g, "c"])
+        b.add("f2", GateKind.NAND, [g, "c"])
+        net = b.build(["f1", "f2"])
+        assert not condition_d(net, line_tables(net), "g")
+
+    def test_rejected_without_alternating_co_input(self):
+        b = NetworkBuilder(["a", "b", "c", "d"])
+        g = b.add("g", GateKind.AND, ["a", "b"])
+        h = b.add("h", GateKind.AND, ["c", "d"])
+        b.add("f", GateKind.NAND, [g, h])
+        net = b.build(["f"])
+        assert not condition_d(net, line_tables(net), "g")
+
+    def test_soundness_when_it_holds(self):
+        """Condition D (restricted form) must imply oracle security: the
+        fig3.4 line ``nab_n`` (= A·B) feeds one NAND alongside the
+        alternating input C, inside a genuinely alternating network."""
+        net = fig34_network()
+        tables = line_tables(net)
+        assert condition_d(net, tables, "nab_n")
+        sim = ScalSimulator(net)
+        for value in (0, 1):
+            resp = sim.response(StuckAt("nab_n", value))
+            assert resp.violations.is_zero()
+
+
+class TestConditionE:
+    def test_exact_on_fig34(self):
+        net = fig34_network()
+        tables = line_tables(net)
+        res_nab = condition_e(net, "nab", "F2", tables)
+        assert not res_nab.holds
+        assert not res_nab.violations_s0.is_zero()
+        assert res_nab.violations_s1.is_zero()
+        res_or = condition_e(net, "or_ab", "F2", tables)
+        assert not res_or.holds
+        # Only the s/0 direction violates (like the thesis's line 20).
+        assert not res_or.violations_s0.is_zero()
+        assert res_or.violations_s1.is_zero()
+
+    def test_holds_for_safe_line(self):
+        net = fig34_network()
+        tables = line_tables(net)
+        assert condition_e(net, "g2", "F2", tables).holds
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_matches_oracle_single_output(self, rnd):
+        """Condition E's violation masks equal the oracle's, line by line,
+        for single-output self-dual networks."""
+        net = random_alternating_network(rnd, 3)
+        out = net.outputs[0]
+        tables = line_tables(net)
+        sim = ScalSimulator(net)
+        for line in net.lines():
+            if line == out:
+                continue
+            res = condition_e(net, line, out, tables)
+            for value, mask in ((0, res.violations_s0), (1, res.violations_s1)):
+                resp = sim.response(StuckAt(line, value))
+                joined = mask | mask.co_reflect()
+                assert joined.bits == resp.violations.bits, (line, value)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_corollary_formula_agrees(self, rnd):
+        """The literal Corollary 3.1 product formula agrees with the
+        semantic condition E on self-dual networks."""
+        net = random_alternating_network(rnd, 3)
+        out = net.outputs[0]
+        tables = line_tables(net)
+        for line in net.lines():
+            if line == out:
+                continue
+            res = condition_e(net, line, out, tables)
+            assert res.holds == corollary_3_1_formula(net, line, out, tables)
+
+
+class TestCorollary32:
+    def test_nab_rescued_by_f3(self):
+        net = fig34_network()
+        tables = line_tables(net)
+        e_res = condition_e(net, "nab", "F2", tables)
+        assert corollary_3_2(net, "nab", "F2", e_res, tables)
+
+    def test_or_ab_not_rescued(self):
+        net = fig34_network()
+        tables = line_tables(net)
+        e_res = condition_e(net, "or_ab", "F2", tables)
+        assert not corollary_3_2(net, "or_ab", "F2", e_res, tables)
+
+    def test_trivially_true_with_no_violations(self):
+        net = fig34_network()
+        tables = line_tables(net)
+        e_res = condition_e(net, "g2", "F2", tables)
+        assert corollary_3_2(net, "g2", "F2", e_res, tables)

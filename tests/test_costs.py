@@ -1,0 +1,89 @@
+"""Tests for the Table 4.1 cost model (repro.scal.costs)."""
+
+import pytest
+
+from repro.scal.costs import (
+    REYNOLDS_COST_FACTOR,
+    THESIS_TABLE_4_1,
+    cost_factor,
+    kohavi_general,
+    measured_cost,
+    render_cost_table,
+    reynolds_general,
+    translator_general,
+)
+from repro.workloads.detectors import (
+    THESIS_COSTS,
+    kohavi_circuit,
+    reynolds_0101,
+    translator_0101,
+)
+
+
+class TestGeneralFormulas:
+    def test_kohavi(self):
+        row = kohavi_general(2, 12)
+        assert (row.flip_flops, row.gates) == (2, 12)
+
+    def test_reynolds_doubles_flip_flops(self):
+        row = reynolds_general(2, 12)
+        assert row.flip_flops == 4
+        assert row.gates == pytest.approx(1.8 * 12)
+
+    def test_translator_saves_flip_flops(self):
+        row = translator_general(2, 12)
+        assert row.flip_flops == 3
+        assert row.gates == pytest.approx(1.8 * 12 + 2 + 2)
+
+    def test_translator_always_cheaper_in_ffs(self):
+        # n+1 < 2n for every n >= 2 (equal at n = 1).
+        for n in range(2, 10):
+            assert translator_general(n, 10).flip_flops < reynolds_general(
+                n, 10
+            ).flip_flops
+        assert (
+            translator_general(1, 10).flip_flops
+            == reynolds_general(1, 10).flip_flops
+        )
+
+    def test_thesis_table_rows(self):
+        by_name = {r.approach: r for r in THESIS_TABLE_4_1}
+        assert by_name["Kohavi example"].flip_flops == 2
+        assert by_name["Reynolds example"].gates == 19
+        assert by_name["Translator example"].flip_flops == 3
+
+
+class TestMeasuredCosts:
+    def test_measured_shape_matches_table_4_1(self):
+        """The thesis's qualitative claims hold for our synthesized
+        detectors: dual-FF doubles flip-flops; the translator uses n+1;
+        both SCAL variants cost more gates than the plain machine."""
+        kohavi = kohavi_circuit()
+        reynolds = reynolds_0101()
+        translator = translator_0101()
+        n = kohavi.circuit.flip_flop_count()
+        m = kohavi.circuit.gate_count()
+        assert reynolds.flip_flop_count() == 2 * n
+        assert translator.flip_flop_count() == n + 1
+        assert reynolds.gate_count() > m
+        assert translator.gate_count() > m
+
+    def test_measured_cost_extractor(self):
+        kohavi = kohavi_circuit()
+        row = measured_cost(
+            "kohavi", kohavi.circuit.flip_flop_count(), kohavi.circuit.network
+        )
+        assert row.flip_flops == THESIS_COSTS["kohavi"][0]
+        assert row.gate_inputs is not None
+
+
+class TestHelpers:
+    def test_render_table(self):
+        text = render_cost_table(list(THESIS_TABLE_4_1), title="Table 4.1")
+        assert "Table 4.1" in text
+        assert "Translator example" in text
+
+    def test_cost_factor(self):
+        assert cost_factor(10, 18) == pytest.approx(REYNOLDS_COST_FACTOR)
+        with pytest.raises(ValueError):
+            cost_factor(0, 5)

@@ -1,0 +1,163 @@
+"""Tests for the SCAL CPU (repro.system.cpu)."""
+
+import random
+
+import pytest
+
+from repro.system.cpu import (
+    CpuFault,
+    Instruction,
+    Op,
+    ScalCpu,
+    bits_to_word,
+    complement_bits,
+    reference_run,
+    word_to_bits,
+)
+
+
+def run_both(program, data=None, width=8):
+    cpu = ScalCpu(width)
+    result = cpu.run(program, data=data)
+    golden_acc, golden_mem = reference_run(program, data, width)
+    return result, golden_acc, golden_mem
+
+
+class TestWordHelpers:
+    def test_roundtrip(self):
+        for value in (0, 1, 127, 200, 255):
+            assert bits_to_word(word_to_bits(value, 8)) == value
+
+    def test_complement(self):
+        assert complement_bits([1, 0, 1]) == [0, 1, 0]
+
+
+class TestInstructionSemantics:
+    def test_ldi_and_add(self):
+        program = [
+            Instruction(Op.LDI, 10),
+            Instruction(Op.ADD, 0),
+            Instruction(Op.HALT),
+        ]
+        result, golden, _ = run_both(program, {0: 32})
+        assert result.halted and not result.detected
+        assert result.acc == golden == 42
+
+    def test_sub_wraps(self):
+        program = [
+            Instruction(Op.LDI, 5),
+            Instruction(Op.SUB, 0),
+            Instruction(Op.HALT),
+        ]
+        result, golden, _ = run_both(program, {0: 7})
+        assert result.acc == golden == (5 - 7) % 256
+
+    def test_shifts(self):
+        program = [
+            Instruction(Op.LDI, 0b1011),
+            Instruction(Op.SHL),
+            Instruction(Op.SHR),
+            Instruction(Op.SHR),
+            Instruction(Op.HALT),
+        ]
+        result, golden, _ = run_both(program)
+        assert result.acc == golden == 0b101
+
+    def test_store_and_load(self):
+        program = [
+            Instruction(Op.LDI, 99),
+            Instruction(Op.STORE, 4),
+            Instruction(Op.LDI, 0),
+            Instruction(Op.LOAD, 4),
+            Instruction(Op.HALT),
+        ]
+        result, golden, golden_mem = run_both(program)
+        assert result.acc == golden == 99
+        assert result.memory_words[4] == golden_mem[4]
+
+    def test_jz_taken_and_not_taken(self):
+        program = [
+            Instruction(Op.LDI, 0),
+            Instruction(Op.JZ, 3),
+            Instruction(Op.LDI, 77),   # skipped
+            Instruction(Op.LDI, 5),
+            Instruction(Op.JZ, 6),     # not taken (acc = 5)
+            Instruction(Op.LDI, 42),
+            Instruction(Op.HALT),
+        ]
+        result, golden, _ = run_both(program)
+        assert result.acc == golden == 42
+
+    def test_jmp_loop_and_max_steps(self):
+        program = [Instruction(Op.JMP, 0)]
+        cpu = ScalCpu()
+        result = cpu.run(program, max_steps=25)
+        assert not result.halted
+        assert result.steps == 25
+
+    def test_random_programs_match_reference(self):
+        rnd = random.Random(99)
+        straight_ops = [Op.LDI, Op.LOAD, Op.STORE, Op.ADD, Op.SUB, Op.SHL, Op.SHR]
+        for _ in range(15):
+            program = []
+            for _ in range(12):
+                op = rnd.choice(straight_ops)
+                arg = rnd.randrange(8) if op is not Op.LDI else rnd.randrange(256)
+                program.append(Instruction(op, arg))
+            program.append(Instruction(Op.HALT))
+            data = {addr: rnd.randrange(256) for addr in range(4)}
+            result, golden_acc, golden_mem = run_both(program, data)
+            assert not result.detected
+            assert result.acc == golden_acc
+            for addr, value in golden_mem.items():
+                assert result.memory_words.get(addr, 0) == value
+
+
+class TestFaultBehaviour:
+    def test_alu_bit_fault_detected_when_sensitized(self):
+        program = [
+            Instruction(Op.LDI, 0b1),  # ALU passes operand through
+            Instruction(Op.HALT),
+        ]
+        cpu = ScalCpu(fault=CpuFault("alu_bit", 0, 0))
+        result = cpu.run(program)
+        assert result.detected
+        assert result.detection_reason == "ALU pair nonalternating"
+
+    def test_alu_bit_fault_silent_when_value_matches(self):
+        """A stuck value equal to the healthy value in *both* phases is
+        impossible (phases alternate), so any exercised ALU op detects
+        the stuck bit immediately."""
+        program = [Instruction(Op.LDI, 0), Instruction(Op.HALT)]
+        cpu = ScalCpu(fault=CpuFault("alu_bit", 0, 0))
+        result = cpu.run(program)
+        assert result.detected  # phase-1 complement exposes it
+
+    def test_bus_fault_detected_by_parity(self):
+        program = [Instruction(Op.LOAD, 0), Instruction(Op.HALT)]
+        cpu = ScalCpu(fault=CpuFault("bus_bit", 2, 1))
+        result = cpu.run(program, data={0: 0})  # bit 2 actually flips
+        assert result.detected
+        assert result.detection_reason == "memory code word invalid"
+
+    def test_acc_ff_fault_detected(self):
+        program = [
+            Instruction(Op.LDI, 0),
+            Instruction(Op.SHL),
+            Instruction(Op.HALT),
+        ]
+        cpu = ScalCpu(fault=CpuFault("acc_ff", 3, 1))
+        result = cpu.run(program)
+        assert result.detected
+
+    def test_detection_stops_execution(self):
+        program = [
+            Instruction(Op.LDI, 1),
+            Instruction(Op.STORE, 0),
+            Instruction(Op.HALT),
+        ]
+        cpu = ScalCpu(fault=CpuFault("alu_bit", 0, 0))
+        result = cpu.run(program)
+        assert result.detected
+        assert not result.halted
+        assert result.detection_step is not None

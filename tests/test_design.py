@@ -1,0 +1,111 @@
+"""Tests for constructive SCAL design and automatic repair (repro.core.design)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design import (
+    design_scal_network,
+    duplicate_gate_for_branches,
+    make_self_checking,
+)
+from repro.core.simulate import ScalSimulator, is_scal_network
+from repro.logic.evaluate import functionally_equivalent
+from repro.logic.selfdual import first_period_function
+from repro.logic.truthtable import TruthTable
+from repro.workloads.benchcircuits import fig32_xor_path_network
+from repro.workloads.fig34 import fig34_network
+from repro.workloads.randomlogic import random_truth_table
+
+
+class TestDesignScalNetwork:
+    @settings(max_examples=15, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_designed_networks_are_certified_scal(self, rnd):
+        n = rnd.randint(2, 3)
+        tables = {
+            f"F{k}": TruthTable(n, rnd.getrandbits(1 << n)) for k in range(2)
+        }
+        net = design_scal_network(tables, [f"x{i}" for i in range(n)])
+        assert is_scal_network(net)
+
+    def test_first_period_recovers_specification(self):
+        rnd = random.Random(13)
+        n = 3
+        tables = {"F0": random_truth_table(rnd, n)}
+        net = design_scal_network(tables, [f"x{i}" for i in range(n)])
+        from repro.logic.evaluate import line_tables
+
+        out_table = line_tables(net)["F0"]
+        assert first_period_function(out_table).bits == tables["F0"].bits
+
+    def test_clock_is_last_input(self):
+        net = design_scal_network(
+            {"F": TruthTable.from_function(lambda a, b: a & b, 2)},
+            ["a", "b"],
+        )
+        assert net.inputs[-1] == "phi"
+
+
+class TestDuplicateGate:
+    def test_fig34_duplication_matches_fig37(self, fig34):
+        fixed = duplicate_gate_for_branches(fig34, "or_ab")
+        assert functionally_equivalent(fig34, fixed)
+        assert fixed.fanout_count("or_ab") == 1
+        assert fixed.gate_count() == fig34.gate_count() + 1
+
+    def test_no_fanout_is_identity(self, fig34):
+        assert duplicate_gate_for_branches(fig34, "g2") is fig34
+
+    def test_input_rejected(self, fig34):
+        with pytest.raises(ValueError):
+            duplicate_gate_for_branches(fig34, "A")
+
+    def test_three_way_fanout(self):
+        from repro.logic.gates import GateKind
+        from repro.logic.network import NetworkBuilder
+
+        b = NetworkBuilder(["a", "b"])
+        g = b.add("g", GateKind.NAND, ["a", "b"])
+        b.add("o1", GateKind.NOT, [g])
+        b.add("o2", GateKind.NOT, [g])
+        b.add("o3", GateKind.NOT, [g])
+        net = b.build(["o1", "o2", "o3"])
+        dup = duplicate_gate_for_branches(net, "g")
+        assert dup.gate_count() == net.gate_count() + 2
+        assert functionally_equivalent(net, dup)
+        for line in ("g", "g_dup1", "g_dup2"):
+            assert dup.fanout_count(line) == 1
+
+
+class TestMakeSelfChecking:
+    def test_repairs_fig34_with_the_thesis_fix(self, fig34):
+        report = make_self_checking(fig34)
+        assert report.success
+        assert report.gate_overhead == 1
+        assert report.steps[0].action == "duplicate"
+        assert report.steps[0].target == "or_ab"
+        assert functionally_equivalent(fig34, report.network)
+
+    def test_repairs_xor_network_by_resynthesis(self):
+        net = fig32_xor_path_network()
+        report = make_self_checking(net)
+        assert report.success
+        assert any(s.action == "resynthesize" for s in report.steps)
+        assert functionally_equivalent(net, report.network)
+        assert ScalSimulator(report.network).verdict(
+            include_pins=False
+        ).is_self_checking
+
+    def test_already_self_checking_is_untouched(self, fig37):
+        report = make_self_checking(fig37)
+        assert report.success
+        assert not report.steps
+        assert report.gate_overhead == 0
+
+    def test_summary_mentions_actions(self, fig34):
+        text = make_self_checking(fig34).summary()
+        assert "repaired" in text
+        assert "duplicate or_ab" in text

@@ -1,0 +1,95 @@
+"""Integration test: the full Section 3.6 walkthrough (E-FIG3.4/E-FIG3.7).
+
+These assertions pin down everything EXPERIMENTS.md claims about the
+Figure 3.4 reconstruction: the output functions, the Algorithm 3.1 line
+classification, the Figure 3.6 fault-table rows for the thesis's lines 9
+and 20, the not-self-checking verdict, and the Figure 3.7 fix.
+"""
+
+from repro.core import (
+    ScalSimulator,
+    analyze_network,
+    fault_table,
+    lines_needing_multi_output,
+    undetected_faults,
+)
+from repro.logic import functionally_equivalent, line_tables, parse_expressions
+from repro.logic.faults import StuckAt
+from repro.logic.network import expand_fanout_branches
+from repro.workloads.fig34 import (
+    THESIS_LINE_MAP,
+    expected_output_functions,
+    fig34_network,
+    fig37_fixed_network,
+)
+
+
+class TestFunctions:
+    def test_output_functions_match_section_3_6(self, fig34):
+        ref = parse_expressions(
+            expected_output_functions(), inputs=["A", "B", "C"]
+        )
+        assert functionally_equivalent(fig34, ref)
+
+    def test_outputs_are_self_dual(self, fig34):
+        tables = line_tables(fig34)
+        for out in fig34.outputs:
+            assert tables[out].is_self_dual()
+
+    def test_fix_preserves_functions(self, fig34, fig37):
+        assert functionally_equivalent(fig34, fig37)
+
+    def test_fix_adds_exactly_one_gate(self, fig34, fig37):
+        assert fig37.gate_count() == fig34.gate_count() + 1
+
+
+class TestThesisVerdicts:
+    def test_line9_admitted_only_by_corollary_32(self, fig34):
+        analysis = analyze_network(fig34)
+        nab = THESIS_LINE_MAP["9"]
+        assert lines_needing_multi_output(analysis) == (nab,)
+
+    def test_line20_breaks_self_checking(self, fig34):
+        analysis = analyze_network(fig34)
+        assert analysis.failing_lines() == (THESIS_LINE_MAP["20"],)
+
+    def test_line20_only_stuck_at_0(self, fig34):
+        """Like the thesis's line 20, only the s/0 direction slips
+        through undetected."""
+        sim = ScalSimulator(fig34)
+        assert not sim.response(StuckAt("or_ab", 0)).is_fault_secure
+        assert sim.response(StuckAt("or_ab", 1)).is_fault_secure
+
+    def test_oracle_and_analysis_agree(self, fig34):
+        oracle = ScalSimulator(fig34).verdict(include_pins=True)
+        analysis = analyze_network(expand_fanout_branches(fig34))
+        assert not oracle.is_self_checking
+        assert not analysis.is_self_checking
+        assert analysis.failing_lines() == ("or_ab",)
+
+    def test_fig36_table_reading(self, fig34):
+        rows = fault_table(
+            fig34,
+            [
+                StuckAt("nab", 0),
+                StuckAt("nab", 1),
+                StuckAt("or_ab", 0),
+                StuckAt("or_ab", 1),
+            ],
+            include_normal=False,
+        )
+        assert undetected_faults(rows) == ["or_ab s/0"]
+
+
+class TestFig37Fix:
+    def test_fixed_network_is_self_checking(self, fig37):
+        assert analyze_network(fig37).is_self_checking
+        assert ScalSimulator(fig37).verdict(include_pins=True).is_self_checking
+
+    def test_fixed_copies_have_no_fanout(self, fig37):
+        assert fig37.fanout_count("or_ab") == 1
+        assert fig37.fanout_count("or_ab2") == 1
+
+    def test_line9_still_needs_corollary_32_after_fix(self, fig37):
+        analysis = analyze_network(fig37)
+        assert lines_needing_multi_output(analysis) == ("nab",)

@@ -1,0 +1,165 @@
+"""Unit tests for gate semantics (repro.logic.gates)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.gates import (
+    DOMINANT_VALUE,
+    GateArityError,
+    GateKind,
+    check_arity,
+    evaluate,
+    evaluate_mask,
+    inverts,
+    is_standard,
+    is_unate,
+)
+
+ALL_EVAL_KINDS = [
+    GateKind.BUF,
+    GateKind.NOT,
+    GateKind.AND,
+    GateKind.OR,
+    GateKind.NAND,
+    GateKind.NOR,
+    GateKind.XOR,
+    GateKind.XNOR,
+    GateKind.MAJ,
+    GateKind.MIN,
+]
+
+
+class TestPointwiseEvaluation:
+    def test_constants(self):
+        assert evaluate(GateKind.CONST0, []) == 0
+        assert evaluate(GateKind.CONST1, []) == 1
+
+    def test_buf_and_not(self):
+        assert evaluate(GateKind.BUF, [0]) == 0
+        assert evaluate(GateKind.BUF, [1]) == 1
+        assert evaluate(GateKind.NOT, [0]) == 1
+        assert evaluate(GateKind.NOT, [1]) == 0
+
+    @pytest.mark.parametrize(
+        "kind,table",
+        [
+            (GateKind.AND, [0, 0, 0, 1]),
+            (GateKind.OR, [0, 1, 1, 1]),
+            (GateKind.NAND, [1, 1, 1, 0]),
+            (GateKind.NOR, [1, 0, 0, 0]),
+            (GateKind.XOR, [0, 1, 1, 0]),
+            (GateKind.XNOR, [1, 0, 0, 1]),
+        ],
+    )
+    def test_two_input_truth_tables(self, kind, table):
+        for i, (a, b) in enumerate(itertools.product((0, 1), repeat=2)):
+            assert evaluate(kind, [a, b]) == table[i]
+
+    def test_majority_three(self):
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            assert evaluate(GateKind.MAJ, [a, b, c]) == int(a + b + c >= 2)
+
+    def test_minority_three(self):
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            assert evaluate(GateKind.MIN, [a, b, c]) == int(a + b + c <= 1)
+
+    def test_minority_is_complement_of_majority_for_odd_arity(self):
+        for n in (1, 3, 5):
+            for point in range(1 << n):
+                xs = [(point >> i) & 1 for i in range(n)]
+                assert evaluate(GateKind.MIN, xs) == 1 - evaluate(
+                    GateKind.MAJ, xs
+                )
+
+    def test_minority_even_arity_strict(self):
+        # Exactly half ones: neither minority nor majority.
+        assert evaluate(GateKind.MIN, [0, 1]) == 0
+        assert evaluate(GateKind.MIN, [0, 0]) == 1
+        assert evaluate(GateKind.MIN, [1, 1]) == 0
+
+    def test_wide_gates(self):
+        assert evaluate(GateKind.AND, [1] * 7) == 1
+        assert evaluate(GateKind.AND, [1] * 6 + [0]) == 0
+        assert evaluate(GateKind.XOR, [1] * 5) == 1
+        assert evaluate(GateKind.XOR, [1] * 4) == 0
+
+
+class TestMaskEvaluation:
+    @settings(max_examples=150)
+    @given(
+        st.sampled_from(ALL_EVAL_KINDS),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_mask_matches_pointwise(self, kind, n_vars, arity, rnd):
+        if kind in (GateKind.BUF, GateKind.NOT):
+            arity = 1
+        if kind is GateKind.MAJ:
+            arity = arity | 1  # force odd
+            arity = max(arity, 3)
+        size = 1 << n_vars
+        full = (1 << size) - 1
+        masks = [rnd.getrandbits(size) for _ in range(arity)]
+        out = evaluate_mask(kind, masks, full)
+        for point in range(size):
+            values = [(m >> point) & 1 for m in masks]
+            assert (out >> point) & 1 == evaluate(kind, values)
+
+    def test_constants_mask(self):
+        assert evaluate_mask(GateKind.CONST0, [], 0b1111) == 0
+        assert evaluate_mask(GateKind.CONST1, [], 0b1111) == 0b1111
+
+    def test_threshold_mask_empty_counter(self):
+        # All-zero inputs: minority of zeros is 1 everywhere.
+        assert evaluate_mask(GateKind.MIN, [0, 0, 0], 0b11) == 0b11
+        assert evaluate_mask(GateKind.MAJ, [0, 0, 0], 0b11) == 0
+
+
+class TestArity:
+    def test_not_requires_one_input(self):
+        with pytest.raises(GateArityError):
+            check_arity(GateKind.NOT, 2)
+
+    def test_majority_must_be_odd(self):
+        with pytest.raises(GateArityError):
+            check_arity(GateKind.MAJ, 4)
+        check_arity(GateKind.MAJ, 5)
+
+    def test_inputs_take_no_inputs(self):
+        with pytest.raises(GateArityError):
+            check_arity(GateKind.INPUT, 1)
+
+    def test_minority_any_width(self):
+        for n in range(1, 8):
+            check_arity(GateKind.MIN, n)
+
+
+class TestClassifications:
+    def test_standard_gates(self):
+        assert is_standard(GateKind.NAND)
+        assert is_standard(GateKind.NOT)
+        assert not is_standard(GateKind.XOR)
+        assert not is_standard(GateKind.MAJ)
+
+    def test_unate_gates(self):
+        assert is_unate(GateKind.NAND)
+        assert is_unate(GateKind.MAJ)
+        assert is_unate(GateKind.MIN)
+        assert not is_unate(GateKind.XOR)
+        assert not is_unate(GateKind.XNOR)
+
+    def test_inversion_parity(self):
+        assert inverts(GateKind.NOT)
+        assert inverts(GateKind.NAND)
+        assert inverts(GateKind.MIN)
+        assert not inverts(GateKind.AND)
+        assert not inverts(GateKind.BUF)
+
+    def test_dominant_values_force_output(self):
+        for kind, (dom, forced) in DOMINANT_VALUE.items():
+            for others in itertools.product((0, 1), repeat=2):
+                assert evaluate(kind, [dom, *others]) == forced

@@ -1,0 +1,111 @@
+"""Tests for hardcore elements and Theorem 5.2 (repro.checkers.hardcore)."""
+
+import itertools
+
+import pytest
+
+from repro.checkers.hardcore import (
+    DEFAULT_CANDIDATES,
+    CombinationalDisable,
+    HoldLastDisable,
+    LatchedErrorDisable,
+    LatchingCheckerOutput,
+    check_candidate,
+    clock_disable,
+    clock_disable_network,
+    clock_disable_truth_table,
+    meets_requirements,
+    replicated_clock_disable,
+    replication_failure_probability,
+    theorem_5_2_survey,
+    untestable_faults,
+)
+from repro.logic.faults import StuckAt
+from repro.logic.evaluate import outputs_with_fault
+
+
+class TestTable52:
+    def test_truth_table_rows(self):
+        rows = clock_disable_truth_table()
+        assert len(rows) == 8
+        expected = {
+            (0, 0, 0): 0, (0, 0, 1): 0, (0, 1, 0): 0, (0, 1, 1): 0,
+            (1, 0, 0): 0, (1, 0, 1): 1, (1, 1, 0): 1, (1, 1, 1): 0,
+        }
+        for clock, f, g, out in rows:
+            assert out == expected[(clock, f, g)]
+
+    def test_network_matches_function(self):
+        net = clock_disable_network()
+        for clock, f, g in itertools.product((0, 1), repeat=3):
+            got = net.output_values({"clock": clock, "f": f, "g": g})
+            assert got == (clock_disable(clock, f, g),)
+
+    def test_xor_stuck_at_1_is_undetectable_in_code_operation(self):
+        """The thesis's observation: with the XOR output stuck at 1 the
+        module behaves identically for all *code* inputs (f ≠ g)."""
+        net = clock_disable_network()
+        for clock, f in itertools.product((0, 1), repeat=2):
+            g = 1 - f  # code input
+            healthy = net.output_values({"clock": clock, "f": f, "g": g})
+            faulty = outputs_with_fault(
+                net, {"clock": clock, "f": f, "g": g}, StuckAt("fg", 1)
+            )
+            assert healthy == faulty
+
+
+class TestReplication:
+    def test_series_modules(self):
+        codes = [(1, 0), (0, 1), (1, 0)]
+        assert replicated_clock_disable(1, codes) == 1
+        codes[1] = (1, 1)
+        assert replicated_clock_disable(1, codes) == 0
+
+    def test_failure_probability(self):
+        assert replication_failure_probability(0.1, 3) == pytest.approx(1e-3)
+        with pytest.raises(ValueError):
+            replication_failure_probability(1.5, 2)
+        with pytest.raises(ValueError):
+            replication_failure_probability(0.5, 0)
+
+
+class TestLatchingChecker:
+    def test_noncode_latches(self):
+        latch = LatchingCheckerOutput()
+        assert latch.step(1, 0) == (1, 0)
+        assert latch.step(1, 1) == (1, 1)
+        assert latch.latched_fault
+        # Once latched, good inputs cannot clear it.
+        assert latch.step(1, 0) == (1, 1)
+
+
+class TestTheorem52:
+    def test_combinational_fails_requirements(self):
+        assert meets_requirements(CombinationalDisable()) is not None
+
+    def test_latched_error_fails_requirements(self):
+        """Killing the clock the instant the code fails mid-cycle creates
+        the forbidden falling edge (requirement R2)."""
+        assert meets_requirements(LatchedErrorDisable()) is not None
+
+    def test_hold_last_meets_requirements_but_untestable(self):
+        assert meets_requirements(HoldLastDisable()) is None
+        faults = untestable_faults(HoldLastDisable)
+        assert "xor_out s/1" in faults
+
+    def test_survey_confirms_theorem(self):
+        """Theorem 5.2: no candidate is a self-checking hardcore."""
+        for verdict in theorem_5_2_survey():
+            assert not verdict.is_self_checking_hardcore, verdict.name
+
+    def test_verdicts_carry_explanations(self):
+        for verdict in theorem_5_2_survey(DEFAULT_CANDIDATES):
+            if not verdict.meets_requirements:
+                assert verdict.violation
+            else:
+                assert verdict.untestable_faults
+
+    def test_check_candidate_shape(self):
+        verdict = check_candidate(CombinationalDisable)
+        assert verdict.name == "combinational c&(f^g)"
+        assert not verdict.meets_requirements

@@ -1,0 +1,93 @@
+"""Tests for the sequential machine library (repro.workloads.machines)."""
+
+import random
+
+import pytest
+
+from repro.scal.codeconv import to_code_conversion
+from repro.scal.dualff import to_dual_flipflop
+from repro.scal.verify import codeconv_campaign, dualff_campaign, random_vectors
+from repro.seq.minimize import is_minimal
+from repro.seq.synthesis import synthesize_machine
+from repro.workloads.machines import (
+    debouncer,
+    machine_suite,
+    modulo_counter,
+    parity_checker,
+    serial_adder,
+    traffic_light,
+)
+
+
+class TestSemantics:
+    def test_serial_adder_adds(self):
+        machine = serial_adder()
+        # 3 + 6 = 9 over 5 LSB-first bit pairs.
+        a_bits = [1, 1, 0, 0, 0]
+        b_bits = [0, 1, 1, 0, 0]
+        outs = machine.run(list(zip(a_bits, b_bits)))
+        total = sum(z << i for i, (z,) in enumerate(outs))
+        assert total == 9
+
+    def test_parity_checker(self):
+        machine = parity_checker()
+        outs = [z for (z,) in machine.run([(1,), (1,), (1,), (0,)])]
+        assert outs == [1, 0, 1, 1]
+
+    def test_modulo_counter_wraps(self):
+        machine = modulo_counter(3)
+        outs = [z for (z,) in machine.run([(1,)] * 7)]
+        assert outs == [0, 0, 1, 0, 0, 1, 0]
+
+    def test_modulo_validation(self):
+        with pytest.raises(ValueError):
+            modulo_counter(1)
+
+    def test_debouncer_filters_glitches(self):
+        machine = debouncer()
+        # A one-sample glitch must not flip the output; the level changes
+        # only after the second agreeing sample.
+        outs = [z for (z,) in machine.run([(1,), (0,), (1,), (1,), (1,)])]
+        assert outs == [0, 0, 0, 0, 1]
+        # A confirmed drop holds high through the confirmation sample.
+        outs2 = [z for (z,) in machine.run([(1,), (1,), (0,), (0,)])]
+        assert outs2 == [0, 0, 1, 1]
+
+    def test_traffic_light_grants_walk_in_all_red(self):
+        machine = traffic_light()
+        outs = [z for (z,) in machine.run([(1,), (1,), (1,), (1,)])]
+        assert outs == [0, 0, 1, 0]
+
+
+class TestSuiteProperties:
+    def test_all_machines_minimal(self):
+        for machine in machine_suite():
+            assert is_minimal(machine), machine.name
+
+    def test_all_machines_synthesizable(self):
+        rnd = random.Random(5)
+        for machine in machine_suite():
+            synth = synthesize_machine(machine)
+            stream = [
+                tuple(rnd.randint(0, 1) for _ in range(machine.n_inputs))
+                for _ in range(30)
+            ]
+            assert synth.run_symbols(stream) == machine.run(stream), machine.name
+
+
+class TestScalCampaignsOnSuite:
+    @pytest.mark.parametrize(
+        "factory", [serial_adder, parity_checker, debouncer, traffic_light]
+    )
+    def test_dualff_fault_secure(self, factory):
+        machine = factory()
+        dff = to_dual_flipflop(machine)
+        vectors = random_vectors(machine, 30, seed=21)
+        result = dualff_campaign(dff, vectors)
+        assert result.is_fault_secure, result.dangerous_faults
+
+    def test_codeconv_fault_secure_serial_adder(self):
+        machine = serial_adder()
+        cc = to_code_conversion(machine)
+        result = codeconv_campaign(cc, random_vectors(machine, 30, seed=22))
+        assert result.is_fault_secure, result.dangerous_faults

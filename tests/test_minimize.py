@@ -1,0 +1,93 @@
+"""Tests for state minimization (repro.seq.minimize)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq.machine import single_input_table
+from repro.seq.minimize import equivalence_classes, is_minimal, minimize_machine
+from repro.workloads.detectors import kohavi_0101
+from repro.workloads.randomlogic import random_machine
+
+
+def machine_with_duplicate_states():
+    """Q1 and Q2 are equivalent (identical rows up to each other)."""
+    rows = {
+        "Q0": {0: ("Q1", 0), 1: ("Q2", 1)},
+        "Q1": {0: ("Q0", 1), 1: ("Q1", 0)},
+        "Q2": {0: ("Q0", 1), 1: ("Q2", 0)},
+    }
+    return single_input_table("dup", rows, "Q0")
+
+
+class TestEquivalenceClasses:
+    def test_duplicate_states_merge(self):
+        machine = machine_with_duplicate_states()
+        blocks = equivalence_classes(machine)
+        assert len(blocks) == 2
+        assert any(set(b) == {"Q1", "Q2"} for b in blocks)
+
+    def test_kohavi_detector_is_minimal(self, detector):
+        assert is_minimal(detector)
+
+    def test_distinct_outputs_never_merge(self):
+        rows = {
+            "A": {0: ("A", 0), 1: ("B", 0)},
+            "B": {0: ("A", 1), 1: ("B", 1)},
+        }
+        machine = single_input_table("m", rows, "A")
+        assert len(equivalence_classes(machine)) == 2
+
+
+class TestMinimizeMachine:
+    def test_reduced_size(self):
+        machine = machine_with_duplicate_states()
+        reduced = minimize_machine(machine)
+        assert len(reduced.states) == 2
+        assert is_minimal(reduced)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_behavioural_equivalence(self, rnd):
+        machine = random_machine(rnd, rnd.randint(2, 6))
+        reduced = minimize_machine(machine)
+        stream = [(rnd.randint(0, 1),) for _ in range(40)]
+        assert reduced.run(stream) == machine.run(stream)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_idempotent(self, rnd):
+        machine = random_machine(rnd, rnd.randint(2, 6))
+        once = minimize_machine(machine)
+        twice = minimize_machine(once)
+        assert len(once.states) == len(twice.states)
+        assert is_minimal(once)
+
+    def test_initial_state_mapped(self):
+        machine = machine_with_duplicate_states()
+        reduced = minimize_machine(machine)
+        assert reduced.initial_state in reduced.states
+
+
+class TestPipelineWithSynthesis:
+    def test_minimize_then_synthesize(self):
+        from repro.seq.synthesis import synthesize_machine
+
+        machine = machine_with_duplicate_states()
+        reduced = minimize_machine(machine)
+        synth = synthesize_machine(reduced)
+        rnd = random.Random(3)
+        stream = [(rnd.randint(0, 1),) for _ in range(30)]
+        assert synth.run_symbols(stream) == machine.run(stream)
+
+    def test_fewer_states_fewer_flip_flops(self):
+        from repro.seq.synthesis import synthesize_machine
+
+        machine = machine_with_duplicate_states()
+        full = synthesize_machine(machine)
+        reduced = synthesize_machine(minimize_machine(machine))
+        assert (
+            reduced.circuit.flip_flop_count()
+            <= full.circuit.flip_flop_count()
+        )

@@ -1,0 +1,98 @@
+"""Tests for Algorithm 5.1 mixed checker design (repro.checkers.mixed)."""
+
+import pytest
+
+from repro.checkers.mixed import (
+    CheckerSpec,
+    all_dual_rail_cost,
+    partition,
+    spec_from_network,
+    thesis_nine_output_example,
+)
+from repro.workloads.fig34 import fig34_network
+
+
+class TestThesisExample:
+    def test_partition_matches_section_5_4(self):
+        plan = partition(thesis_nine_output_example())
+        assert plan.xor_checked == ("1", "2", "3", "4", "9")
+        assert plan.dual_rail_checked == ("5", "6", "7", "8")
+
+    def test_groups_merged(self):
+        plan = partition(thesis_nine_output_example())
+        groups = {frozenset(g) for g in plan.groups}
+        assert frozenset({"4", "5", "6", "7"}) in groups
+        assert frozenset({"8", "9"}) in groups
+
+    def test_cost_roughly_half_of_dual_rail(self):
+        plan = partition(thesis_nine_output_example())
+        gates, ffs = plan.total_cost("xor")
+        base_gates, base_ffs = all_dual_rail_cost(9)
+        assert base_gates == 48 and base_ffs == 9
+        assert gates <= base_gates / 2 + 2
+        assert ffs <= base_ffs / 2 + 1
+
+    def test_dual_rail_combine_costs_more(self):
+        plan = partition(thesis_nine_output_example())
+        xg, xf = plan.total_cost("xor")
+        dg, df = plan.total_cost("dual-rail")
+        assert dg > xg and df > xf
+
+    def test_bad_combine_style(self):
+        plan = partition(thesis_nine_output_example())
+        with pytest.raises(ValueError):
+            plan.total_cost("bogus")
+
+
+class TestPartitionEdgeCases:
+    def test_all_independent(self):
+        spec = CheckerSpec(("a", "b"), (), frozenset())
+        plan = partition(spec)
+        assert plan.xor_checked == ("a", "b")
+        assert plan.dual_rail_checked == ()
+        assert plan.total_cost("xor")[1] == 0  # no flip-flops needed
+
+    def test_all_dependent_all_bad(self):
+        spec = CheckerSpec(
+            ("a", "b"), (frozenset({"a", "b"}),), frozenset({"a", "b"})
+        )
+        plan = partition(spec)
+        assert plan.xor_checked == ()
+        assert plan.dual_rail_checked == ("a", "b")
+
+    def test_one_promotable_per_group_only(self):
+        spec = CheckerSpec(
+            ("a", "b", "c"), (frozenset({"a", "b", "c"}),), frozenset()
+        )
+        plan = partition(spec)
+        assert len(plan.xor_checked) == 1
+        assert len(plan.dual_rail_checked) == 2
+
+    def test_overlapping_groups_merge(self):
+        spec = CheckerSpec(
+            ("a", "b", "c", "d"),
+            (frozenset({"a", "b"}), frozenset({"b", "c"})),
+            frozenset({"a", "b", "c"}),
+        )
+        plan = partition(spec)
+        assert plan.groups == (("a", "b", "c"),)
+        assert plan.xor_checked == ("d",)
+
+
+class TestSpecFromNetwork:
+    def test_fig34_sharing_structure(self, fig34):
+        spec = spec_from_network(fig34)
+        merged = partition(spec)
+        # F1, F2, F3 all share logic pairwise-transitively (nab, nbc).
+        assert len(merged.groups) == 1
+        assert set(merged.groups[0]) == {"F1", "F2", "F3"}
+
+    def test_fig34_bad_outputs(self, fig34):
+        spec = spec_from_network(fig34)
+        # F2 can alternate incorrectly (lines nab/or_ab); F1 and F3 never.
+        assert "F2" in spec.incorrectly_alternating
+
+    def test_fig34_plan_promotes_a_clean_output(self, fig34):
+        plan = partition(spec_from_network(fig34))
+        assert "F2" in plan.dual_rail_checked
+        assert len(plan.xor_checked) == 1

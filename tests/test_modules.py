@@ -1,0 +1,142 @@
+"""Tests for self-dual datapath modules (adder, shifter, status)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simulate import ScalSimulator, is_scal_network
+from repro.logic.evaluate import line_tables
+from repro.modules.adder import (
+    add_words,
+    full_adder_network,
+    ripple_adder_network,
+)
+from repro.modules.shifter import AlternatingShiftRegister, shift_word
+from repro.modules.status import AlternatingStatusBit, AlternatingStatusRegister
+
+
+class TestFullAdder:
+    def test_self_dual_outputs(self):
+        net = full_adder_network()
+        tables = line_tables(net)
+        assert tables["s"].is_self_dual()
+        assert tables["cout"].is_self_dual()
+
+    def test_arithmetic(self):
+        net = full_adder_network()
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    s, cout = net.output_values({"a": a, "b": b, "cin": c})
+                    assert s + 2 * cout == a + b + c
+
+    def test_is_scal_network(self):
+        """The Figure 2.2 claim: the adder is SCAL for free."""
+        assert is_scal_network(full_adder_network())
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_alternating(self, width):
+        net = ripple_adder_network(width)
+        tables = line_tables(net)
+        for out in net.outputs:
+            assert tables[out].is_self_dual()
+
+    def test_two_bit_scal(self):
+        """Exhaustive single-fault sweep of the 2-bit adder (5 inputs)."""
+        verdict = ScalSimulator(ripple_adder_network(2)).verdict(
+            include_pins=False
+        )
+        assert verdict.is_self_checking
+
+    @settings(max_examples=80)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.randoms(use_true_random=False),
+    )
+    def test_add_words_arithmetic(self, width, rnd):
+        a = rnd.randrange(1 << width)
+        b = rnd.randrange(1 << width)
+        cin = rnd.randint(0, 1)
+        a_bits = [(a >> i) & 1 for i in range(width)]
+        b_bits = [(b >> i) & 1 for i in range(width)]
+        s_bits, cout = add_words(a_bits, b_bits, cin)
+        total = sum(v << i for i, v in enumerate(s_bits)) + (cout << width)
+        assert total == a + b + cin
+
+    @settings(max_examples=60)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.randoms(use_true_random=False),
+    )
+    def test_bitwise_self_duality_of_addition(self, width, rnd):
+        """¬(a + b + cin) = ā + b̄ + ¬cin bitwise incl. carry — the
+        identity behind the adder's (and SUB's) SCAL operation."""
+        a = [rnd.randint(0, 1) for _ in range(width)]
+        b = [rnd.randint(0, 1) for _ in range(width)]
+        cin = rnd.randint(0, 1)
+        s, cout = add_words(a, b, cin)
+        sc, coutc = add_words(
+            [1 - x for x in a], [1 - x for x in b], 1 - cin
+        )
+        assert sc == [1 - x for x in s]
+        assert coutc == 1 - cout
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ripple_adder_network(0)
+        with pytest.raises(ValueError):
+            add_words([0, 1], [0])
+
+
+class TestShifter:
+    def test_shift_word_semantics(self):
+        assert shift_word([1, 0, 1], "left") == [0, 1, 0]
+        assert shift_word([1, 0, 1], "right", fill=1) == [0, 1, 1]
+        with pytest.raises(ValueError):
+            shift_word([1], "sideways")
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=6),
+        st.sampled_from(["left", "right"]),
+        st.integers(min_value=0, max_value=1),
+    )
+    def test_shift_self_dual(self, bits, direction, fill):
+        shifted = shift_word(bits, direction, fill)
+        comp = shift_word([1 - b for b in bits], direction, 1 - fill)
+        assert comp == [1 - b for b in shifted]
+
+    def test_register_alternates_and_shifts(self):
+        reg = AlternatingShiftRegister(3)
+        reg.reset([1, 0, 1])
+        first, second = reg.shift_pair(0, 1)
+        assert reg.alternates()
+        assert reg.outputs(0) == [0, 1, 0]
+        assert reg.outputs(1) == [1, 0, 1]
+        assert reg.flip_flop_count() == 6
+
+    def test_register_detects_broken_pair(self):
+        reg = AlternatingShiftRegister(2)
+        reg.reset([1, 0])
+        reg.shift_pair(1, 1)  # a nonalternating incoming pair
+        assert not reg.alternates()
+
+
+class TestStatus:
+    def test_bit_alternation(self):
+        bit = AlternatingStatusBit()
+        bit.store_pair(1, 0)
+        assert bit.alternates and bit.value == 1
+        bit.store_pair(1, 1)
+        assert not bit.alternates
+
+    def test_register(self):
+        reg = AlternatingStatusRegister(["Z", "C", "N"])
+        reg.store_pairs({"Z": 1, "C": 0, "N": 0}, {"Z": 0, "C": 1, "N": 1})
+        assert reg.alternates()
+        assert reg.values() == {"Z": 1, "C": 0, "N": 0}
+        assert reg.read("Z", 0) == 1
+        assert reg.read("Z", 1) == 0
+        assert reg.flip_flop_count() == 6

@@ -1,0 +1,74 @@
+"""Tests for multi-fault coverage analysis (repro.core.multifault)."""
+
+import random
+
+from repro.core.multifault import (
+    coverage_by_class,
+    double_faults,
+    random_multiple_faults,
+    render_coverage,
+    unidirectional_faults,
+)
+from repro.core.simulate import ScalSimulator
+from repro.logic.parse import parse_expression
+from repro.workloads.randomlogic import random_alternating_network
+
+
+class TestFaultEnumeration:
+    def test_double_fault_count(self):
+        net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+        stems = len(list(net.lines()))
+        expected = (stems * (stems - 1) // 2) * 4
+        assert len(double_faults(net)) == expected
+
+    def test_double_fault_sampling(self):
+        net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+        sampled = double_faults(net, sample=10, rng=random.Random(1))
+        assert len(sampled) == 10
+
+    def test_unidirectional_all_same_polarity(self):
+        net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+        for fault in unidirectional_faults(net, max_lines=2, sample=20):
+            assert fault.is_unidirectional()
+
+    def test_random_multiple_faults_deterministic(self):
+        net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+        a = random_multiple_faults(net, 5, rng=random.Random(3))
+        b = random_multiple_faults(net, 5, rng=random.Random(3))
+        assert a == b
+
+
+class TestCoverage:
+    def test_single_faults_fully_covered_on_scal_network(self):
+        rnd = random.Random(14)
+        net = random_alternating_network(rnd, 3)
+        rows = coverage_by_class(net, sample=60)
+        by_class = {r.fault_class: r for r in rows}
+        assert by_class["single (Def 2.1)"].dangerous == 0
+
+    def test_wider_classes_leak(self):
+        """Section 2.4: 'not all failures are covered' — over a small
+        population some multiple faults slip through on some network."""
+        rnd = random.Random(15)
+        total_dangerous = 0
+        for _ in range(6):
+            net = random_alternating_network(rnd, 3)
+            rows = coverage_by_class(net, sample=80, seed=rnd.randint(0, 99))
+            by_class = {r.fault_class: r for r in rows}
+            assert by_class["single (Def 2.1)"].dangerous == 0
+            total_dangerous += by_class["multiple (Def 2.3)"].dangerous
+            total_dangerous += by_class["double"].dangerous
+        assert total_dangerous > 0
+
+    def test_render(self):
+        rnd = random.Random(16)
+        net = random_alternating_network(rnd, 3)
+        text = render_coverage(coverage_by_class(net, sample=20))
+        assert "single (Def 2.1)" in text
+        assert "unidirectional" in text
+
+    def test_fractions_consistent(self):
+        rnd = random.Random(17)
+        net = random_alternating_network(rnd, 3)
+        for row in coverage_by_class(net, sample=30):
+            assert row.detected + row.silent + row.dangerous == row.total

@@ -1,0 +1,211 @@
+"""Unit tests for the netlist model (repro.logic.network)."""
+
+import pytest
+
+from repro.logic.gates import GateKind
+from repro.logic.network import (
+    Gate,
+    Network,
+    NetworkBuilder,
+    NetworkError,
+    expand_fanout_branches,
+    merge_disjoint,
+)
+
+
+def small_net():
+    b = NetworkBuilder(["a", "b"], name="small")
+    b.add("n1", GateKind.NAND, ["a", "b"])
+    b.add("n2", GateKind.NOT, ["n1"])
+    return b.build(["n2"])
+
+
+class TestConstruction:
+    def test_builder_basic(self):
+        net = small_net()
+        assert net.inputs == ("a", "b")
+        assert net.outputs == ("n2",)
+        assert [g.name for g in net.gates] == ["n1", "n2"]
+
+    def test_duplicate_line_rejected(self):
+        b = NetworkBuilder(["a"])
+        b.add("n", GateKind.NOT, ["a"])
+        with pytest.raises(NetworkError):
+            b.add("n", GateKind.NOT, ["a"])
+
+    def test_undefined_source_rejected(self):
+        b = NetworkBuilder(["a"])
+        with pytest.raises(NetworkError):
+            b.add("n", GateKind.NOT, ["zzz"])
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(["a", "a"], [], ["a"])
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(["a"], [], ["missing"])
+
+    def test_cycle_rejected(self):
+        gates = [
+            Gate("p", GateKind.NOT, ("q",)),
+            Gate("q", GateKind.NOT, ("p",)),
+        ]
+        with pytest.raises(NetworkError):
+            Network([], gates, ["p"])
+
+    def test_forward_reference_allowed(self):
+        gates = [
+            Gate("second", GateKind.NOT, ("first",)),
+            Gate("first", GateKind.NOT, ("a",)),
+        ]
+        net = Network(["a"], gates, ["second"])
+        assert net.output_values({"a": 0}) == (0,)
+
+    def test_missing_input_value(self):
+        net = small_net()
+        with pytest.raises(NetworkError):
+            net.evaluate({"a": 1})
+
+    def test_fresh_names(self):
+        b = NetworkBuilder(["a"])
+        l1 = b.fresh(GateKind.NOT, ["a"])
+        l2 = b.fresh(GateKind.NOT, [l1])
+        assert l1 != l2
+
+
+class TestStructure:
+    def test_fanout(self):
+        b = NetworkBuilder(["a"])
+        b.add("n1", GateKind.NOT, ["a"])
+        b.add("n2", GateKind.NOT, ["n1"])
+        b.add("n3", GateKind.NOT, ["n1"])
+        net = b.build(["n2", "n3"])
+        assert set(net.fanout("n1")) == {"n2", "n3"}
+        assert net.fanout_count("n1") == 2
+        assert net.fanout_count("n2") == 0
+
+    def test_fanout_counts_duplicate_pins(self):
+        b = NetworkBuilder(["a"])
+        b.add("x", GateKind.XOR, ["a", "a"])
+        net = b.build(["x"])
+        assert net.fanout_count("a") == 2
+
+    def test_cone(self):
+        b = NetworkBuilder(["a", "b", "c"])
+        b.add("n1", GateKind.AND, ["a", "b"])
+        b.add("n2", GateKind.OR, ["b", "c"])
+        net = b.build(["n1", "n2"])
+        assert net.cone("n1") == {"n1", "a", "b"}
+        assert net.outputs_using("b") == ("n1", "n2")
+        assert net.outputs_using("a") == ("n1",)
+
+    def test_reachable_outputs(self):
+        b = NetworkBuilder(["a", "b"])
+        b.add("n1", GateKind.AND, ["a", "b"])
+        net = b.build(["n1"])
+        reach = net.reachable_outputs()
+        assert reach["a"] == ("n1",)
+        assert reach["n1"] == ("n1",)
+
+    def test_depth(self):
+        b = NetworkBuilder(["a"])
+        prev = "a"
+        for i in range(5):
+            prev = b.add(f"n{i}", GateKind.NOT, [prev])
+        net = b.build([prev])
+        assert net.depth() == 5
+
+    def test_gate_counts(self):
+        b = NetworkBuilder(["a", "b"])
+        b.add("k", GateKind.CONST1, [])
+        b.add("n1", GateKind.AND, ["a", "b"])
+        b.add("n2", GateKind.BUF, ["n1"])
+        net = b.build(["n2"])
+        assert net.gate_count() == 2
+        assert net.gate_count(include_buffers=False) == 1
+        assert net.gate_input_count() == 3
+
+    def test_kind_histogram(self):
+        net = small_net()
+        hist = net.kind_histogram()
+        assert hist[GateKind.NAND] == 1
+        assert hist[GateKind.NOT] == 1
+
+
+class TestTransforms:
+    def test_renamed(self):
+        net = small_net()
+        r = net.renamed("z_")
+        assert r.inputs == ("z_a", "z_b")
+        assert r.outputs == ("z_n2",)
+        assert r.output_values({"z_a": 1, "z_b": 1}) == net.output_values(
+            {"a": 1, "b": 1}
+        )
+
+    def test_with_outputs(self):
+        net = small_net()
+        r = net.with_outputs(["n1"])
+        assert r.outputs == ("n1",)
+        assert r.output_values({"a": 1, "b": 1}) == (0,)
+
+    def test_merge_disjoint(self):
+        a = small_net()
+        b_builder = NetworkBuilder(["a", "b"])
+        b_builder.add("m1", GateKind.OR, ["a", "b"])
+        b = b_builder.build(["m1"])
+        merged = merge_disjoint(a, b)
+        assert set(merged.outputs) == {"n2", "m1"}
+        values = merged.output_values({"a": 1, "b": 0})
+        assert values == (0, 1)
+
+    def test_merge_conflicting_gate_names(self):
+        a = small_net()
+        with pytest.raises(NetworkError):
+            merge_disjoint(a, a)
+
+    def test_expand_fanout_branches_preserves_function(self):
+        b = NetworkBuilder(["a", "b"])
+        n1 = b.add("n1", GateKind.NAND, ["a", "b"])
+        b.add("o1", GateKind.NOT, [n1])
+        b.add("o2", GateKind.AND, [n1, "a"])
+        net = b.build(["o1", "o2"])
+        exp = expand_fanout_branches(net)
+        for point in range(4):
+            assign = {"a": point & 1, "b": (point >> 1) & 1}
+            assert exp.output_values(assign) == net.output_values(assign)
+
+    def test_expand_fanout_adds_branch_lines(self):
+        b = NetworkBuilder(["a"])
+        b.add("o1", GateKind.NOT, ["a"])
+        b.add("o2", GateKind.NOT, ["a"])
+        net = b.build(["o1", "o2"])
+        exp = expand_fanout_branches(net)
+        branch_lines = [g.name for g in exp.gates if g.kind is GateKind.BUF]
+        assert len(branch_lines) == 2
+        assert exp.fanout_count("a") == 2  # the two branch BUFs
+
+    def test_expand_no_fanout_is_identity_shape(self):
+        net = small_net()
+        exp = expand_fanout_branches(net)
+        assert exp.gate_count() == net.gate_count()
+
+
+class TestEvaluation:
+    def test_nand_values(self):
+        net = small_net()
+        # n2 = NOT(NAND(a,b)) = AND
+        assert net.output_values({"a": 1, "b": 1}) == (1,)
+        assert net.output_values({"a": 1, "b": 0}) == (0,)
+
+    def test_overrides_stem(self):
+        net = small_net()
+        assert net.output_values({"a": 1, "b": 1}, overrides={"n1": 1}) == (0,)
+
+    def test_override_input(self):
+        net = small_net()
+        assert net.output_values({"a": 0, "b": 1}, overrides={"a": 1}) == (1,)
+
+    def test_assignment_from_index(self):
+        net = small_net()
+        assert net.assignment_from_index(0b10) == {"a": 0, "b": 1}

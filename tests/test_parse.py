@@ -1,0 +1,125 @@
+"""Tests for the boolean expression parser (repro.logic.parse)."""
+
+import pytest
+
+from repro.logic.evaluate import network_function
+from repro.logic.parse import ParseError, parse_expression, parse_expressions
+from repro.logic.truthtable import TruthTable
+
+
+def table_of(text, inputs):
+    return network_function(parse_expression(text, inputs=inputs))
+
+
+class TestBasics:
+    def test_variable(self):
+        t = table_of("a", ["a"])
+        assert t.bits == TruthTable.variable(0, 1).bits
+
+    def test_constants(self):
+        assert table_of("0", []).is_zero()
+        assert table_of("1", []).is_one()
+
+    def test_and_or_not(self):
+        t = table_of("a & b | !c", ["a", "b", "c"])
+        ref = TruthTable.from_function(lambda a, b, c: (a & b) | (1 - c), 3)
+        assert t.bits == ref.bits
+
+    def test_postfix_prime(self):
+        t = table_of("a'", ["a"])
+        assert t.bits == (~TruthTable.variable(0, 1)).bits
+
+    def test_double_prime(self):
+        t = table_of("a''", ["a"])
+        assert t.bits == TruthTable.variable(0, 1).bits
+
+    def test_xor(self):
+        t = table_of("a ^ b ^ c", ["a", "b", "c"])
+        ref = TruthTable.from_function(lambda a, b, c: a ^ b ^ c, 3)
+        assert t.bits == ref.bits
+
+    def test_juxtaposition_is_and(self):
+        t = table_of("a b", ["a", "b"])
+        ref = TruthTable.from_function(lambda a, b: a & b, 2)
+        assert t.bits == ref.bits
+
+    def test_plus_is_or(self):
+        t = table_of("a + b", ["a", "b"])
+        ref = TruthTable.from_function(lambda a, b: a | b, 2)
+        assert t.bits == ref.bits
+
+    def test_parentheses(self):
+        t = table_of("a & (b | c)", ["a", "b", "c"])
+        ref = TruthTable.from_function(lambda a, b, c: a & (b | c), 3)
+        assert t.bits == ref.bits
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        t = table_of("a | b & c", ["a", "b", "c"])
+        ref = TruthTable.from_function(lambda a, b, c: a | (b & c), 3)
+        assert t.bits == ref.bits
+
+    def test_xor_between_and_and_or(self):
+        t = table_of("a ^ b c | d", ["a", "b", "c", "d"])
+        ref = TruthTable.from_function(
+            lambda a, b, c, d: (a ^ (b & c)) | d, 4
+        )
+        assert t.bits == ref.bits
+
+    def test_not_binds_tightest(self):
+        t = table_of("~a b", ["a", "b"])
+        ref = TruthTable.from_function(lambda a, b: (1 - a) & b, 2)
+        assert t.bits == ref.bits
+
+
+class TestThesisNotation:
+    def test_f1_from_section_3_6(self):
+        t = table_of("A' B | A' C | B C", ["A", "B", "C"])
+        ref = TruthTable.from_function(
+            lambda a, b, c: ((1 - a) & b) | ((1 - a) & c) | (b & c), 3
+        )
+        assert t.bits == ref.bits
+        assert t.is_self_dual()
+
+    def test_majority(self):
+        t = table_of("A B | B C | A C", ["A", "B", "C"])
+        assert t.is_self_dual()
+
+
+class TestMultipleOutputs:
+    def test_shared_subexpressions(self):
+        net = parse_expressions(
+            {"f": "a & b | c", "g": "a & b"}, inputs=["a", "b", "c"]
+        )
+        # The a&b gate must be shared between the two outputs.
+        and_gates = [
+            g for g in net.gates if g.kind.value == "and"
+        ]
+        assert len(and_gates) == 1
+
+    def test_auto_inputs_appended(self):
+        net = parse_expression("p & q")
+        assert net.inputs == ("p", "q")
+
+    def test_fixed_input_order(self):
+        net = parse_expression("b & a", inputs=["a", "b"])
+        assert net.inputs == ("a", "b")
+
+
+class TestErrors:
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_expression("(a & b", inputs=["a", "b"])
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse_expression("a ) b", inputs=["a", "b"])
+
+    def test_empty_expression(self):
+        with pytest.raises(ParseError):
+            parse_expression("", inputs=[])
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_expression("a @ b", inputs=["a", "b"])

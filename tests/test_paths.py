@@ -1,0 +1,158 @@
+"""Tests for structural path analysis (repro.logic.paths)."""
+
+import pytest
+
+from repro.logic.gates import GateKind
+from repro.logic.network import NetworkBuilder
+from repro.logic.paths import (
+    condition_b_holds,
+    condition_c_holds,
+    cone_subnetwork,
+    equivalent_line_classes,
+    fans_out,
+    lines_of_output,
+    path_is_unate,
+    path_parities,
+    single_path_to_output,
+)
+
+
+def chain_net():
+    b = NetworkBuilder(["a"])
+    b.add("n1", GateKind.NOT, ["a"])
+    b.add("n2", GateKind.NAND, ["n1", "a"])
+    return b.build(["n2"])
+
+
+def reconvergent_net():
+    """a -> n1 -> {n2, n3} -> n4, with unequal inversion parity."""
+    b = NetworkBuilder(["a", "b"])
+    b.add("n1", GateKind.AND, ["a", "b"])
+    b.add("n2", GateKind.NOT, ["n1"])      # parity 1 branch
+    b.add("n3", GateKind.BUF, ["n1"])      # parity 0 branch
+    b.add("n4", GateKind.OR, ["n2", "n3"])
+    return b.build(["n4"])
+
+
+def equal_parity_net():
+    b = NetworkBuilder(["a", "b"])
+    b.add("n1", GateKind.AND, ["a", "b"])
+    b.add("n2", GateKind.NOT, ["n1"])
+    b.add("n3", GateKind.NOT, ["n1"])
+    b.add("n4", GateKind.OR, ["n2", "n3"])
+    return b.build(["n4"])
+
+
+class TestSinglePath:
+    def test_chain_has_single_path(self):
+        net = chain_net()
+        path = single_path_to_output(net, "n1", "n2")
+        assert path == ["n1", "n2"]
+
+    def test_fanout_breaks_single_path(self):
+        net = reconvergent_net()
+        assert single_path_to_output(net, "n1", "n4") is None
+
+    def test_output_line_itself(self):
+        net = chain_net()
+        assert single_path_to_output(net, "n2", "n2") == ["n2"]
+
+    def test_unknown_line(self):
+        net = chain_net()
+        with pytest.raises(KeyError):
+            single_path_to_output(net, "zzz", "n2")
+
+    def test_path_unate(self):
+        net = chain_net()
+        path = single_path_to_output(net, "n1", "n2")
+        assert path_is_unate(net, path)
+
+    def test_xor_path_not_unate(self):
+        b = NetworkBuilder(["a", "b"])
+        b.add("n1", GateKind.NOT, ["a"])
+        b.add("n2", GateKind.XOR, ["n1", "b"])
+        net = b.build(["n2"])
+        path = single_path_to_output(net, "n1", "n2")
+        assert not path_is_unate(net, path)
+        assert not condition_b_holds(net, "n1", "n2")
+
+
+class TestParity:
+    def test_unequal_parity(self):
+        net = reconvergent_net()
+        assert path_parities(net, "n1", "n4") == frozenset({0, 1})
+        assert not condition_c_holds(net, "n1", "n4")
+
+    def test_equal_parity(self):
+        net = equal_parity_net()
+        assert path_parities(net, "n1", "n4") == frozenset({1})
+        assert condition_c_holds(net, "n1", "n4")
+
+    def test_xor_contributes_both_parities(self):
+        b = NetworkBuilder(["a", "b"])
+        b.add("n1", GateKind.AND, ["a", "b"])
+        b.add("n2", GateKind.XOR, ["n1", "a"])
+        net = b.build(["n2"])
+        assert path_parities(net, "n1", "n2") == frozenset({0, 1})
+
+    def test_output_line_parity(self):
+        net = chain_net()
+        assert path_parities(net, "n2", "n2") == frozenset({0})
+
+    def test_condition_b_implies_condition_c(self):
+        net = chain_net()
+        for line in ("a", "n1"):
+            if condition_b_holds(net, line, "n2"):
+                assert condition_c_holds(net, line, "n2")
+
+
+class TestCones:
+    def test_cone_subnetwork(self):
+        b = NetworkBuilder(["a", "b", "c"])
+        b.add("f1", GateKind.AND, ["a", "b"])
+        b.add("f2", GateKind.OR, ["b", "c"])
+        net = b.build(["f1", "f2"])
+        cone = cone_subnetwork(net, "f1")
+        assert set(cone.lines()) == {"a", "b", "f1"}
+        assert cone.outputs == ("f1",)
+
+    def test_lines_of_output(self):
+        b = NetworkBuilder(["a", "b", "c"])
+        b.add("f1", GateKind.AND, ["a", "b"])
+        b.add("f2", GateKind.OR, ["b", "c"])
+        net = b.build(["f1", "f2"])
+        assert set(lines_of_output(net, "f2")) == {"b", "c", "f2"}
+
+    def test_fanout_within_cone_only(self):
+        """A line fanning out only to *another* output's cone still has a
+        single path within this cone."""
+        b = NetworkBuilder(["a", "b"])
+        n1 = b.add("n1", GateKind.AND, ["a", "b"])
+        b.add("f1", GateKind.NOT, [n1])
+        b.add("f2", GateKind.BUF, [n1])
+        net = b.build(["f1", "f2"])
+        cone = cone_subnetwork(net, "f1")
+        assert single_path_to_output(cone, "n1", "f1") == ["n1", "f1"]
+
+
+class TestHelpers:
+    def test_fans_out(self):
+        net = reconvergent_net()
+        assert fans_out(net, "n1")
+        assert not fans_out(net, "n2")
+
+    def test_equivalent_classes_buffers(self):
+        b = NetworkBuilder(["a"])
+        b.add("n1", GateKind.BUF, ["a"])
+        b.add("n2", GateKind.NOT, ["n1"])
+        net = b.build(["n2"])
+        classes = equivalent_line_classes(net)
+        assert any({"a", "n1"} <= set(c) for c in classes)
+
+    def test_no_equivalence_through_fanout_buffer(self):
+        b = NetworkBuilder(["a"])
+        b.add("n1", GateKind.BUF, ["a"])
+        b.add("n2", GateKind.NOT, ["a"])
+        net = b.build(["n1", "n2"])
+        classes = equivalent_line_classes(net)
+        assert not any({"a", "n1"} <= set(c) for c in classes)

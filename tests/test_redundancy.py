@@ -1,0 +1,100 @@
+"""Tests for redundancy handling (Theorems 3.3-3.5)."""
+
+from repro.core.redundancy import (
+    apply_constant_replacements,
+    constant_replacements,
+    is_irredundant,
+    line_testability,
+    prune_dead_logic,
+    redundant_lines,
+)
+from repro.logic.evaluate import functionally_equivalent, network_function
+from repro.logic.gates import GateKind
+from repro.logic.network import NetworkBuilder
+from repro.logic.parse import parse_expression
+
+
+def xor_self_net():
+    """g XOR g = 0: line g is redundant in both stuck directions."""
+    b = NetworkBuilder(["a", "b"])
+    g = b.add("g", GateKind.AND, ["a", "b"])
+    t = b.add("t", GateKind.XOR, [g, g])
+    b.add("out", GateKind.OR, ["a", t])
+    return b.build(["out"])
+
+
+def consensus_net():
+    """F = ab | a'c | bc: the consensus term bc is one-direction
+    redundant (s-a-0 unobservable, s-a-1 observable)."""
+    return parse_expression("a b | a' c | b c", inputs=["a", "b", "c"])
+
+
+class TestTestability:
+    def test_redundant_both_directions(self):
+        net = xor_self_net()
+        info = line_testability(net, "g")
+        assert info.redundant
+        assert info.one_direction_only is None
+
+    def test_one_direction_redundancy(self):
+        net = consensus_net()
+        # The bc product term: find the AND gate with inputs b, c.
+        bc_line = next(
+            g.name
+            for g in net.gates
+            if g.kind is GateKind.AND and set(g.inputs) == {"b", "c"}
+        )
+        info = line_testability(net, bc_line)
+        assert not info.redundant
+        assert info.one_direction_only == 1  # only s/1 observable
+
+    def test_fully_testable_line(self):
+        net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+        for line in net.lines():
+            info = line_testability(net, line)
+            assert info.sa0_observable or info.sa1_observable
+
+
+class TestRedundantLines:
+    def test_detects_xor_self(self):
+        assert "g" in redundant_lines(xor_self_net())
+
+    def test_majority_irredundant(self):
+        net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+        assert is_irredundant(net)
+
+    def test_fig34_irredundant(self, fig34):
+        assert is_irredundant(fig34)
+
+
+class TestConstantReplacement:
+    def test_replacement_values(self):
+        net = consensus_net()
+        bc_line = next(
+            g.name
+            for g in net.gates
+            if g.kind is GateKind.AND and set(g.inputs) == {"b", "c"}
+        )
+        repl = constant_replacements(net)
+        # Only s/1 testable => the line behaves as constant 0.
+        assert repl.get(bc_line) == 0
+
+    def test_replacement_preserves_function(self):
+        net = consensus_net()
+        replaced = apply_constant_replacements(net)
+        assert functionally_equivalent(net, replaced)
+
+    def test_noop_when_nothing_to_replace(self):
+        net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+        assert apply_constant_replacements(net) is net
+
+
+class TestPruning:
+    def test_prune_dead_logic(self):
+        b = NetworkBuilder(["a"])
+        b.add("dead", GateKind.NOT, ["a"])
+        b.add("out", GateKind.BUF, ["a"])
+        net = b.build(["out"])
+        pruned = prune_dead_logic(net)
+        assert all(g.name != "dead" for g in pruned.gates)
+        assert network_function(pruned).bits == network_function(net).bits

@@ -1,0 +1,71 @@
+"""Tests for the reliability models (repro.system.reliability)."""
+
+import pytest
+
+from repro.system.reliability import (
+    PROTECTION_DEGREES,
+    hardcore_chain_reliability,
+    mission_reliability,
+    peak_utility_degree,
+    render_tradeoff,
+    tradeoff_curve,
+)
+
+
+class TestTradeoff:
+    def test_peak_at_single_fault(self):
+        """The Figure 7.2 punchline."""
+        points = tradeoff_curve()
+        assert peak_utility_degree(points) == "single fault"
+
+    def test_benefit_monotone_cost_monotone(self):
+        points = tradeoff_curve()
+        benefits = [p.benefit for p in points]
+        costs = [p.cost for p in points]
+        assert benefits == sorted(benefits)
+        assert costs == sorted(costs)
+
+    def test_custom_parameters(self):
+        points = tradeoff_curve(
+            benefit=[0, 1, 8, 9], cost=[0, 3, 4, 5]
+        )
+        assert peak_utility_degree(points) == "unidirectional faults"
+
+    def test_parameter_length_checked(self):
+        with pytest.raises(ValueError):
+            tradeoff_curve(benefit=[1, 2], cost=[1, 2])
+
+    def test_render(self):
+        text = render_tradeoff(tradeoff_curve())
+        for degree in PROTECTION_DEGREES:
+            assert degree in text
+        assert "utility" in text
+
+
+class TestMissionReliability:
+    def test_full_coverage_is_safe(self):
+        assert mission_reliability(0.5, 10.0, 1.0) == pytest.approx(1.0)
+
+    def test_zero_coverage_is_plain_exponential(self):
+        import math
+
+        assert mission_reliability(0.1, 2.0, 0.0) == pytest.approx(
+            math.exp(-0.2)
+        )
+
+    def test_monotone_in_coverage(self):
+        values = [mission_reliability(0.3, 5.0, c) for c in (0.0, 0.5, 0.9, 1.0)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mission_reliability(-1, 1, 0.5)
+        with pytest.raises(ValueError):
+            mission_reliability(1, 1, 2.0)
+
+
+class TestHardcoreChain:
+    def test_improves_with_replication(self):
+        values = [hardcore_chain_reliability(0.2, n) for n in (1, 2, 3, 4)]
+        assert values == sorted(values)
+        assert values[-1] > 0.99

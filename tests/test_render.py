@@ -1,0 +1,54 @@
+"""Tests for netlist rendering (repro.logic.render)."""
+
+from repro.core import analyze_network
+from repro.logic.render import annotate_with_analysis, render_dot, render_listing
+from repro.workloads.fig34 import fig34_network
+
+
+class TestListing:
+    def test_contains_every_gate(self, fig34):
+        text = render_listing(fig34)
+        for gate in fig34.gates:
+            assert gate.name in text
+
+    def test_fanout_counts(self, fig34):
+        text = render_listing(fig34)
+        assert "[fanout 2]" in text  # or_ab fans out twice
+
+    def test_annotations_attached(self, fig34):
+        text = render_listing(fig34, annotations={"nab": "thesis line 9"})
+        assert "# thesis line 9" in text
+
+
+class TestDot:
+    def test_valid_dot_structure(self, fig34):
+        dot = render_dot(fig34)
+        assert dot.startswith("digraph network {")
+        assert dot.rstrip().endswith("}")
+        for inp in fig34.inputs:
+            assert f'"{inp}"' in dot
+        for out in fig34.outputs:
+            assert f'out_{out}' in dot
+
+    def test_highlight_marks_red(self, fig34):
+        dot = render_dot(fig34, highlight=["or_ab"])
+        assert 'color="red"' in dot
+
+    def test_title(self, fig34):
+        dot = render_dot(fig34, title="Figure 3.4")
+        assert 'label="Figure 3.4"' in dot
+
+
+class TestAnalysisAnnotations:
+    def test_failing_line_flagged(self, fig34):
+        analysis = analyze_network(fig34)
+        notes = annotate_with_analysis(fig34, analysis)
+        assert notes["or_ab"] == "FAILS Algorithm 3.1"
+        assert notes["nab"].startswith("condition")
+
+    def test_renders_together(self, fig34):
+        analysis = analyze_network(fig34)
+        text = render_listing(
+            fig34, annotations=annotate_with_analysis(fig34, analysis)
+        )
+        assert "FAILS Algorithm 3.1" in text

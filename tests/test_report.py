@@ -1,0 +1,78 @@
+"""Tests for the Figure 3.6 fault table renderer (repro.core.report)."""
+
+from repro.core.report import (
+    fault_table,
+    input_pairs,
+    pair_label,
+    render_fault_table,
+    undetected_faults,
+)
+from repro.logic.faults import StuckAt
+from repro.workloads.fig34 import fig34_network
+
+
+class TestInputPairs:
+    def test_thesis_column_order(self, fig34):
+        pairs = input_pairs(fig34)
+        labels = [pair_label(p, fig34) for p in pairs]
+        assert labels == ["(000,111)", "(001,110)", "(010,101)", "(011,100)"]
+
+    def test_pairs_are_complements(self, fig34):
+        n = len(fig34.inputs)
+        full = (1 << n) - 1
+        for x, y in input_pairs(fig34):
+            assert y == x ^ full
+
+    def test_pair_count(self, fig34):
+        assert len(input_pairs(fig34)) == 4
+
+
+class TestFaultTable:
+    def test_normal_rows_match_thesis(self, fig34):
+        rows = fault_table(fig34, [])
+        by_out = {r.output: r for r in rows if r.label == "normal"}
+        render = lambda r: [f"{e.first},{e.second}" for e in r.entries]
+        assert render(by_out["F1"]) == ["0,1", "1,0", "1,0", "1,0"]
+        assert render(by_out["F2"]) == ["0,1", "1,0", "1,0", "0,1"]
+        assert render(by_out["F3"]) == ["0,1", "0,1", "0,1", "1,0"]
+
+    def test_line9_rows_match_thesis(self, fig34):
+        """The thesis's Figure 3.6 rows for line 9 (our nab)."""
+        rows = fault_table(
+            fig34, [StuckAt("nab", 0), StuckAt("nab", 1)], include_normal=False
+        )
+        cells = {
+            (r.label, r.output): [e.render() for e in r.entries] for r in rows
+        }
+        assert cells[("nab s/0", "F2")] == ["0,1", "1,0", "0,1*", "1,0*"]
+        assert cells[("nab s/0", "F3")] == ["1,1X"] * 4
+        assert cells[("nab s/1", "F3")] == ["0,1", "0,0X", "0,1", "1,0"]
+
+    def test_rows_only_for_dependent_outputs(self, fig34):
+        rows = fault_table(fig34, [StuckAt("g2", 0)], include_normal=False)
+        outputs = {r.output for r in rows}
+        assert outputs == {"F2"}
+
+    def test_undetected_faults_finds_line20(self, fig34):
+        rows = fault_table(
+            fig34,
+            [StuckAt("or_ab", 0), StuckAt("or_ab", 1), StuckAt("nab", 0)],
+            include_normal=False,
+        )
+        assert undetected_faults(rows) == ["or_ab s/0"]
+
+    def test_detected_and_incorrect_flags(self, fig34):
+        rows = fault_table(fig34, [StuckAt("nab", 0)], include_normal=False)
+        f2_row = next(r for r in rows if r.output == "F2")
+        f3_row = next(r for r in rows if r.output == "F3")
+        assert f2_row.has_incorrect_alternation and not f2_row.detected
+        assert f3_row.detected and not f3_row.has_incorrect_alternation
+
+
+class TestRendering:
+    def test_render_contains_marks(self, fig34):
+        rows = fault_table(fig34, [StuckAt("nab", 0)])
+        text = render_fault_table(fig34, rows)
+        assert "1,1X" in text
+        assert "0,1*" in text
+        assert "(011,100)" in text

@@ -1,0 +1,94 @@
+"""Tests for state-transition-graph utilities (repro.seq.stg)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq.machine import single_input_table
+from repro.seq.minimize import minimize_machine
+from repro.seq.stg import (
+    distinguishing_sequence,
+    final_state_after_homing,
+    homing_identifies_state,
+    homing_sequence,
+    prune_unreachable,
+    render_stg_dot,
+)
+from repro.workloads.detectors import kohavi_0101
+from repro.workloads.machines import machine_suite
+from repro.workloads.strategies import machines
+
+
+class TestDot:
+    def test_structure(self, detector):
+        dot = render_stg_dot(detector)
+        assert dot.startswith("digraph stg {")
+        for state in detector.states:
+            assert f'"{state}"' in dot
+        assert '0/0' in dot or '"0/0"' in dot or 'label="0/0"' in dot
+
+
+class TestPruning:
+    def test_unreachable_state_dropped(self):
+        rows = {
+            "A": {0: ("A", 0), 1: ("B", 0)},
+            "B": {0: ("A", 1), 1: ("B", 0)},
+            "ORPHAN": {0: ("A", 0), 1: ("B", 1)},
+        }
+        machine = single_input_table("m", rows, "A")
+        pruned = prune_unreachable(machine)
+        assert "ORPHAN" not in pruned.states
+        stream = [(i % 2,) for i in range(20)]
+        assert pruned.run(stream) == machine.run(stream)
+
+    def test_fully_reachable_untouched(self, detector):
+        assert prune_unreachable(detector) is detector
+
+
+class TestDistinguishing:
+    def test_detector_states_distinguishable(self, detector):
+        for a in detector.states:
+            for b in detector.states:
+                if a == b:
+                    continue
+                seq = distinguishing_sequence(detector, a, b)
+                assert seq is not None, (a, b)
+                outs_a = detector.run(seq, state=a)
+                outs_b = detector.run(seq, state=b)
+                assert outs_a != outs_b
+
+    def test_equivalent_states_return_none(self):
+        rows = {
+            "A": {0: ("B", 0), 1: ("A", 0)},
+            "B": {0: ("A", 0), 1: ("B", 0)},
+        }
+        machine = single_input_table("m", rows, "A")
+        assert distinguishing_sequence(machine, "A", "B") is None
+
+
+class TestHoming:
+    def test_detector_has_homing_sequence(self, detector):
+        seq = homing_sequence(detector)
+        assert seq is not None
+        assert homing_identifies_state(detector, seq)
+
+    def test_suite_machines_home(self):
+        for machine in machine_suite():
+            seq = homing_sequence(machine)
+            assert seq is not None, machine.name
+            assert homing_identifies_state(machine, seq), machine.name
+
+    @settings(max_examples=15, deadline=None)
+    @given(machines(max_states=4))
+    def test_minimal_machines_home(self, machine):
+        reduced = minimize_machine(machine)
+        seq = homing_sequence(reduced)
+        assert seq is not None
+        assert homing_identifies_state(reduced, seq)
+
+    def test_final_state_consistency(self, detector):
+        seq = homing_sequence(detector)
+        for start in detector.states:
+            final, response = final_state_after_homing(detector, start, seq)
+            # Re-deriving from the response must give the same state.
+            again, response2 = final_state_after_homing(detector, start, seq)
+            assert (final, response) == (again, response2)

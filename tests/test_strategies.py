@@ -1,0 +1,83 @@
+"""Property tests using the public Hypothesis strategies
+(repro.workloads.strategies) — these double as cross-module invariants."""
+
+from hypothesis import given, settings
+
+from repro.core.analysis import analyze_network
+from repro.core.simulate import ScalSimulator
+from repro.logic.benchfmt import parse_bench, write_bench
+from repro.logic.evaluate import functionally_equivalent, network_function
+from repro.logic.selfdual import self_dualize_table
+from repro.logic.synthesis import minimize, cover_to_table
+from repro.seq.minimize import minimize_machine
+from repro.workloads.strategies import (
+    alternating_networks,
+    machines,
+    networks,
+    self_dual_tables,
+    truth_tables,
+)
+
+
+class TestTableStrategies:
+    @settings(max_examples=60)
+    @given(self_dual_tables())
+    def test_self_dual_tables_are_self_dual(self, table):
+        assert table.is_self_dual()
+
+    @settings(max_examples=60)
+    @given(truth_tables())
+    def test_dualization_idempotent_on_self_duals(self, table):
+        sd = self_dualize_table(table)
+        assert sd.is_self_dual()
+        # Dualizing again still yields a self-dual function.
+        assert self_dualize_table(sd).is_self_dual()
+
+    @settings(max_examples=60)
+    @given(truth_tables(max_inputs=3))
+    def test_qm_roundtrip(self, table):
+        cover = minimize(table)
+        assert cover_to_table(cover, table.n).bits == table.bits
+
+
+class TestNetworkStrategies:
+    @settings(max_examples=30, deadline=None)
+    @given(networks())
+    def test_generated_networks_are_valid(self, net):
+        assert net.outputs
+        table = network_function(net, net.outputs[0])
+        assert table.n == len(net.inputs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(networks(max_gates=6))
+    def test_bench_round_trip(self, net):
+        back = parse_bench(write_bench(net), name=net.name)
+        assert functionally_equivalent(net, back)
+
+    @settings(max_examples=20, deadline=None)
+    @given(alternating_networks())
+    def test_alternating_networks_are_scal(self, net):
+        sim = ScalSimulator(net)
+        assert sim.is_alternating()
+        assert sim.verdict(include_pins=False).is_self_checking
+
+    @settings(max_examples=15, deadline=None)
+    @given(alternating_networks())
+    def test_algorithm_3_1_accepts_constructed_scal(self, net):
+        assert analyze_network(net).is_self_checking
+
+
+class TestMachineStrategies:
+    @settings(max_examples=25, deadline=None)
+    @given(machines())
+    def test_machines_complete(self, machine):
+        for state in machine.states:
+            for vector in machine.input_vectors():
+                machine.transition(state, vector)
+
+    @settings(max_examples=15, deadline=None)
+    @given(machines())
+    def test_minimization_preserves_behaviour(self, machine):
+        reduced = minimize_machine(machine)
+        stream = [(i % 2,) for i in range(24)]
+        assert reduced.run(stream) == machine.run(stream)

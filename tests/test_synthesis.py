@@ -1,0 +1,163 @@
+"""Tests for Quine-McCluskey minimization and SOP synthesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.evaluate import line_tables, network_function
+from repro.logic.gates import GateKind
+from repro.logic.synthesis import (
+    Implicant,
+    cover_to_table,
+    literal_count,
+    minimize,
+    multi_output_sop,
+    prime_implicants,
+    select_cover,
+    sop_network,
+)
+from repro.logic.truthtable import TruthTable
+
+tables = st.integers(min_value=1, max_value=4).flatmap(
+    lambda n: st.builds(
+        TruthTable,
+        st.just(n),
+        st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+    )
+)
+
+
+class TestImplicant:
+    def test_covers(self):
+        # Term x1'x0 over 3 vars: values=0b01, mask=0b011.
+        imp = Implicant(0b001, 0b011)
+        assert imp.covers(0b001)
+        assert imp.covers(0b101)
+        assert not imp.covers(0b011)
+
+    def test_literals_and_size(self):
+        imp = Implicant(0b001, 0b011)
+        assert imp.literals(3) == ((0, 1), (1, 0))
+        assert imp.size(3) == 2
+
+    def test_to_string(self):
+        imp = Implicant(0b001, 0b011)
+        assert imp.to_string(["a", "b", "c"]) == "ab'"
+        assert Implicant(0, 0).to_string(["a"]) == "1"
+
+
+class TestPrimeImplicants:
+    def test_classic_example(self):
+        # f = Σm(0,1,2,5,6,7), variables little-endian (bit0 = a): the six
+        # adjacent-pair merges are all prime (no quads form).
+        primes = prime_implicants([0, 1, 2, 5, 6, 7], [], 3)
+        rendered = sorted(p.to_string(["a", "b", "c"]) for p in primes)
+        assert rendered == sorted(["b'c'", "a'c'", "ab'", "a'b", "ac", "bc"])
+
+    def test_full_cube(self):
+        primes = prime_implicants(range(8), [], 3)
+        assert len(primes) == 1
+        assert primes[0].mask == 0
+
+    def test_dont_cares_grow_primes(self):
+        with_dc = prime_implicants([1], [3], 2)
+        without = prime_implicants([1], [], 2)
+        assert max(p.size(2) for p in with_dc) > max(p.size(2) for p in without)
+
+
+class TestMinimize:
+    @settings(max_examples=150)
+    @given(tables)
+    def test_cover_equals_specification(self, t):
+        cover = minimize(t)
+        assert cover_to_table(cover, t.n).bits == t.bits
+
+    @settings(max_examples=60)
+    @given(tables, st.randoms(use_true_random=False))
+    def test_dont_cares_respected(self, t, rnd):
+        dc = TruthTable(t.n, rnd.getrandbits(1 << t.n))
+        cover = minimize(t, dont_cares=dc)
+        got = cover_to_table(cover, t.n)
+        care = ~dc
+        assert ((got ^ t) & care).is_zero()
+
+    def test_majority_minimal(self):
+        maj = TruthTable.from_function(lambda a, b, c: int(a + b + c > 1), 3)
+        cover = minimize(maj)
+        assert len(cover) == 3
+        assert literal_count(cover, 3) == 6
+
+    def test_xor_needs_all_minterms(self):
+        xor3 = TruthTable.from_function(lambda a, b, c: a ^ b ^ c, 3)
+        cover = minimize(xor3)
+        assert len(cover) == 4
+        assert all(len(p.literals(3)) == 3 for p in cover)
+
+    def test_select_cover_missing_primes(self):
+        with pytest.raises(ValueError):
+            select_cover([], [0], 1)
+
+
+class TestSopNetwork:
+    @settings(max_examples=80)
+    @given(tables, st.sampled_from(["and-or", "nand-nand"]))
+    def test_roundtrip(self, t, style):
+        net = sop_network(t, style=style)
+        assert network_function(net).bits == t.bits
+
+    def test_constants(self):
+        zero = sop_network(TruthTable.constant(0, 2))
+        one = sop_network(TruthTable.constant(1, 2))
+        assert network_function(zero).is_zero()
+        assert network_function(one).is_one()
+
+    def test_two_level_depth(self):
+        maj = TruthTable.from_function(lambda a, b, c: int(a + b + c > 1), 3)
+        net = sop_network(maj)
+        # AND then OR: depth 2 (no inverters needed for majority).
+        assert net.depth() <= 3
+
+    def test_bad_style(self):
+        with pytest.raises(ValueError):
+            sop_network(TruthTable.constant(1, 1), style="xyz")
+
+    def test_inverters_shared(self):
+        t = TruthTable.from_function(lambda a, b: (1 - a) | (1 - b), 2)
+        net = sop_network(t)
+        inverters = [g for g in net.gates if g.kind is GateKind.NOT]
+        assert len(inverters) <= 2
+
+
+class TestMultiOutputSop:
+    def test_shared_products(self):
+        maj = TruthTable.from_function(lambda a, b, c: int(a + b + c > 1), 3)
+        # Two outputs with a common product (ab).
+        t2 = TruthTable.from_function(lambda a, b, c: a & b, 3)
+        shared = multi_output_sop(
+            {"f": maj, "g": t2}, ["a", "b", "c"], share_products=True
+        )
+        unshared = multi_output_sop(
+            {"f": maj, "g": t2}, ["a", "b", "c"], share_products=False
+        )
+        assert shared.gate_count() <= unshared.gate_count()
+        for net in (shared, unshared):
+            tabs = line_tables(net)
+            assert tabs["f"].bits == maj.bits
+            assert tabs["g"].bits == t2.bits
+
+    def test_width_mismatch_rejected(self):
+        t = TruthTable.constant(1, 2)
+        with pytest.raises(ValueError):
+            multi_output_sop({"f": t}, ["a", "b", "c"])
+
+    @settings(max_examples=40)
+    @given(st.randoms(use_true_random=False))
+    def test_random_multi_output(self, rnd):
+        n = 3
+        ts = {
+            f"F{i}": TruthTable(n, rnd.getrandbits(1 << n)) for i in range(3)
+        }
+        net = multi_output_sop(ts, [f"x{i}" for i in range(n)])
+        tabs = line_tables(net)
+        for name, t in ts.items():
+            assert tabs[name].bits == t.bits

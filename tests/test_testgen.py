@@ -1,0 +1,114 @@
+"""Tests for Theorem 3.2 test generation (repro.core.testgen)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simulate import ScalSimulator
+from repro.core.testgen import all_test_pairs, format_pair, greedy_test_schedule
+from repro.core.testgen import test_plan as make_test_plan
+from repro.logic.faults import StuckAt
+from repro.logic.parse import parse_expression
+from repro.workloads.benchcircuits import fig32_xor_path_network, section32_example
+from repro.workloads.randomlogic import random_alternating_network
+
+
+class TestPlanBasics:
+    def test_section_3_2_example(self):
+        net, g = section32_example()
+        plan = make_test_plan(net, g)
+        assert plan.sa0_testable and plan.sa1_testable
+        assert plan.sa0_tests() and plan.sa1_tests()
+
+    def test_untestable_direction_detected(self):
+        """In Figure 3.2's network, g s/1 has E ≠ 0 (incorrect
+        alternation), so Theorem 3.2 declares it untestable."""
+        net = fig32_xor_path_network()
+        plan = make_test_plan(net, "g")
+        # s/0 flips the output in one period only -> testable.
+        assert plan.e.is_zero() and plan.sa0_testable
+        # s/1 is the direction the figure illustrates: F != 0.
+        assert not plan.f.is_zero()
+        assert not plan.sa1_testable
+
+    def test_requires_single_output(self, fig34):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_test_plan(fig34, "nab")
+        plan = make_test_plan(fig34, "nab", output="F3")
+        assert plan.output == "F3"
+
+
+class TestPlanSemantics:
+    @settings(max_examples=15, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_generated_tests_detect_the_fault(self, rnd):
+        """Every generated test pair must yield a nonalternating faulty
+        output — the definition of detection in alternating logic."""
+        net = random_alternating_network(rnd, 3)
+        out = net.outputs[0]
+        sim = ScalSimulator(net)
+        for line in net.lines():
+            if line == out:
+                continue
+            plan = make_test_plan(net, line)
+            for value in (0, 1):
+                tests = plan.tests(value)
+                if not (plan.sa0_testable if value == 0 else plan.sa1_testable):
+                    continue
+                resp = sim.response(StuckAt(line, value))
+                for x, _xbar in tests:
+                    assert resp.detected.value(x) == 1, (line, value, x)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_e_points_are_oracle_violations(self, rnd):
+        """Theorem 3.2's E mask (A & B) marks exactly the incorrect
+        alternating pairs the oracle reports for stuck-at 0."""
+        net = random_alternating_network(rnd, 3)
+        out = net.outputs[0]
+        sim = ScalSimulator(net)
+        for line in net.lines():
+            if line == out:
+                continue
+            plan = make_test_plan(net, line)
+            resp = sim.response(StuckAt(line, 0))
+            e_pairs = plan.e | plan.e.co_reflect()
+            assert e_pairs.bits == resp.violations.bits, line
+
+    def test_symmetry_ab_cd(self):
+        net, g = section32_example()
+        plan = make_test_plan(net, g)
+        assert plan.b.bits == plan.a.co_reflect().bits
+        assert plan.d.bits == plan.c.co_reflect().bits
+
+
+class TestSchedules:
+    def test_all_test_pairs_covers_every_line(self):
+        net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+        plans = all_test_pairs(net)
+        testable = [k for k, tests in plans.items() if tests]
+        # Majority is irredundant: every line testable in both directions.
+        lines = set(net.lines()) - set(net.outputs)
+        assert len(testable) >= 2 * len(lines)
+
+    def test_greedy_schedule_detects_everything(self):
+        net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+        schedule = greedy_test_schedule(net)
+        sim = ScalSimulator(net)
+        plans = all_test_pairs(net)
+        for (line, value), tests in plans.items():
+            if not tests or line in net.outputs:
+                continue
+            resp = sim.response(StuckAt(line, value))
+            assert any(resp.detected.value(x) for x, _ in schedule), (line, value)
+
+    def test_schedule_is_compact(self):
+        net = parse_expression("a b | b c | a c", inputs=["a", "b", "c"])
+        schedule = greedy_test_schedule(net)
+        assert len(schedule) <= 4  # at most all pairs of a 3-input space
+
+
+class TestFormatting:
+    def test_format_pair(self):
+        assert format_pair((0b011, 0b100), ("x1", "x2", "x3")) == "(110,001)"

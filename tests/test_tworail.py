@@ -1,0 +1,111 @@
+"""Tests for the Anderson dual-rail checker (repro.checkers.tworail)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkers.tworail import (
+    CELL_GATES,
+    ScalDualRailChecker,
+    alternating_output_stage,
+    code_valid,
+    evaluate_two_rail_tree,
+    two_rail_cell_values,
+    two_rail_checker_network,
+)
+
+
+class TestCell:
+    def test_valid_inputs_give_valid_output(self):
+        for x0, y0 in itertools.product((0, 1), repeat=2):
+            z = two_rail_cell_values((x0, 1 - x0), (y0, 1 - y0))
+            assert code_valid(z)
+
+    def test_code_disjoint(self):
+        """Any noncode input pair forces a noncode output pair."""
+        for x in itertools.product((0, 1), repeat=2):
+            for y in itertools.product((0, 1), repeat=2):
+                if code_valid(x) and code_valid(y):
+                    continue
+                assert not code_valid(two_rail_cell_values(x, y))
+
+    def test_output_polarity_tracks_xnor(self):
+        # For valid rails the z0 rail equals XNOR(x0, y0).
+        for x0, y0 in itertools.product((0, 1), repeat=2):
+            z0, _z1 = two_rail_cell_values((x0, 1 - x0), (y0, 1 - y0))
+            assert z0 == (1 - (x0 ^ y0))
+
+
+class TestTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 9])
+    def test_gate_cost_formula(self, n):
+        net = two_rail_checker_network(n)
+        assert net.gate_count(include_buffers=False) == (n - 1) * CELL_GATES
+
+    @settings(max_examples=120)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=7),
+        st.randoms(use_true_random=False),
+    )
+    def test_valid_iff_all_pairs_valid(self, bits, rnd):
+        pairs = [(b, 1 - b) for b in bits]
+        assert code_valid(evaluate_two_rail_tree(pairs))
+        k = rnd.randrange(len(pairs))
+        broken = list(pairs)
+        v = rnd.randint(0, 1)
+        broken[k] = (v, v)
+        assert not code_valid(evaluate_two_rail_tree(broken))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_network_matches_behavioural(self, n):
+        net = two_rail_checker_network(n)
+        for bits in itertools.product((0, 1), repeat=2 * n):
+            assign = {
+                f"a{i}_{r}": bits[2 * i + r] for i in range(n) for r in (0, 1)
+            }
+            pairs = [(bits[2 * i], bits[2 * i + 1]) for i in range(n)]
+            assert net.output_values(assign) == evaluate_two_rail_tree(pairs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            two_rail_checker_network(0)
+        with pytest.raises(ValueError):
+            evaluate_two_rail_tree([])
+
+
+class TestScalChecker:
+    def test_healthy_alternating_outputs_pass(self):
+        chk = ScalDualRailChecker(4)
+        code = chk.feed_pair([1, 0, 0, 1], [0, 1, 1, 0])
+        assert code_valid(code)
+
+    def test_any_nonalternating_line_caught(self):
+        chk = ScalDualRailChecker(4)
+        for k in range(4):
+            first = [1, 0, 0, 1]
+            second = [0, 1, 1, 0]
+            second[k] = first[k]  # line k fails to alternate
+            assert not code_valid(chk.feed_pair(first, second))
+
+    def test_costs(self):
+        chk = ScalDualRailChecker(9)
+        assert chk.gate_cost() == 48
+        assert chk.flip_flop_cost() == 9
+
+    def test_width_mismatch(self):
+        chk = ScalDualRailChecker(2)
+        with pytest.raises(ValueError):
+            chk.feed_pair([1], [0, 1])
+
+
+class TestAlternatingOutputStage:
+    def test_valid_code_alternates(self):
+        assert alternating_output_stage((1, 0), 0) == 1
+        assert alternating_output_stage((1, 0), 1) == 0
+
+    def test_invalid_code_constant(self):
+        for phase in (0, 1):
+            assert alternating_output_stage((1, 1), phase) == 0
+            assert alternating_output_stage((0, 0), phase) == 0

@@ -1,0 +1,63 @@
+"""Tests for sequential fault campaigns (repro.scal.verify)."""
+
+from repro.scal.codeconv import to_code_conversion
+from repro.scal.dualff import to_dual_flipflop
+from repro.scal.verify import (
+    codeconv_campaign,
+    dualff_campaign,
+    random_vectors,
+)
+from repro.workloads.detectors import kohavi_0101
+
+
+class TestDualffCampaign:
+    def test_fault_secure(self, detector):
+        machine = to_dual_flipflop(detector)
+        vectors = random_vectors(detector, 40, seed=1)
+        result = dualff_campaign(machine, vectors)
+        assert result.is_fault_secure, result.dangerous_faults
+        assert result.detected > 0
+        assert result.total == result.detected + result.silent
+
+    def test_latency_reported(self, detector):
+        machine = to_dual_flipflop(detector)
+        result = dualff_campaign(machine, random_vectors(detector, 40, 2))
+        assert result.mean_detection_latency is not None
+        assert result.mean_detection_latency >= 0
+
+    def test_flip_flop_faults_included(self, detector):
+        machine = to_dual_flipflop(detector)
+        vectors = random_vectors(detector, 30, 3)
+        with_ffs = dualff_campaign(machine, vectors, include_flip_flops=True)
+        without = dualff_campaign(machine, vectors, include_flip_flops=False)
+        assert with_ffs.total > without.total
+
+    def test_summary_text(self, detector):
+        machine = to_dual_flipflop(detector)
+        text = dualff_campaign(machine, random_vectors(detector, 20, 4)).summary()
+        assert "DANGEROUS 0" in text
+
+
+class TestCodeconvCampaign:
+    def test_fault_secure(self, detector):
+        machine = to_code_conversion(detector)
+        vectors = random_vectors(detector, 40, seed=5)
+        result = codeconv_campaign(machine, vectors)
+        assert result.is_fault_secure, result.dangerous_faults
+        assert result.detected > 0
+
+    def test_covers_all_units(self, detector):
+        machine = to_code_conversion(detector)
+        vectors = random_vectors(detector, 30, seed=6)
+        result = codeconv_campaign(machine, vectors)
+        # comb stems + 2*(5w+4) alpt + 2*(5w+3) palt + memory faults.
+        assert result.total > 100
+
+
+class TestRandomVectors:
+    def test_deterministic(self, detector):
+        assert random_vectors(detector, 10, 7) == random_vectors(detector, 10, 7)
+
+    def test_width_matches_machine(self, detector):
+        vectors = random_vectors(detector, 5, 8)
+        assert all(len(v) == detector.n_inputs for v in vectors)

@@ -1,0 +1,122 @@
+"""Tests for the XOR-tree checkers (Theorem 5.1, Table 5.1)."""
+
+import pytest
+
+from repro.checkers.xorchk import (
+    check_pair,
+    dual_rail_output_stage,
+    even_input_checker_pair,
+    evaluate_xor_checker,
+    xor_checker_gate_cost,
+    xor_checker_network,
+)
+from repro.logic.evaluate import line_tables
+from repro.logic.gates import GateKind
+
+
+class TestNetworkStructure:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 9, 16])
+    def test_every_gate_odd_arity(self, n):
+        net = xor_checker_network(n)
+        for gate in net.gates:
+            if gate.kind is GateKind.XOR:
+                assert len(gate.inputs) % 2 == 1, gate
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 9])
+    def test_theorem_5_1_all_lines_alternate(self, n):
+        """Every line of the tree is a self-dual function of the checked
+        lines + clock — Theorem 5.1's invariant, which by Theorem 3.6
+        makes the checker self-checking with respect to all its lines."""
+        net = xor_checker_network(n)
+        tables = line_tables(net)
+        for gate in net.gates:
+            assert tables[gate.name].is_self_dual(), gate.name
+
+    def test_fan_in_respected(self):
+        net = xor_checker_network(9, fan_in=3)
+        for gate in net.gates:
+            assert len(gate.inputs) <= 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            xor_checker_network(0)
+        with pytest.raises(ValueError):
+            xor_checker_network(3, fan_in=1)
+
+    def test_gate_cost_grows_logarithmically(self):
+        assert xor_checker_gate_cost(3) <= xor_checker_gate_cost(9)
+        assert xor_checker_gate_cost(9) <= 5
+
+
+class TestDetectionSemantics:
+    def test_healthy_pair_valid(self):
+        first = [1, 0, 1, 1]
+        second = [0, 1, 0, 0]
+        assert check_pair(first, second).valid
+
+    def test_one_stuck_line_detected(self):
+        """Table 5.1 row (1 stuck, 0 incorrect): fault detected."""
+        first = [1, 0, 1, 1]
+        second = [0, 1, 0, 1]  # line 3 stuck at 1
+        assert not check_pair(first, second).valid
+
+    def test_two_stuck_lines_missed(self):
+        """Table 5.1 row (2 stuck, 0 incorrect): fault NOT detected —
+        the even-flip blindness that bans dependent inputs."""
+        first = [1, 0, 1, 1]
+        second = [0, 1, 1, 1]  # lines 2 and 3 stuck
+        assert check_pair(first, second).valid
+
+    def test_three_stuck_lines_detected(self):
+        first = [1, 0, 1, 1]
+        second = [0, 1, 1, 1]
+        second[0] = first[0]  # third stuck line
+        assert not check_pair(first, second).valid
+
+    def test_odd_width_healthy(self):
+        first = [1, 0, 1]
+        second = [0, 1, 0]
+        assert check_pair(first, second).valid
+
+    def test_single_line_checker(self):
+        assert check_pair([1], [0]).valid
+        assert not check_pair([1], [1]).valid
+
+
+class TestOutputStages:
+    def test_dual_rail_stage(self):
+        verdict = check_pair([1, 0], [0, 1])
+        rails = dual_rail_output_stage(verdict)
+        assert rails[0] != rails[1]
+
+    def test_even_input_variant_code_space(self):
+        """Figure 5.2c: only (0, 1) is a code word."""
+        first = [1, 0, 1, 1]
+        second = [0, 1, 0, 0]
+        code = even_input_checker_pair(first, second)
+        assert code == (evaluate_xor_checker(first + [0], 0),
+                        evaluate_xor_checker(second + [1], 1))
+
+    def test_evaluate_is_parity(self):
+        assert evaluate_xor_checker([1, 1, 0], 0) == 0
+        assert evaluate_xor_checker([1, 0, 0], 1) == 1
+
+
+class TestNetworkDetection:
+    def test_gate_level_alternation(self):
+        """Drive the gate-level tree with an alternating snapshot pair
+        and verify the output alternates; break one line and it stops."""
+        net = xor_checker_network(4)
+        out = net.outputs[0]
+
+        def output_for(values, phi):
+            assign = {f"x{i}": v for i, v in enumerate(values)}
+            assign["phi"] = phi
+            return net.output_values(assign)[0]
+
+        first = [1, 0, 1, 1]
+        second = [0, 1, 0, 0]
+        assert output_for(first, 0) != output_for(second, 1)
+        stuck = list(second)
+        stuck[2] = first[2]
+        assert output_for(first, 0) == output_for(stuck, 1)
