@@ -4,19 +4,48 @@ Every bench regenerates one thesis table or figure: it computes the
 rows, prints them (visible with ``pytest benchmarks/ -s``), and writes
 them under ``benchmarks/results/`` so EXPERIMENTS.md's paper-vs-measured
 records can be refreshed from disk.
+
+Alongside the human-readable ``<name>.txt`` each bench can emit a
+machine-readable ``BENCH_<name>.json`` carrying the measured wall time
+and any scalar metrics, so speedups can be tracked across commits
+without parsing report text.
 """
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def record(name: str, text: str) -> str:
-    """Print and persist one bench's regenerated artifact."""
+def record(name: str, text: str, metrics=None, elapsed=None) -> str:
+    """Print and persist one bench's regenerated artifact.
+
+    ``metrics`` (a flat dict of scalars) and ``elapsed`` (mean wall time
+    of one report run, in seconds) additionally produce
+    ``BENCH_<name>.json`` next to the text artifact.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as handle:
         handle.write(text.rstrip() + "\n")
+    if metrics is not None or elapsed is not None:
+        payload = {
+            "bench": name,
+            "elapsed_seconds": elapsed,
+            "metrics": metrics or {},
+        }
+        json_path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     print(f"\n===== {name} =====")
     print(text)
     return path
+
+
+def benchmark_elapsed(benchmark):
+    """Mean wall time of the benchmark's measured rounds, if available."""
+    try:
+        return benchmark.stats.stats.mean
+    except AttributeError:
+        return None

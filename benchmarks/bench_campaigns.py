@@ -8,7 +8,7 @@ storage cost, and detection latency.  Also sweeps *transient* faults
 (Definition 2.1's temporary case) on the dual-FF 0101 detector.
 """
 
-from _harness import record
+from _harness import benchmark_elapsed, record
 
 from repro.logic.faults import enumerate_stem_faults
 from repro.scal.codeconv import to_code_conversion
@@ -24,6 +24,7 @@ def campaigns_report():
         f"{'detected':>9s} {'DANGEROUS':>10s} {'latency':>8s}"
     ]
     all_secure = True
+    faults_swept = 0
     for machine in machine_suite():
         vectors = random_vectors(machine, 30, seed=len(machine.states))
         dff = to_dual_flipflop(machine)
@@ -46,6 +47,7 @@ def campaigns_report():
             )
             if not result.is_fault_secure:
                 all_secure = False
+            faults_swept += result.total
 
     # Inductive (exhaustive per-state/per-input) verification.
     from repro.scal.induction import verify_inductively
@@ -84,10 +86,18 @@ def campaigns_report():
         f"transient sweep (0101 detector, windowed stem faults): "
         f"{transient_total} injections, undetected-wrong {transient_bad}",
     ]
-    return "\n".join(lines), all_secure and transient_bad == 0 and all_proved
+    metrics = {
+        "campaign_faults_swept": faults_swept,
+        "transient_injections": transient_total,
+        "transient_undetected_wrong": transient_bad,
+    }
+    ok = all_secure and transient_bad == 0 and all_proved
+    return "\n".join(lines), ok, metrics
 
 
 def test_campaigns(benchmark):
-    text, ok = benchmark.pedantic(campaigns_report, rounds=2, iterations=1)
+    text, ok, metrics = benchmark.pedantic(
+        campaigns_report, rounds=2, iterations=1
+    )
     assert ok
-    record("campaigns", text)
+    record("campaigns", text, metrics=metrics, elapsed=benchmark_elapsed(benchmark))

@@ -10,7 +10,7 @@ universes) and the broken Figure 3.4 network as the contrast case.
 
 import random
 
-from _harness import record
+from _harness import benchmark_elapsed, record
 
 from repro.core.simulate import ScalSimulator, fault_coverage
 from repro.workloads.fig34 import fig34_network
@@ -56,10 +56,24 @@ def coverage_report():
         "(the line-20 fault slips through)",
     ]
     ok = dangerous_total == 0 and broken["dangerous"] > 0
-    return "\n".join(lines), ok
+    metrics = {
+        "networks": networks,
+        "stem_detected_mean": mean(stem_rows, "detected"),
+        "pin_detected_mean": mean(pin_rows, "detected"),
+        "dangerous_total": dangerous_total,
+        "broken_fig34_dangerous": broken["dangerous"],
+    }
+    return "\n".join(lines), ok, metrics
 
 
 def test_fault_coverage(benchmark):
-    text, ok = benchmark.pedantic(coverage_report, rounds=3, iterations=1)
+    text, ok, metrics = benchmark.pedantic(
+        coverage_report, rounds=3, iterations=1
+    )
     assert ok
-    record("fault_coverage", text)
+    record(
+        "fault_coverage",
+        text,
+        metrics=metrics,
+        elapsed=benchmark_elapsed(benchmark),
+    )

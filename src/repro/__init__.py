@@ -10,6 +10,9 @@ Package map
                     self-duality, two-level synthesis.
 ``repro.core``      the paper's contribution: the SCAL oracle, conditions
                     A–E, Algorithm 3.1, test generation, redundancy.
+``repro.engine``    compiled fault-simulation engine: flat op programs,
+                    word-parallel / pointwise / sampled backends,
+                    batched fault sweeps with cone-pruned re-simulation.
 ``repro.seq``       sequential machines and Kohavi-style synthesis.
 ``repro.scal``      dual flip-flop and code-conversion SCAL machines,
                     ALPT/PALT translators, Table 4.1 cost model.
@@ -32,7 +35,7 @@ True
 True
 """
 
-from . import checkers, core, logic, modules, scal, seq, system, workloads
+from . import checkers, core, engine, logic, modules, scal, seq, system, workloads
 from .core import ScalSimulator, analyze_network, is_scal_network
 from .logic import (
     GateKind,
@@ -56,6 +59,7 @@ __all__ = [
     "analyze_network",
     "checkers",
     "core",
+    "engine",
     "is_scal_network",
     "logic",
     "modules",

@@ -98,6 +98,12 @@ class Podem:
         self.network = network
         self.max_backtracks = max_backtracks
         self._topo = list(network.gates)
+        # Lines whose value can reach some output — fixed for the network,
+        # so computed once instead of per D-frontier check.
+        reachable = set()
+        for out in network.outputs:
+            reachable |= network.cone(out)
+        self._reachable = frozenset(reachable)
 
     # ------------------------------------------------------------------
     # simulation
@@ -147,10 +153,7 @@ class Podem:
         }
         if not frontier:
             return False
-        reachable = set()
-        for out in self.network.outputs:
-            reachable |= self.network.cone(out)
-        return bool(frontier & reachable)
+        return bool(frontier & self._reachable)
 
     def _site_values(self, state: _State, fault: Fault) -> Composite:
         if isinstance(fault, StuckAt):
@@ -297,9 +300,9 @@ class Podem:
                 for i, name in enumerate(self.network.inputs)
             )
             comp = {name: 1 - v for name, v in candidate.items()}
-            good_x = self.network.output_values(candidate)
+            good_x = outputs_with_fault(self.network, candidate)
             bad_x = outputs_with_fault(self.network, candidate, fault)
-            good_xb = self.network.output_values(comp)
+            good_xb = outputs_with_fault(self.network, comp)
             bad_xb = outputs_with_fault(self.network, comp, fault)
             flips_x = good_x != bad_x
             flips_xb = good_xb != bad_xb

@@ -140,6 +140,72 @@ def _dominated_keys(network: Network) -> Set[Tuple]:
     return dropped
 
 
+def collapse_stem_faults(
+    network: Network, include_inputs: bool = True
+) -> List[StuckAt]:
+    """One representative stem fault per equivalence class of the stem
+    universe — the default fault list for sequential campaigns.
+
+    Equivalent faults produce identical faulty functions at every
+    evaluation (the gate-boundary identities above hold pointwise), so
+    replacing a class by one member preserves campaign verdicts — for
+    clocked runs too — while skipping the duplicate simulations.
+    ``include_inputs=False`` drops primary-input stems, matching
+    :func:`repro.logic.faults.enumerate_stem_faults`.
+    """
+    representatives: List[StuckAt] = []
+    for members in equivalence_collapse(network).values():
+        stems = [
+            m
+            for m in members
+            if isinstance(m, StuckAt)
+            and (include_inputs or not network.is_input(m.line))
+        ]
+        if stems:
+            representatives.append(stems[0])
+    return representatives
+
+
+def collapsed_single_faults(
+    network: Network,
+    include_inputs: bool = True,
+    include_pins: bool = True,
+) -> List[Fault]:
+    """Collapsed representatives of the live single stem+pin universe.
+
+    The equivalence-only reduction of :func:`collapse_faults` (dominance
+    stays opt-in there), filtered to lines that reach some output — the
+    same liveness rule as ``ScalSimulator.single_fault_universe``.
+    """
+    if not include_pins:
+        reps: List[Fault] = list(
+            collapse_stem_faults(network, include_inputs=include_inputs)
+        )
+    else:
+        reps = []
+        for members in equivalence_collapse(network).values():
+            kept = [
+                m
+                for m in members
+                if isinstance(m, PinStuckAt)
+                or include_inputs
+                or not network.is_input(m.line)
+            ]
+            if not kept:
+                continue
+            stems = [m for m in kept if isinstance(m, StuckAt)]
+            reps.append(stems[0] if stems else kept[0])
+    live = set()
+    for out in network.outputs:
+        live |= network.cone(out)
+    kept_faults: List[Fault] = []
+    for fault in reps:
+        line = fault.line if isinstance(fault, StuckAt) else fault.gate
+        if line in live:
+            kept_faults.append(fault)
+    return kept_faults
+
+
 def collapse_faults(
     network: Network, use_dominance: bool = False
 ) -> CollapseReport:

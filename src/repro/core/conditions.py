@@ -29,6 +29,7 @@ import dataclasses
 import enum
 from typing import Dict, Optional, Tuple
 
+from ..engine import engine_for
 from ..logic.evaluate import line_tables
 from ..logic.faults import StuckAt
 from ..logic.gates import DOMINANT_VALUE
@@ -129,10 +130,13 @@ def condition_e(
     """
     tables = normal_tables if normal_tables is not None else line_tables(network)
     t_normal = tables[output]
+    engine = engine_for(network)
+    out_idx = engine.compiled.index[output]
+    n = engine.compiled.n_inputs
     masks = []
     for value in (0, 1):
-        faulty = line_tables(network, StuckAt(line, value))
-        t_fault = faulty[output]
+        faulty_bits = engine.bitmask.line_bits(StuckAt(line, value))
+        t_fault = TruthTable(n, faulty_bits[out_idx], t_normal.names)
         wrong = t_normal ^ t_fault
         agrees_with_normal_pairing = ~(t_normal ^ t_fault.co_reflect())
         masks.append(wrong & agrees_with_normal_pairing)
@@ -162,8 +166,12 @@ def corollary_3_1_formula(
     """
     tables = normal_tables if normal_tables is not None else line_tables(network)
     t_normal = tables[output]
+    engine = engine_for(network)
+    out_idx = engine.compiled.index[output]
+    n = engine.compiled.n_inputs
     for value in (0, 1):
-        t_fault = line_tables(network, StuckAt(line, value))[output]
+        faulty_bits = engine.bitmask.line_bits(StuckAt(line, value))
+        t_fault = TruthTable(n, faulty_bits[out_idx], t_normal.names)
         product = (~t_normal) & t_fault & ~(t_fault.co_reflect())
         if not product.is_zero():
             return False

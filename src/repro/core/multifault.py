@@ -19,9 +19,9 @@ import itertools
 import random
 from typing import Iterable, List, Optional, Sequence
 
+from ..engine import FaultSweep
 from ..logic.faults import MultipleFault, StuckAt
 from ..logic.network import Network
-from .simulate import ScalSimulator
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,15 +51,15 @@ class ClassCoverage:
 
 
 def _classify(
-    sim: ScalSimulator, faults: Iterable[MultipleFault], label: str
+    sweep: FaultSweep, faults: Iterable[MultipleFault], label: str
 ) -> ClassCoverage:
     total = detected = silent = dangerous = 0
     for fault in faults:
         total += 1
-        resp = sim.response(fault)
-        if not resp.is_fault_secure:
+        status = sweep.classify(fault)
+        if status == "dangerous":
             dangerous += 1
-        elif resp.is_detected:
+        elif status == "detected":
             detected += 1
         else:
             silent += 1
@@ -142,26 +142,26 @@ def coverage_by_class(
     """Oracle coverage across single / double / unidirectional /
     multiple fault classes — the Section 2.4 quantification."""
     rng = random.Random(seed)
-    sim = ScalSimulator(network)
+    sweep = FaultSweep(network)
     singles = [
         MultipleFault((StuckAt(line, value),))
         for line in _stems(network)
         for value in (0, 1)
     ]
     rows = [
-        _classify(sim, singles, "single (Def 2.1)"),
+        _classify(sweep, singles, "single (Def 2.1)"),
         _classify(
-            sim,
+            sweep,
             double_faults(network, sample=sample, rng=rng),
             "double",
         ),
         _classify(
-            sim,
+            sweep,
             unidirectional_faults(network, sample=sample, rng=rng),
             "unidirectional (2.2)",
         ),
         _classify(
-            sim,
+            sweep,
             random_multiple_faults(network, count=sample, rng=rng),
             "multiple (Def 2.3)",
         ),

@@ -22,8 +22,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..engine import FaultSweep
 from ..logic.evaluate import line_tables
-from ..logic.faults import Fault, MultipleFault, enumerate_single_faults
+from ..logic.faults import Fault, MultipleFault
 from ..logic.network import Network
 from ..logic.truthtable import TruthTable
 
@@ -98,36 +99,26 @@ def canonical_pairs(mask: TruthTable) -> List[Tuple[int, int]]:
 class ScalSimulator:
     """Exhaustive SCAL fault simulation of one combinational network.
 
-    The fault-free line tables are computed once; each
-    :meth:`response` call re-evaluates the netlist under one fault (one
-    topological pass over bitmasks).
+    Backed by the compiled engine (:mod:`repro.engine`): the netlist is
+    compiled once, the fault-free baseline is cached, and each
+    :meth:`response` call re-simulates only the fault's output cone.
     """
 
     def __init__(self, network: Network) -> None:
         self.network = network
+        self._sweep = FaultSweep(network)
         self.normal = line_tables(network)
         self._normal_out = {out: self.normal[out] for out in network.outputs}
 
     def response(self, fault: FaultLike) -> FaultResponse:
-        faulty = line_tables(self.network, fault)
+        bits = self._sweep.response_bits(fault)
         n = len(self.network.inputs)
-        affected = TruthTable(n, 0)
-        detected = TruthTable(n, 0)
-        wrong = TruthTable(n, 0)
-        all_alternate = TruthTable(n, (1 << (1 << n)) - 1)
-        for out in self.network.outputs:
-            t_normal = self._normal_out[out]
-            t_fault = faulty[out]
-            diff = t_normal ^ t_fault
-            affected = affected | diff
-            wrong = wrong | diff
-            alternates = t_fault ^ t_fault.co_reflect()  # 1 where pair alternates
-            detected = detected | ~alternates
-            all_alternate = all_alternate & alternates
-        affected = _pair_close(affected)
-        detected = _pair_close(detected)  # already symmetric; harmless
-        violations = _pair_close(wrong) & all_alternate
-        return FaultResponse(fault, affected, detected, violations)
+        return FaultResponse(
+            fault,
+            TruthTable(n, bits.affected),
+            TruthTable(n, bits.detected),
+            TruthTable(n, bits.violations),
+        )
 
     def responses(self, faults: Iterable[FaultLike]) -> List[FaultResponse]:
         return [self.response(f) for f in faults]
@@ -144,18 +135,7 @@ class ScalSimulator:
         network in the thesis's sense (nothing reads them), so their
         trivially untestable faults are excluded from the sweep.
         """
-        live = set()
-        for out in self.network.outputs:
-            live |= self.network.cone(out)
-        faults = enumerate_single_faults(
-            self.network, include_inputs=include_inputs, include_pins=include_pins
-        )
-        kept: List[Fault] = []
-        for fault in faults:
-            line = fault.line if hasattr(fault, "line") else fault.gate
-            if line in live:
-                kept.append(fault)
-        return kept
+        return self._sweep.single_fault_universe(include_inputs, include_pins)
 
     def verdict(
         self,
@@ -269,28 +249,29 @@ def is_scal_network(
 def fault_coverage(
     network: Network,
     faults: Optional[Sequence[FaultLike]] = None,
+    collapse: bool = True,
+    processes: Optional[int] = None,
 ) -> Dict[str, float]:
     """Coverage statistics for the merits discussion (Section 2.4).
 
     Returns the fraction of swept faults that are detected (some pair
     nonalternating), secure-but-silent (never affect the output), and
     dangerous (produce an undetected wrong output for some pair).
+
+    When no explicit fault list is given the default single-fault
+    universe is structurally collapsed (one representative per
+    equivalence class, :mod:`repro.core.collapse`) — equivalent faults
+    have identical faulty functions, so per-class classification is
+    unchanged while the sweep shrinks.  Pass ``collapse=False`` for the
+    raw universe; ``processes`` fans the sweep across fork workers.
     """
-    sim = ScalSimulator(network)
-    universe = list(faults) if faults is not None else sim.single_fault_universe()
-    detected = silent = dangerous = 0
-    for fault in universe:
-        resp = sim.response(fault)
-        if not resp.is_fault_secure:
-            dangerous += 1
-        elif resp.is_detected:
-            detected += 1
-        else:
-            silent += 1
-    total = max(len(universe), 1)
-    return {
-        "faults": float(len(universe)),
-        "detected": detected / total,
-        "silent": silent / total,
-        "dangerous": dangerous / total,
-    }
+    sweep = FaultSweep(network)
+    if faults is not None:
+        universe: List[FaultLike] = list(faults)
+    elif collapse:
+        from .collapse import collapsed_single_faults
+
+        universe = list(collapsed_single_faults(network))
+    else:
+        universe = sweep.single_fault_universe()
+    return sweep.coverage(universe, processes=processes)

@@ -1,0 +1,87 @@
+"""Unified compiled fault-simulation engine.
+
+The single execution seam behind every evaluation path in the repo: the
+exhaustive Chapter-3 conditions, the Definition-2.4 SCAL oracle, PODEM's
+validation runs, and the Chapter-4 sequential campaigns all compile
+their :class:`~repro.logic.network.Network` once (into the flat,
+integer-indexed op program of :mod:`repro.engine.compiled`) and then
+simulate many times through one of three interchangeable backends:
+
+* **bitmask** — word-parallel truth-table masks (exhaustive sweeps),
+* **pointwise** — one assignment at a time with a baseline-point cache
+  (sequential clocked simulation),
+* **sampled** — pointwise over explicit truth-table points (spaces too
+  wide to enumerate).
+
+All backends share the cached fault-free baseline and re-simulate only
+the injected fault's output cone; :mod:`repro.engine.campaign` batches
+that into multi-fault sweep drivers with optional process fan-out.
+
+Usage::
+
+    from repro.engine import engine_for
+
+    eng = engine_for(network)          # compiled once, weakly cached
+    bits = eng.bitmask.line_bits(StuckAt("g", 1))   # cone-pruned
+    vals = eng.pointwise.line_values((0, 1, 1))     # baseline-cached
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Optional
+
+from ..logic.network import Network
+from .backends import BitmaskBackend, PointwiseBackend, SampledBackend
+from .campaign import FaultSweep, ResponseBits
+from .compiled import (
+    CompiledNetwork,
+    FaultPlan,
+    Op,
+    compile_network,
+    reflect_bits,
+)
+
+
+class NetworkEngine:
+    """One network's compiled form plus its three shared backends."""
+
+    def __init__(self, network: Network) -> None:
+        self.compiled = compile_network(network)
+        self.bitmask = BitmaskBackend(self.compiled)
+        self.pointwise = PointwiseBackend(self.compiled)
+        self.sampled = SampledBackend(self.pointwise)
+
+
+_engine_cache: "weakref.WeakKeyDictionary[Network, NetworkEngine]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def engine_for(network: Network) -> NetworkEngine:
+    """The shared engine of ``network`` (compile once, simulate many).
+
+    Cached weakly per network instance — networks are immutable, so every
+    caller sharing a network also shares its baselines and fault plans.
+    """
+    engine = _engine_cache.get(network)
+    if engine is None:
+        engine = NetworkEngine(network)
+        _engine_cache[network] = engine
+    return engine
+
+
+__all__ = [
+    "BitmaskBackend",
+    "CompiledNetwork",
+    "FaultPlan",
+    "FaultSweep",
+    "NetworkEngine",
+    "Op",
+    "PointwiseBackend",
+    "ResponseBits",
+    "SampledBackend",
+    "compile_network",
+    "engine_for",
+    "reflect_bits",
+]

@@ -1,0 +1,198 @@
+"""Batched multi-fault campaign driver over the compiled engine.
+
+A fault campaign asks one question many times: "how does this network
+respond to fault *f*?".  :class:`FaultSweep` amortizes everything that is
+fault-independent — the compiled op program, the fault-free baseline
+masks, and the per-output alternation masks — so each fault costs only a
+cone-pruned re-simulation plus a handful of integer operations.
+
+The SCAL pair-level classification lives here in raw-integer form (the
+:class:`~repro.core.simulate.ScalSimulator` wraps it back into
+:class:`TruthTable` objects for the thesis-facing API):
+
+* **affected** — pairs where some output differs from fault-free,
+* **detected** — pairs where some output is nonalternating,
+* **violations** — pairs where some output is wrong yet every output
+  alternates: the undetected fault-secure violation of Theorem 3.1.
+
+Campaigns over large fault lists can optionally fan out across worker
+processes (fork start method); each worker compiles the network once and
+sweeps its own share of the fault list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..logic.faults import enumerate_single_faults
+from ..logic.network import Network
+from .backends import BitmaskBackend
+from .compiled import FaultLike, compile_network, reflect_bits
+
+
+@dataclasses.dataclass(frozen=True)
+class ResponseBits:
+    """Pair-level response masks of one fault, as raw integers."""
+
+    affected: int
+    detected: int
+    violations: int
+
+    @property
+    def status(self) -> str:
+        """``dangerous`` | ``detected`` | ``silent`` — the Section 2.4
+        coverage buckets (dangerous = fault-secure violation)."""
+        if self.violations:
+            return "dangerous"
+        if self.detected:
+            return "detected"
+        return "silent"
+
+
+class FaultSweep:
+    """Compile once, baseline once, then classify faults one cone at a time."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.compiled = compile_network(network)
+        self.bitmask = BitmaskBackend(self.compiled)
+        self.n = self.compiled.n_inputs
+        self.full = self.bitmask.full
+        baseline = self.bitmask.baseline()
+        self.normal_out: Tuple[int, ...] = tuple(
+            baseline[i] for i in self.compiled.out_idx
+        )
+        # Alternation mask of each fault-free output: 1 where the (X, X̄)
+        # pair alternates.  Reused verbatim for outputs a fault leaves
+        # untouched, which skips most reflect work in a sweep.
+        self._normal_alt: Tuple[int, ...] = tuple(
+            bits ^ reflect_bits(bits, self.n) for bits in self.normal_out
+        )
+
+    def response_bits(self, fault: FaultLike) -> ResponseBits:
+        """The pair-level response masks for one fault."""
+        values = self.bitmask.line_bits(fault)
+        n = self.n
+        full = self.full
+        wrong = 0
+        detected = 0
+        all_alternate = full
+        for pos, idx in enumerate(self.compiled.out_idx):
+            t_fault = values[idx]
+            t_normal = self.normal_out[pos]
+            if t_fault == t_normal:
+                alternates = self._normal_alt[pos]
+            else:
+                alternates = t_fault ^ reflect_bits(t_fault, n)
+                wrong |= t_normal ^ t_fault
+            detected |= alternates ^ full  # nonalternating pairs
+            all_alternate &= alternates
+        # Close point sets under the X ↔ X̄ pairing (alternation masks are
+        # already pair-symmetric, so `detected` needs no closing).
+        affected = wrong | reflect_bits(wrong, n)
+        violations = affected & all_alternate
+        return ResponseBits(affected, detected, violations)
+
+    def classify(self, fault: FaultLike) -> str:
+        return self.response_bits(fault).status
+
+    # ------------------------------------------------------------------
+    # batched drivers
+    # ------------------------------------------------------------------
+    def single_fault_universe(
+        self, include_inputs: bool = True, include_pins: bool = True
+    ) -> List[FaultLike]:
+        """All single faults on lines that can reach some output (dead
+        lines are not lines of the network in the thesis's sense)."""
+        live = set()
+        for out in self.network.outputs:
+            live |= self.network.cone(out)
+        kept: List[FaultLike] = []
+        for fault in enumerate_single_faults(
+            self.network,
+            include_inputs=include_inputs,
+            include_pins=include_pins,
+        ):
+            line = fault.line if hasattr(fault, "line") else fault.gate
+            if line in live:
+                kept.append(fault)
+        return kept
+
+    def sweep(
+        self,
+        faults: Iterable[FaultLike],
+        processes: Optional[int] = None,
+    ) -> List[Tuple[FaultLike, str]]:
+        """Classify every fault; optionally fan out across ``processes``
+        fork workers (falls back to serial when fork is unavailable or
+        the batch is too small to amortize worker start-up)."""
+        universe = list(faults)
+        if processes and processes > 1 and len(universe) >= 4 * processes:
+            parallel = _sweep_parallel(self.network, universe, processes)
+            if parallel is not None:
+                return parallel
+        return [(fault, self.classify(fault)) for fault in universe]
+
+    def coverage(
+        self,
+        faults: Optional[Sequence[FaultLike]] = None,
+        processes: Optional[int] = None,
+    ) -> dict:
+        """Section 2.4 coverage fractions over a fault universe."""
+        universe = (
+            list(faults) if faults is not None else self.single_fault_universe()
+        )
+        counts = {"detected": 0, "silent": 0, "dangerous": 0}
+        for _fault, status in self.sweep(universe, processes=processes):
+            counts[status] += 1
+        total = max(len(universe), 1)
+        return {
+            "faults": float(len(universe)),
+            "detected": counts["detected"] / total,
+            "silent": counts["silent"] / total,
+            "dangerous": counts["dangerous"] / total,
+        }
+
+
+# ----------------------------------------------------------------------
+# process fan-out: each worker compiles the network once, sweeps a chunk
+# ----------------------------------------------------------------------
+_worker_sweep: Optional[FaultSweep] = None
+
+
+def _init_worker(network: Network) -> None:
+    global _worker_sweep
+    _worker_sweep = FaultSweep(network)
+
+
+def _classify_chunk(faults: Sequence[FaultLike]) -> List[str]:
+    assert _worker_sweep is not None
+    return [_worker_sweep.classify(fault) for fault in faults]
+
+
+def _sweep_parallel(
+    network: Network, universe: List[FaultLike], processes: int
+) -> Optional[List[Tuple[FaultLike, str]]]:
+    try:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+    except (ImportError, ValueError):
+        return None
+    chunk = max(1, (len(universe) + processes - 1) // processes)
+    chunks = [
+        universe[start : start + chunk]
+        for start in range(0, len(universe), chunk)
+    ]
+    try:
+        with ctx.Pool(
+            processes=min(processes, len(chunks)),
+            initializer=_init_worker,
+            initargs=(network,),
+        ) as pool:
+            results = pool.map(_classify_chunk, chunks)
+    except OSError:
+        return None
+    statuses = [status for block in results for status in block]
+    return list(zip(universe, statuses))

@@ -11,16 +11,20 @@ For networks whose input count makes ``2**n`` impractical the same entry
 points accept an explicit list of input points to evaluate ("sampled"
 mode); the SCAL oracle in :mod:`repro.core.simulate` uses that for the
 randomized coverage experiments.
+
+These functions are thin name-keyed wrappers over the compiled engine
+(:mod:`repro.engine`): the network is compiled once into a flat op
+program, the fault-free baseline is cached, and each faulty query
+re-simulates only the fault's output cone.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
-from .faults import Fault, MultipleFault, fault_overrides
-from .gates import evaluate as eval_gate
-from .gates import evaluate_mask
-from .network import Network
+from ..engine import engine_for
+from .faults import Fault, MultipleFault
+from .network import Network, NetworkError
 from .truthtable import TruthTable
 
 
@@ -34,33 +38,14 @@ def line_tables(
     table index is input *i*), so tables from the same network compose
     with plain ``&``/``|``/``^``.
     """
-    n = len(network.inputs)
-    full = (1 << (1 << n)) - 1
-    stems: Mapping[str, int] = {}
-    pins: Mapping[Tuple[str, int], int] = {}
-    if fault is not None:
-        stems, pins = fault_overrides(fault)
-
-    masks: Dict[str, int] = {}
-    for i, name in enumerate(network.inputs):
-        if name in stems:
-            masks[name] = full if stems[name] else 0
-        else:
-            masks[name] = TruthTable.variable(i, n).bits
-    for gate in network.gates:
-        if gate.name in stems:
-            masks[gate.name] = full if stems[gate.name] else 0
-            continue
-        operands: List[int] = []
-        for pin, src in enumerate(gate.inputs):
-            key = (gate.name, pin)
-            if key in pins:
-                operands.append(full if pins[key] else 0)
-            else:
-                operands.append(masks[src])
-        masks[gate.name] = evaluate_mask(gate.kind, operands, full)
-    names = tuple(network.inputs)
-    return {line: TruthTable(n, bits, names) for line, bits in masks.items()}
+    engine = engine_for(network)
+    bits = engine.bitmask.line_bits(fault)
+    n = engine.compiled.n_inputs
+    names = engine.compiled.input_names
+    return {
+        line: TruthTable(n, line_bits, names)
+        for line, line_bits in zip(engine.compiled.names, bits)
+    }
 
 
 def output_tables(
@@ -68,8 +53,14 @@ def output_tables(
     fault: Optional[Union[Fault, MultipleFault]] = None,
 ) -> Dict[str, TruthTable]:
     """Truth tables of the network outputs, optionally under a fault."""
-    tables = line_tables(network, fault)
-    return {out: tables[out] for out in network.outputs}
+    engine = engine_for(network)
+    bits = engine.bitmask.line_bits(fault)
+    n = engine.compiled.n_inputs
+    names = engine.compiled.input_names
+    return {
+        out: TruthTable(n, bits[idx], names)
+        for out, idx in zip(network.outputs, engine.compiled.out_idx)
+    }
 
 
 def network_function(network: Network, output: Optional[str] = None) -> TruthTable:
@@ -81,28 +72,22 @@ def network_function(network: Network, output: Optional[str] = None) -> TruthTab
     return line_tables(network)[output]
 
 
+def _input_point(network: Network, assignment: Mapping[str, int]) -> Tuple[int, ...]:
+    try:
+        return tuple(int(assignment[name]) & 1 for name in network.inputs)
+    except KeyError as missing:
+        raise NetworkError(f"missing value for input {missing.args[0]!r}") from None
+
+
 def evaluate_with_fault(
     network: Network,
     assignment: Mapping[str, int],
     fault: Optional[Union[Fault, MultipleFault]] = None,
 ) -> Dict[str, int]:
     """Pointwise evaluation of every line under a fault."""
-    if fault is None:
-        return network.evaluate(assignment)
-    stems, pins = fault_overrides(fault)
-    values: Dict[str, int] = {}
-    for name in network.inputs:
-        values[name] = stems.get(name, int(assignment[name]) & 1)
-    for gate in network.gates:
-        if gate.name in stems:
-            values[gate.name] = stems[gate.name]
-            continue
-        operands = []
-        for pin, src in enumerate(gate.inputs):
-            key = (gate.name, pin)
-            operands.append(pins.get(key, values[src]))
-        values[gate.name] = eval_gate(gate.kind, operands)
-    return values
+    engine = engine_for(network)
+    values = engine.pointwise.line_values(_input_point(network, assignment), fault)
+    return dict(zip(engine.compiled.names, values))
 
 
 def outputs_with_fault(
@@ -111,8 +96,8 @@ def outputs_with_fault(
     fault: Optional[Union[Fault, MultipleFault]] = None,
 ) -> Tuple[int, ...]:
     """Output tuple for one input assignment under a fault."""
-    values = evaluate_with_fault(network, assignment, fault)
-    return tuple(values[out] for out in network.outputs)
+    engine = engine_for(network)
+    return engine.pointwise.output_values(_input_point(network, assignment), fault)
 
 
 def sampled_output_vectors(
@@ -125,11 +110,7 @@ def sampled_output_vectors(
     Used when the input space is too large to enumerate — the randomized
     coverage benchmarks sample points instead.
     """
-    results = []
-    for point in points:
-        assignment = network.assignment_from_index(point)
-        results.append(outputs_with_fault(network, assignment, fault))
-    return results
+    return engine_for(network).sampled.output_vectors(points, fault)
 
 
 def functionally_equivalent(a: Network, b: Network) -> bool:
@@ -141,22 +122,32 @@ def functionally_equivalent(a: Network, b: Network) -> bool:
     """
     if set(a.inputs) != set(b.inputs) or len(a.outputs) != len(b.outputs):
         return False
-    ta = line_tables(a)
-    tb_raw = line_tables(b)
-    # Re-tabulate b's outputs under a's variable order so bitmasks align.
+    eng_a = engine_for(a)
+    eng_b = engine_for(b)
+    bits_a = eng_a.bitmask.baseline()
+    bits_b = eng_b.bitmask.baseline()
     n = len(a.inputs)
-    order = {name: i for i, name in enumerate(a.inputs)}
+    if a.inputs == b.inputs:
+        perm = None
+    else:
+        # b's table index for a's point i, built once (incrementally from
+        # the lowest set bit) and reused across every output pair.
+        order = {name: i for i, name in enumerate(a.inputs)}
+        bit_for = [0] * n
+        for bi, name in enumerate(b.inputs):
+            bit_for[order[name]] = 1 << bi
+        perm = [0] * (1 << n)
+        for i in range(1, 1 << n):
+            low = i & -i
+            perm[i] = perm[i ^ low] | bit_for[low.bit_length() - 1]
     for out_a, out_b in zip(a.outputs, b.outputs):
-        table_b = tb_raw[out_b]
-        remapped = 0
+        table_a = bits_a[eng_a.compiled.index[out_a]]
+        table_b = bits_b[eng_b.compiled.index[out_b]]
+        if perm is None:
+            if table_a != table_b:
+                return False
+            continue
         for i in range(1 << n):
-            # Build b's index for a's point i.
-            j = 0
-            for bi, name in enumerate(b.inputs):
-                if (i >> order[name]) & 1:
-                    j |= 1 << bi
-            if table_b.value(j):
-                remapped |= 1 << i
-        if remapped != ta[out_a].bits:
-            return False
+            if ((table_a >> i) & 1) != ((table_b >> perm[i]) & 1):
+                return False
     return True

@@ -103,7 +103,7 @@ class CodeConversionMachine:
         ``checker_flags[t]`` is True when the PALT's 1-out-of-2 code was
         a noncode word at step *t*.
         """
-        from ..logic.evaluate import evaluate_with_fault
+        from ..engine import engine_for
 
         if alpt_fault is not None and alpt_fault.site == "g":
             # Common-clock failure (Theorem 4.1 case 5): all clock fanout
@@ -115,6 +115,17 @@ class CodeConversionMachine:
         self.palt.inject(palt_fault)
         self.memory.inject(memory_fault)
         monitored = list(self.output_names) + list(self.state_output_names)
+        # Engine fast path: monitoring and feedback only read output
+        # lines, so each period is one cone-pruned output query on a
+        # directly-built input point.
+        engine = engine_for(self.network)
+        pos = {name: i for i, name in enumerate(self.network.inputs)}
+        x_pos = [pos[name] for name in self.input_names]
+        y_pos = [pos[f"y{i}"] for i in range(self.encoding.width)]
+        clock_pos = pos[self.clock_name]
+        out_pos = {name: i for i, name in enumerate(self.network.outputs)}
+        mon_idx = [out_pos[m] for m in monitored]
+        y_idx = [out_pos[name] for name in self.state_output_names]
         addr_par = self._address_parity()
         steps: List[AlternatingStep] = []
         flags: List[bool] = []
@@ -126,18 +137,17 @@ class CodeConversionMachine:
             y_pair = []
             for phase in (0, 1):
                 present = self.palt.outputs_for_period(data, phase)
-                assignment = {
-                    name: (bit if phase == 0 else 1 - bit)
-                    for name, bit in zip(self.input_names, vector)
-                }
-                assignment[self.clock_name] = phase
-                for i, value in enumerate(present):
-                    assignment[f"y{i}"] = value
-                values = evaluate_with_fault(self.network, assignment, comb_fault)
-                period_values.append(tuple(values[m] for m in monitored))
-                y_pair.append(
-                    [values[name] for name in self.state_output_names]
+                point = [0] * len(pos)
+                for p, bit in zip(x_pos, vector):
+                    point[p] = (bit if phase == 0 else 1 - bit) & 1
+                point[clock_pos] = phase
+                for p, value in zip(y_pos, present):
+                    point[p] = value & 1
+                outputs = engine.pointwise.output_values(
+                    tuple(point), comb_fault
                 )
+                period_values.append(tuple(outputs[i] for i in mon_idx))
+                y_pair.append([outputs[i] for i in y_idx])
             word, new_parity = self.alpt.feed_pair(
                 y_pair[0], y_pair[1], address_parity=addr_par
             )

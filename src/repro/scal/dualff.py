@@ -117,6 +117,10 @@ class DualFlipFlopMachine:
         self.circuit.reset()
         self._set_alternating_initial_state()
         monitored = list(self.output_names) + list(self.state_output_names)
+        out_pos = {
+            name: i for i, name in enumerate(self.circuit.network.outputs)
+        }
+        mon_idx = [out_pos[m] for m in monitored]
         steps: List[AlternatingStep] = []
         period = 0
         for vector in vectors:
@@ -130,12 +134,12 @@ class DualFlipFlopMachine:
                     for name, bit in zip(self.input_names, vector)
                 }
                 assignment[self.clock_name] = phase
-                values = self.circuit.step(
+                outputs = self.circuit.step_outputs(
                     assignment,
                     fault=fault if active else None,
                     ff_fault=ff_fault if active else None,
                 )
-                period_values.append(tuple(values[m] for m in monitored))
+                period_values.append(tuple(outputs[i] for i in mon_idx))
                 period += 1
             steps.append(AlternatingStep(period_values[0], period_values[1]))
         return AlternatingRun(tuple(steps))

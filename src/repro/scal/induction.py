@@ -85,6 +85,10 @@ def _single_step(
     """One logical step from ``state``; returns the (Z…Y…) period pair."""
     _seed_state(machine, state)
     monitored = list(machine.output_names) + list(machine.state_output_names)
+    out_pos = {
+        name: i for i, name in enumerate(machine.circuit.network.outputs)
+    }
+    mon_idx = [out_pos[m] for m in monitored]
     pair = []
     for phase in (0, 1):
         assignment = {
@@ -92,8 +96,8 @@ def _single_step(
             for name, bit in zip(machine.input_names, vector)
         }
         assignment[machine.clock_name] = phase
-        values = machine.circuit.step(assignment, fault=fault)
-        pair.append(tuple(values[m] for m in monitored))
+        outputs = machine.circuit.step_outputs(assignment, fault=fault)
+        pair.append(tuple(outputs[i] for i in mon_idx))
     return pair[0], pair[1]
 
 

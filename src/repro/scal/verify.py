@@ -84,20 +84,43 @@ def _campaign(
     )
 
 
+def _stem_universe(
+    network, include_inputs: bool, collapse: bool
+) -> List[Fault]:
+    """Combinational stem faults for a campaign, collapsed by default.
+
+    Structurally equivalent faults have identical faulty functions at
+    every evaluation, so one representative per class preserves the
+    campaign verdict while skipping the duplicate clocked runs.  Pass
+    ``collapse=False`` for the raw stem universe.
+    """
+    if collapse:
+        from ..core.collapse import collapse_stem_faults
+
+        return list(
+            collapse_stem_faults(network, include_inputs=include_inputs)
+        )
+    return list(
+        enumerate_stem_faults(network, include_inputs=include_inputs)
+    )
+
+
 def dualff_campaign(
     machine: DualFlipFlopMachine,
     vectors: Sequence[Tuple[int, ...]],
     include_inputs: bool = False,
     include_flip_flops: bool = True,
+    collapse: bool = True,
 ) -> CampaignResult:
     """Single-fault campaign over a dual flip-flop machine: every
-    combinational stem fault plus (optionally) every flip-flop stage
-    output stuck."""
+    combinational stem fault (collapsed to equivalence-class
+    representatives unless ``collapse=False``) plus (optionally) every
+    flip-flop stage output stuck."""
     reference = machine.machine.run(list(vectors))
 
     def runs():
-        for fault in enumerate_stem_faults(
-            machine.circuit.network, include_inputs=include_inputs
+        for fault in _stem_universe(
+            machine.circuit.network, include_inputs, collapse
         ):
             run = machine.run(vectors, fault=fault)
             yield fault.describe(), run, machine.decoded_outputs(run)
@@ -116,10 +139,11 @@ def codeconv_campaign(
     machine: CodeConversionMachine,
     vectors: Sequence[Tuple[int, ...]],
     include_inputs: bool = False,
+    collapse: bool = True,
 ) -> CampaignResult:
     """Single-fault campaign over a code-conversion machine: every
-    combinational stem fault, every translator line class, every memory
-    fault."""
+    combinational stem fault (collapsed unless ``collapse=False``),
+    every translator line class, every memory fault."""
     from ..scal.translators import TranslatorFault
     from ..system.memory import single_memory_faults
 
@@ -127,8 +151,8 @@ def codeconv_campaign(
     width = machine.encoding.width
 
     def runs():
-        for fault in enumerate_stem_faults(
-            machine.network, include_inputs=include_inputs
+        for fault in _stem_universe(
+            machine.network, include_inputs, collapse
         ):
             run = machine.run(vectors, comb_fault=fault)
             yield f"comb {fault.describe()}", run, machine.decoded_outputs(run)

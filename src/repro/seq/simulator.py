@@ -17,7 +17,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
-from ..logic.evaluate import evaluate_with_fault
+from ..engine import engine_for
 from ..logic.faults import Fault, MultipleFault
 from ..logic.network import Network
 from .dff import DelayChain
@@ -53,6 +53,7 @@ class SequentialCircuit:
         network; next-state lines must be among its outputs."""
         self.name = name
         self.network = network
+        self._engine = engine_for(network)
         self.depth = depth
         self.feedback: Dict[str, str] = dict(feedback)
         for next_line, present_line in self.feedback.items():
@@ -72,6 +73,7 @@ class SequentialCircuit:
             for present in self.feedback.values()
         }
         self._initial = {p: init.get(p, 0) for p in self.feedback.values()}
+        self._out_pos = {name: i for i, name in enumerate(network.outputs)}
 
     def reset(self, state: Optional[Mapping[str, int]] = None) -> None:
         values = dict(self._initial)
@@ -102,7 +104,14 @@ class SequentialCircuit:
             # A stuck final-stage output corrupts the present state seen
             # by the combinational logic.
             assignment[ff_fault.state_line] = ff_fault.value
-        values = evaluate_with_fault(self.network, assignment, fault)
+        # Engine pointwise path: clocked runs revisit the same few
+        # (input, state) points across faults, so the baseline cache and
+        # cone-pruned faulty re-simulation make each period cheap.
+        point = tuple(
+            int(assignment[name]) & 1 for name in self.network.inputs
+        )
+        line_values = self._engine.pointwise.line_values(point, fault)
+        values = dict(zip(self._engine.compiled.names, line_values))
         for next_line, present in self.feedback.items():
             chain = self.chains[present]
             d = values[next_line]
@@ -118,6 +127,42 @@ class SequentialCircuit:
                 chain.clock_edge(d, 1)
             chain.clock_edge(d, 0)  # falling edge re-arms the chain
         return values
+
+    def step_outputs(
+        self,
+        inputs: Mapping[str, int],
+        fault: Optional[FaultLike] = None,
+        ff_fault: Optional[FlipFlopFault] = None,
+    ) -> Tuple[int, ...]:
+        """One clock period returning only the network-output tuple.
+
+        The campaign fast path: feedback and alternation monitoring both
+        read output lines, so the full line-value map of :meth:`step` is
+        not materialized.
+        """
+        assignment = dict(inputs)
+        for present, chain in self.chains.items():
+            assignment[present] = chain.output
+        if ff_fault is not None and ff_fault.stage == self.depth - 1:
+            assignment[ff_fault.state_line] = ff_fault.value
+        point = tuple(
+            int(assignment[name]) & 1 for name in self.network.inputs
+        )
+        outputs = self._engine.pointwise.output_values(point, fault)
+        for next_line, present in self.feedback.items():
+            chain = self.chains[present]
+            d = outputs[self._out_pos[next_line]]
+            if (
+                ff_fault is not None
+                and ff_fault.state_line == present
+                and ff_fault.stage < self.depth - 1
+            ):
+                chain.clock_edge(d, 1)
+                chain.stages[ff_fault.stage].q = ff_fault.value
+            else:
+                chain.clock_edge(d, 1)
+            chain.clock_edge(d, 0)
+        return outputs
 
     def run(
         self,

@@ -1,0 +1,150 @@
+"""Cross-backend equivalence of the compiled engine (repro.engine).
+
+Every backend — word-parallel bitmask, pointwise, sampled — must agree
+bit-for-bit with a naive dict-walking reference evaluator on every seed
+circuit, fault-free and under exhaustive single-fault injection (stem
+and pin stuck-ats).  The reference below deliberately shares no code
+with the engine: it walks the named netlist gate by gate, resolving
+stem and pin overrides the way the legacy evaluators did.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.engine import FaultSweep, engine_for
+from repro.logic.benchfmt import load_bench
+from repro.logic.faults import enumerate_single_faults, fault_overrides
+from repro.logic.gates import evaluate as eval_gate
+from repro.workloads.benchcircuits import fig62_nand_network
+from repro.workloads.fig34 import fig34_network, fig37_fixed_network
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "..", "examples", "data")
+
+#: label -> zero-argument builder of one seed circuit
+SEED_CIRCUITS = {
+    "fig34": fig34_network,
+    "fig37_fixed": fig37_fixed_network,
+    "fig62_nand": fig62_nand_network,
+    "adder4_bench": lambda: load_bench(os.path.join(DATA_DIR, "adder4.bench")),
+    "fig34_bench": lambda: load_bench(os.path.join(DATA_DIR, "fig34.bench")),
+    "fig37_bench": lambda: load_bench(os.path.join(DATA_DIR, "fig37.bench")),
+    "fig62_bench": lambda: load_bench(os.path.join(DATA_DIR, "fig62.bench")),
+}
+
+#: Networks at or below this input count are checked on every point;
+#: wider ones (the 9-input adder) on a seeded sample per fault.
+EXHAUSTIVE_LIMIT = 6
+SAMPLE_POINTS = 48
+
+
+def reference_values(network, point, fault=None):
+    """Naive per-point evaluation: named dict walk, no engine code."""
+    if fault is None:
+        stems, pins = {}, {}
+    else:
+        stems, pins = fault_overrides(fault)
+    values = {}
+    for i, name in enumerate(network.inputs):
+        v = (point >> i) & 1
+        values[name] = stems.get(name, v)
+    for gate in network.gates:
+        operands = [values[src] for src in gate.inputs]
+        for slot in range(len(operands)):
+            override = pins.get((gate.name, slot))
+            if override is not None:
+                operands[slot] = override
+        v = eval_gate(gate.kind, operands)
+        values[gate.name] = stems.get(gate.name, v)
+    return values
+
+
+def check_points(network):
+    n = len(network.inputs)
+    if n <= EXHAUSTIVE_LIMIT:
+        return list(range(1 << n))
+    rnd = random.Random(0x5EED)
+    return sorted(rnd.sample(range(1 << n), SAMPLE_POINTS))
+
+
+@pytest.fixture(params=sorted(SEED_CIRCUITS), scope="module")
+def circuit(request):
+    return SEED_CIRCUITS[request.param]()
+
+
+class TestFaultFree:
+    def test_backends_match_reference(self, circuit):
+        engine = engine_for(circuit)
+        comp = engine.compiled
+        bits = engine.bitmask.line_bits()
+        points = check_points(circuit)
+        for point in points:
+            ref = reference_values(circuit, point)
+            # bitmask: bit `point` of each line mask
+            for name, idx in comp.index.items():
+                assert (bits[idx] >> point) & 1 == ref[name], (name, point)
+            # pointwise: full line list
+            tuple_point = engine.sampled.point_tuple(point)
+            vals = engine.pointwise.line_values(tuple_point)
+            for name, idx in comp.index.items():
+                assert vals[idx] == ref[name], (name, point)
+        # sampled: output vectors over the whole point list at once
+        expected = [
+            tuple(reference_values(circuit, p)[o] for o in circuit.outputs)
+            for p in points
+        ]
+        assert engine.sampled.output_vectors(points) == expected
+
+
+class TestSingleFaultEquivalence:
+    def test_backends_agree_under_every_single_fault(self, circuit):
+        engine = engine_for(circuit)
+        comp = engine.compiled
+        points = check_points(circuit)
+        for fault in enumerate_single_faults(circuit):
+            bits = engine.bitmask.line_bits(fault)
+            sampled = engine.sampled.output_vectors(points, fault)
+            for pos, point in enumerate(points):
+                ref = reference_values(circuit, point, fault)
+                for name, idx in comp.index.items():
+                    assert (bits[idx] >> point) & 1 == ref[name], (
+                        fault.describe(),
+                        name,
+                        point,
+                    )
+                tuple_point = engine.sampled.point_tuple(point)
+                vals = engine.pointwise.line_values(tuple_point, fault)
+                for name, idx in comp.index.items():
+                    assert vals[idx] == ref[name], (
+                        fault.describe(),
+                        name,
+                        point,
+                    )
+                expected_out = tuple(ref[o] for o in circuit.outputs)
+                assert sampled[pos] == expected_out, (fault.describe(), point)
+
+
+class TestSweepDrivers:
+    def test_parallel_sweep_matches_serial(self, circuit):
+        if len(circuit.inputs) > EXHAUSTIVE_LIMIT:
+            pytest.skip("word-parallel sweep only exercised on small seeds")
+        sweep = FaultSweep(circuit)
+        universe = sweep.single_fault_universe()
+        serial = sweep.sweep(universe)
+        parallel = sweep.sweep(universe, processes=2)
+        assert serial == parallel
+
+    def test_classification_matches_legacy_simulator(self, circuit):
+        if len(circuit.inputs) > EXHAUSTIVE_LIMIT:
+            pytest.skip("exhaustive oracle only exercised on small seeds")
+        from repro.core.simulate import ScalSimulator
+
+        sweep = FaultSweep(circuit)
+        sim = ScalSimulator(circuit)
+        for fault in sweep.single_fault_universe():
+            bits = sweep.response_bits(fault)
+            resp = sim.response(fault)
+            assert bits.affected == resp.affected.bits
+            assert bits.detected == resp.detected.bits
+            assert bits.violations == resp.violations.bits

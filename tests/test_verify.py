@@ -49,9 +49,14 @@ class TestCodeconvCampaign:
     def test_covers_all_units(self, detector):
         machine = to_code_conversion(detector)
         vectors = random_vectors(detector, 30, seed=6)
-        result = codeconv_campaign(machine, vectors)
-        # comb stems + 2*(5w+4) alpt + 2*(5w+3) palt + memory faults.
-        assert result.total > 100
+        # Raw universe: comb stems + 2*(5w+4) alpt + 2*(5w+3) palt +
+        # memory faults.
+        raw = codeconv_campaign(machine, vectors, collapse=False)
+        assert raw.total > 100
+        # Collapsed default sweeps fewer runs but keeps the verdict.
+        collapsed = codeconv_campaign(machine, vectors)
+        assert 0 < collapsed.total <= raw.total
+        assert collapsed.is_fault_secure == raw.is_fault_secure
 
 
 class TestRandomVectors:
