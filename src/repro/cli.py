@@ -8,7 +8,9 @@ Point the thesis's machinery at any ``.bench`` netlist:
 * ``repair``    — automatic self-checking repair (Figure 3.7 style);
 * ``minority``  — convert a NAND/NOR netlist to minority modules;
 * ``dot``       — Graphviz export with the failing lines highlighted;
-* ``faulttable``— a Figure 3.6-style fault table for chosen lines.
+* ``faulttable``— a Figure 3.6-style fault table for chosen lines;
+* ``fuzz``      — seeded differential/metamorphic fuzz campaign with
+  counterexample shrinking (see ``repro.qa``).
 """
 
 from __future__ import annotations
@@ -146,6 +148,38 @@ def cmd_faulttable(args: argparse.Namespace) -> int:
     return 0 if not bad else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .qa import fuzz, property_names
+    from .qa.chaos import bug_names
+
+    if args.list:
+        from .qa import PROPERTIES
+
+        for name in property_names():
+            print(f"{name}: {PROPERTIES[name].description}")
+        return 0
+    if args.chaos is not None and args.chaos not in bug_names():
+        raise SystemExit(
+            f"unknown chaos bug {args.chaos!r}; known: "
+            + ", ".join(bug_names())
+        )
+    try:
+        report = fuzz(
+            seed=args.seed,
+            budget=args.budget,
+            properties=args.property or None,
+            shrink=not args.no_shrink,
+            artifact_dir=(
+                None if args.artifact_dir == "none" else args.artifact_dir
+            ),
+            chaos_bug=args.chaos,
+        )
+    except KeyError as error:
+        raise SystemExit(str(error))
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -190,6 +224,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("faults", nargs="+",
                    help="fault specs like nab/0 or_ab/1")
     p.set_defaults(func=cmd_faulttable)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="seeded differential/metamorphic fuzz campaign",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    p.add_argument("--budget", type=int, default=200,
+                   help="total trials split across properties (default 200)")
+    p.add_argument("--property", action="append", default=[],
+                   metavar="NAME",
+                   help="restrict to one property (repeatable)")
+    p.add_argument("--artifact-dir", default="qa/artifacts",
+                   help="write counterexample artifacts here "
+                   "(default: qa/artifacts; 'none' disables)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip counterexample minimization")
+    p.add_argument("--chaos", default=None, metavar="BUG",
+                   help="inject a named engine bug (harness self-test)")
+    p.add_argument("--list", action="store_true",
+                   help="list registered properties and exit")
+    p.set_defaults(func=cmd_fuzz)
     return parser
 
 

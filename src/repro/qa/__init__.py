@@ -1,0 +1,50 @@
+"""QA subsystem: differential fuzzing, metamorphic properties, shrinking.
+
+The paper's theorems are executable invariants; this package checks them
+continuously against randomized populations instead of only on the
+hand-written examples:
+
+* :mod:`repro.qa.reference` — an independent naive interpreter (shares
+  no code with the engine) used as the differential oracle;
+* :mod:`repro.qa.properties` — the registry of seeded properties
+  (backend agreement, alternation, Algorithm 3.1 vs oracle, ATPG
+  soundness, collapse verdicts, sequential-transform equivalence,
+  sampled determinism);
+* :mod:`repro.qa.shrink` — greedy counterexample minimization;
+* :mod:`repro.qa.runner` — the campaign driver behind
+  ``python -m repro fuzz`` (artifacts: JSON + pytest reproducer);
+* :mod:`repro.qa.chaos` — named engine sabotage for harness self-tests.
+"""
+
+from .cases import (
+    Case,
+    Counterexample,
+    case_from_json,
+    case_to_json,
+    network_from_json,
+    network_to_json,
+    pytest_snippet,
+)
+from .properties import PROPERTIES, Property, property_names, resolve, trial_rng
+from .runner import FuzzReport, PropertyReport, fuzz, run_property
+from .shrink import shrink_case
+
+__all__ = [
+    "Case",
+    "Counterexample",
+    "FuzzReport",
+    "PROPERTIES",
+    "Property",
+    "PropertyReport",
+    "case_from_json",
+    "case_to_json",
+    "fuzz",
+    "network_from_json",
+    "network_to_json",
+    "property_names",
+    "pytest_snippet",
+    "resolve",
+    "run_property",
+    "shrink_case",
+    "trial_rng",
+]

@@ -1,0 +1,220 @@
+"""Fuzz cases: the shrinkable, serializable unit the QA harness works on.
+
+A :class:`Case` bundles whatever one property trial quantifies over — a
+network, a Mealy machine, an input-vector stream, sampled points, a
+determinism seed.  Properties check cases; the shrinker mutates them;
+this module round-trips them to JSON artifacts and emits a runnable
+pytest reproducer so a minimized counterexample survives the fuzz run
+that found it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..logic.gates import GateKind
+from ..logic.network import Gate, Network
+from ..seq.machine import StateTable
+
+
+@dataclasses.dataclass(frozen=True)
+class Case:
+    """One property trial's input data (fields unused by a property stay
+    ``None``; the shrinker only mutates the populated ones)."""
+
+    network: Optional[Network] = None
+    machine: Optional[StateTable] = None
+    vectors: Optional[Tuple[Tuple[int, ...], ...]] = None
+    points: Optional[Tuple[int, ...]] = None
+    seed: Optional[int] = None
+
+    def size(self) -> int:
+        """Shrink metric: smaller is better, gates dominate."""
+        total = 0
+        if self.network is not None:
+            total += 10 * len(self.network.gates)
+            total += len(self.network.inputs)
+            total += sum(len(g.inputs) for g in self.network.gates)
+        if self.machine is not None:
+            total += 10 * len(self.machine.states)
+        if self.vectors is not None:
+            total += len(self.vectors)
+        if self.points is not None:
+            total += len(self.points)
+        return total
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+def network_to_json(network: Network) -> Dict[str, Any]:
+    return {
+        "name": network.name,
+        "inputs": list(network.inputs),
+        "gates": [
+            {"name": g.name, "kind": g.kind.value, "inputs": list(g.inputs)}
+            for g in network.gates
+        ],
+        "outputs": list(network.outputs),
+    }
+
+
+def network_from_json(data: Dict[str, Any]) -> Network:
+    gates = [
+        Gate(g["name"], GateKind(g["kind"]), tuple(g["inputs"]))
+        for g in data["gates"]
+    ]
+    return Network(
+        data["inputs"], gates, data["outputs"], name=data.get("name", "network")
+    )
+
+
+def machine_to_json(machine: StateTable) -> Dict[str, Any]:
+    table: Dict[str, List[Any]] = {}
+    for state in machine.states:
+        rows = []
+        for vector in machine.input_vectors():
+            t = machine.transition(state, vector)
+            rows.append([list(vector), t.next_state, list(t.output)])
+        table[state] = rows
+    return {
+        "name": machine.name,
+        "states": list(machine.states),
+        "n_inputs": machine.n_inputs,
+        "n_outputs": machine.n_outputs,
+        "initial_state": machine.initial_state,
+        "table": table,
+    }
+
+
+def machine_from_json(data: Dict[str, Any]) -> StateTable:
+    table: Dict[str, Dict[Tuple[int, ...], Tuple[str, Tuple[int, ...]]]] = {}
+    for state, rows in data["table"].items():
+        table[state] = {
+            tuple(vector): (nxt, tuple(output)) for vector, nxt, output in rows
+        }
+    return StateTable(
+        data["states"],
+        data["n_inputs"],
+        data["n_outputs"],
+        table,
+        data["initial_state"],
+        name=data.get("name", "machine"),
+    )
+
+
+def case_to_json(case: Case) -> Dict[str, Any]:
+    data: Dict[str, Any] = {}
+    if case.network is not None:
+        data["network"] = network_to_json(case.network)
+    if case.machine is not None:
+        data["machine"] = machine_to_json(case.machine)
+    if case.vectors is not None:
+        data["vectors"] = [list(v) for v in case.vectors]
+    if case.points is not None:
+        data["points"] = list(case.points)
+    if case.seed is not None:
+        data["seed"] = case.seed
+    return data
+
+
+def case_from_json(data: Dict[str, Any]) -> Case:
+    return Case(
+        network=(
+            network_from_json(data["network"]) if "network" in data else None
+        ),
+        machine=(
+            machine_from_json(data["machine"]) if "machine" in data else None
+        ),
+        vectors=(
+            tuple(tuple(v) for v in data["vectors"])
+            if "vectors" in data
+            else None
+        ),
+        points=tuple(data["points"]) if "points" in data else None,
+        seed=data.get("seed"),
+    )
+
+
+# ----------------------------------------------------------------------
+# counterexample artifact + pytest reproducer
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Counterexample:
+    """A failing trial, before and after shrinking."""
+
+    property_name: str
+    seed: int
+    trial: int
+    detail: str
+    case: Case
+    shrunk: Case
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "property": self.property_name,
+            "seed": self.seed,
+            "trial": self.trial,
+            "detail": self.detail,
+            "original_size": self.case.size(),
+            "shrunk_size": self.shrunk.size(),
+            "original_case": case_to_json(self.case),
+            "case": case_to_json(self.shrunk),
+            "pytest_snippet": pytest_snippet(self.property_name, self.shrunk),
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def _network_build_lines(network: Network, var: str) -> List[str]:
+    lines = [
+        f"builder = NetworkBuilder({list(network.inputs)!r}, "
+        f"name={network.name!r})"
+    ]
+    for g in network.gates:
+        lines.append(
+            f"builder.add({g.name!r}, GateKind.{g.kind.name}, "
+            f"{list(g.inputs)!r})"
+        )
+    lines.append(f"{var} = builder.build({list(network.outputs)!r})")
+    return lines
+
+
+def pytest_snippet(property_name: str, case: Case) -> str:
+    """A self-contained pytest regression test: fails while the bug the
+    counterexample witnessed is present, passes once it is fixed."""
+    slug = property_name.replace("-", "_")
+    body: List[str] = []
+    kwargs: List[str] = []
+    if case.network is not None:
+        body.extend(_network_build_lines(case.network, "network"))
+        kwargs.append("network=network")
+    if case.machine is not None:
+        body.append(f"machine = machine_from_json({machine_to_json(case.machine)!r})")
+        kwargs.append("machine=machine")
+    if case.vectors is not None:
+        kwargs.append(f"vectors={tuple(case.vectors)!r}")
+    if case.points is not None:
+        kwargs.append(f"points={tuple(case.points)!r}")
+    if case.seed is not None:
+        kwargs.append(f"seed={case.seed!r}")
+    imports = [
+        "from repro.logic.gates import GateKind",
+        "from repro.logic.network import NetworkBuilder",
+        "from repro.qa.cases import Case, machine_from_json",
+        "from repro.qa.properties import PROPERTIES",
+    ]
+    indented = "\n".join(f"    {line}" for line in body) if body else "    pass"
+    return (
+        f'"""Minimized counterexample for QA property '
+        f'{property_name!r} (auto-generated by repro.qa)."""\n'
+        + "\n".join(imports)
+        + "\n\n\n"
+        + f"def test_{slug}_counterexample():\n"
+        + (indented + "\n" if body else "")
+        + f"    case = Case({', '.join(kwargs)})\n"
+        + f"    assert PROPERTIES[{property_name!r}].check(case) is None\n"
+    )

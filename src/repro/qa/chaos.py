@@ -1,0 +1,79 @@
+"""Deliberate engine sabotage — proving the fuzz harness can see.
+
+A fuzzing subsystem that has never caught a bug is indistinguishable
+from one that cannot.  Each named bug here patches exactly one engine
+seam (one backend, one primitive) in a way the differential properties
+must catch, and the harness self-test drives the full pipeline —
+detect, shrink, emit artifact — against it.  The patches restore
+themselves on exit; fuzz trials build fresh backends per case, so no
+sabotaged baseline outlives the context.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator
+
+from ..engine import backends
+from ..logic.gates import GateKind
+
+
+def _make_mask_bug(swap_from: GateKind, swap_as: GateKind) -> Callable:
+    original = backends.evaluate_mask
+
+    def broken(kind, masks, full):
+        if kind is swap_from:
+            return original(swap_as, masks, full)
+        return original(kind, masks, full)
+
+    return broken
+
+
+def _make_point_bug(swap_from: GateKind, swap_as: GateKind) -> Callable:
+    original = backends.eval_gate
+
+    def broken(kind, values):
+        if kind is swap_from:
+            return original(swap_as, values)
+        return original(kind, values)
+
+    return broken
+
+
+#: name -> (backends attribute, factory producing the sabotaged function)
+BUGS: Dict[str, Callable[[], tuple]] = {
+    # The bitmask (exhaustive-oracle) backend miscompiles NAND into AND.
+    "nand-as-and": lambda: (
+        "evaluate_mask",
+        _make_mask_bug(GateKind.NAND, GateKind.AND),
+    ),
+    # The pointwise (clocked-campaign) backend miscompiles NOR into OR.
+    "nor-as-or-pointwise": lambda: (
+        "eval_gate",
+        _make_point_bug(GateKind.NOR, GateKind.OR),
+    ),
+    # The bitmask backend drops the inversion of NOT.
+    "not-as-buf": lambda: (
+        "evaluate_mask",
+        _make_mask_bug(GateKind.NOT, GateKind.BUF),
+    ),
+}
+
+
+def bug_names() -> list:
+    return sorted(BUGS)
+
+
+@contextlib.contextmanager
+def inject(name: str) -> Iterator[None]:
+    """Activate one named engine bug for the duration of the context."""
+    if name not in BUGS:
+        known = ", ".join(bug_names())
+        raise KeyError(f"unknown chaos bug {name!r}; known: {known}")
+    attr, broken = BUGS[name]()
+    original = getattr(backends, attr)
+    setattr(backends, attr, broken)
+    try:
+        yield
+    finally:
+        setattr(backends, attr, original)

@@ -1,0 +1,445 @@
+"""The executable-invariant registry: the paper's theorems as properties.
+
+Each :class:`Property` pairs a seeded case generator with a pure checker
+``check(case) -> Optional[str]`` (``None`` = holds, message = violated).
+Checkers quantify *internally* over small, exhaustively enumerable
+universes (all inputs, all single faults) so the greedy shrinker can
+re-check mutated cases without carrying a fault or point selection
+around.  The registered invariants:
+
+* ``backend-agreement`` — bitmask / pointwise / sampled backends agree
+  bit-for-bit with the naive reference interpreter, fault-free and under
+  every single stem/pin fault (the differential anchor for PR 1's
+  single-engine seam).
+* ``alternation-self-dual`` — a synthesized self-dual network satisfies
+  ``F(X̄) = ¬F(X)`` at every point (Definition 2.5 / Theorem 2.1), per
+  the reference interpreter, and the engine's tables match it.
+* ``algorithm31-oracle-agreement`` — Algorithm 3.1's per-line verdict
+  (conditions A–E + Corollary 3.2) names exactly the lines whose stem
+  faults the exhaustive Definition-2.4 oracle finds fault-insecure.
+* ``atpg-detects`` — PODEM is sound (every generated test detects its
+  target fault per the reference interpreter) and, on these small
+  networks, complete (testable faults get tests); alternating pairs it
+  emits really produce a nonalternating output pair (Theorem 3.2).
+* ``collapse-verdict`` — every structural equivalence class of faults is
+  status-uniform under the sweep, so the ``collapse=True`` campaign
+  default preserves verdicts.
+* ``seq-transform-equivalence`` — dual flip-flop (Figure 4.2a) and
+  code-conversion (Figure 4.5) machines decode to the reference Mealy
+  run and alternate cleanly when fault-free.
+* ``sampled-determinism`` — one seed yields one sample set and one set
+  of verdicts, across fresh backends and across the sweep's serial vs
+  fork-worker paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.analysis import analyze_network
+from ..core.atpg import Podem
+from ..core.collapse import equivalence_collapse
+from ..core.simulate import ScalSimulator
+from ..engine import FaultSweep, NetworkEngine
+from ..logic.faults import enumerate_single_faults, enumerate_stem_faults
+from ..logic.network import Network
+from ..scal.codeconv import to_code_conversion
+from ..scal.dualff import to_dual_flipflop
+from ..workloads.randomlogic import (
+    random_alternating_network,
+    random_input_vectors,
+    random_machine,
+    random_mixed_network,
+    random_nand_network,
+    random_sample_points,
+)
+from .cases import Case
+from .reference import (
+    point_tuple,
+    reference_is_self_dual,
+    reference_output_bits,
+    reference_outputs,
+)
+
+#: Trial-size ceilings — small enough that every checker can afford to
+#: quantify exhaustively over inputs × faults, large enough to exercise
+#: fanout, reconvergence, and every gate kind.
+MAX_INPUTS = 4
+MAX_GATES = 10
+
+
+@dataclasses.dataclass(frozen=True)
+class Property:
+    """One registered invariant: seeded generator + pure checker."""
+
+    name: str
+    description: str
+    generate: Callable[[random.Random], Case]
+    check: Callable[[Case], Optional[str]]
+
+
+PROPERTIES: Dict[str, Property] = {}
+
+
+def register(name: str, description: str):
+    def wrap(pair: Tuple) -> Property:
+        generate, check = pair
+        prop = Property(name, description, generate, check)
+        PROPERTIES[name] = prop
+        return prop
+
+    return wrap
+
+
+def trial_rng(seed: int, name: str, trial: int) -> random.Random:
+    """The per-trial RNG: deterministic in (seed, property, trial) and
+    independent of interpreter hash randomization."""
+    return random.Random(f"{seed}:{name}:{trial}")
+
+
+# ----------------------------------------------------------------------
+# backend-agreement
+# ----------------------------------------------------------------------
+def _gen_mixed(rng: random.Random) -> Case:
+    n = rng.randint(2, MAX_INPUTS)
+    gates = rng.randint(2, MAX_GATES)
+    if rng.random() < 0.5:
+        net = random_nand_network(rng, n, gates, n_outputs=rng.randint(1, 2))
+    else:
+        net = random_mixed_network(rng, n, gates, n_outputs=rng.randint(1, 2))
+    return Case(network=net)
+
+
+def _check_backend_agreement(case: Case) -> Optional[str]:
+    net = case.network
+    if net is None:
+        return None
+    n = len(net.inputs)
+    engine = NetworkEngine(net)  # fresh — never trust another run's cache
+    universe = [None] + enumerate_single_faults(net, collapse=False)
+    all_points = list(range(1 << n))
+    for fault in universe:
+        label = fault.describe() if fault is not None else "fault-free"
+        expected = reference_output_bits(net, fault)
+        got_mask = engine.bitmask.output_bits(fault)
+        if got_mask != expected:
+            return (
+                f"bitmask backend disagrees with reference under {label}: "
+                f"{got_mask} != {expected}"
+            )
+        for index in all_points:
+            point = point_tuple(n, index)
+            want = reference_outputs(net, point, fault)
+            got = engine.pointwise.output_values(point, fault)
+            if tuple(got) != want:
+                return (
+                    f"pointwise backend disagrees with reference under "
+                    f"{label} at point {index}: {tuple(got)} != {want}"
+                )
+        sampled = engine.sampled.output_vectors(all_points, fault)
+        want_all = [
+            reference_outputs(net, point_tuple(n, i), fault)
+            for i in all_points
+        ]
+        if [tuple(v) for v in sampled] != want_all:
+            return f"sampled backend disagrees with reference under {label}"
+    return None
+
+
+backend_agreement = register(
+    "backend-agreement",
+    "bitmask/pointwise/sampled backends match the naive interpreter "
+    "bit-for-bit under every single fault",
+)((_gen_mixed, _check_backend_agreement))
+
+
+# ----------------------------------------------------------------------
+# alternation-self-dual
+# ----------------------------------------------------------------------
+def _gen_alternating(rng: random.Random) -> Case:
+    n = rng.randint(2, 3)
+    return Case(network=random_alternating_network(rng, n))
+
+
+def _check_alternation(case: Case) -> Optional[str]:
+    net = case.network
+    if net is None:
+        return None
+    n = len(net.inputs)
+    full = (1 << n) - 1
+    ref_bits = reference_output_bits(net)
+    engine_bits = NetworkEngine(net).bitmask.output_bits()
+    if tuple(engine_bits) != ref_bits:
+        return (
+            f"engine fault-free tables disagree with reference: "
+            f"{tuple(engine_bits)} != {ref_bits}"
+        )
+    for out, bits in zip(net.outputs, ref_bits):
+        for index in range(1 << n):
+            value = (bits >> index) & 1
+            mirror = (bits >> (index ^ full)) & 1
+            if mirror != 1 - value:
+                return (
+                    f"output {out!r} does not alternate at pair anchored "
+                    f"at {index}: F(X)={value}, F(X̄)={mirror}"
+                )
+        if not reference_is_self_dual(bits, n):
+            return f"output {out!r} is not self-dual"  # pragma: no cover
+    return None
+
+
+alternation_self_dual = register(
+    "alternation-self-dual",
+    "synthesized self-dual networks satisfy F(X̄)=¬F(X) at every point "
+    "(Definition 2.5), engine and reference agreeing",
+)((_gen_alternating, _check_alternation))
+
+
+# ----------------------------------------------------------------------
+# algorithm31-oracle-agreement
+# ----------------------------------------------------------------------
+def _check_algorithm31(case: Case) -> Optional[str]:
+    net = case.network
+    if net is None:
+        return None
+    analysis = analyze_network(net)
+    if not analysis.alternating or analysis.redundant:
+        # Algorithm 3.1's premises (self-dual, irredundant) do not hold;
+        # nothing to compare.  Shrunken candidates that lose the premise
+        # are treated as passing, so shrinking stays inside the domain.
+        return None
+    failing = set(analysis.failing_lines())
+    verdict = ScalSimulator(net).verdict(include_pins=False)
+    insecure = {resp.fault.line for resp in verdict.insecure}
+    if failing != insecure:
+        return (
+            f"Algorithm 3.1 and the exhaustive oracle disagree on "
+            f"fault-insecure lines: algorithm={sorted(failing)}, "
+            f"oracle={sorted(insecure)}"
+        )
+    return None
+
+
+algorithm31_oracle = register(
+    "algorithm31-oracle-agreement",
+    "Algorithm 3.1 (conditions A–E + Corollary 3.2) flags exactly the "
+    "stem-fault-insecure lines the exhaustive oracle finds",
+)((_gen_alternating, _check_algorithm31))
+
+
+# ----------------------------------------------------------------------
+# atpg-detects
+# ----------------------------------------------------------------------
+def _gen_atpg(rng: random.Random) -> Case:
+    if rng.random() < 0.5:
+        # Self-dual population: exercises the Theorem 3.2 pair guarantee.
+        return Case(network=random_alternating_network(rng, rng.randint(2, 3)))
+    n = rng.randint(2, MAX_INPUTS)
+    gates = rng.randint(2, 8)
+    return Case(network=random_nand_network(rng, n, gates))
+
+
+def _check_atpg(case: Case) -> Optional[str]:
+    net = case.network
+    if net is None:
+        return None
+    n = len(net.inputs)
+    podem = Podem(net)
+    normal = reference_output_bits(net)
+    # Theorem 3.2's "the pair (X, X̄) yields a nonalternating output" is a
+    # SCAL-domain guarantee: it presumes the fault-free pair alternates,
+    # i.e. every output self-dual.  Outside that domain only single-vector
+    # soundness/completeness is claimed.
+    self_dual = all(
+        reference_is_self_dual(bits, n) for bits in normal
+    )
+    for fault in enumerate_stem_faults(net):
+        faulty = reference_output_bits(net, fault)
+        testable = faulty != normal
+        test = podem.generate_test(fault)
+        if test is not None:
+            point = tuple(test[name] for name in net.inputs)
+            if reference_outputs(net, point, fault) == reference_outputs(
+                net, point
+            ):
+                return (
+                    f"PODEM test for {fault.describe()} does not detect "
+                    f"it (assignment {test})"
+                )
+        if testable and test is None:
+            return (
+                f"PODEM found no test for the testable fault "
+                f"{fault.describe()}"
+            )
+        if test is not None and not testable:
+            return (
+                f"PODEM claims a test for the untestable fault "
+                f"{fault.describe()}"
+            )
+        if not self_dual:
+            continue
+        pair = podem.generate_alternating_test(fault)
+        if pair is not None:
+            x, xbar = pair
+            if x ^ xbar != (1 << n) - 1:
+                return f"alternating pair {pair} is not an (X, X̄) pair"
+            bad_x = reference_outputs(net, point_tuple(n, x), fault)
+            bad_xb = reference_outputs(net, point_tuple(n, xbar), fault)
+            if all(b == 1 - a for a, b in zip(bad_x, bad_xb)):
+                return (
+                    f"alternating pair for {fault.describe()} still "
+                    f"alternates under the fault (undetectable by the "
+                    f"checker)"
+                )
+    return None
+
+
+atpg_detects = register(
+    "atpg-detects",
+    "PODEM tests detect their target fault (sound + complete on small "
+    "networks) and, on self-dual networks, alternating pairs yield "
+    "nonalternating outputs",
+)((_gen_atpg, _check_atpg))
+
+
+# ----------------------------------------------------------------------
+# collapse-verdict
+# ----------------------------------------------------------------------
+def _check_collapse(case: Case) -> Optional[str]:
+    net = case.network
+    if net is None:
+        return None
+    sweep = FaultSweep(net)
+    for members in equivalence_collapse(net).values():
+        statuses = {
+            member.describe(): sweep.classify(member) for member in members
+        }
+        if len(set(statuses.values())) > 1:
+            return (
+                f"fault equivalence class is not status-uniform: {statuses}"
+            )
+    return None
+
+
+collapse_verdict = register(
+    "collapse-verdict",
+    "every structural fault-equivalence class is status-uniform, so the "
+    "collapse=True campaign default preserves verdicts",
+)((_gen_mixed, _check_collapse))
+
+
+# ----------------------------------------------------------------------
+# seq-transform-equivalence
+# ----------------------------------------------------------------------
+def _gen_machine(rng: random.Random) -> Case:
+    machine = random_machine(rng, rng.randint(2, 4))
+    vectors = tuple(random_input_vectors(rng, 1, rng.randint(3, 8)))
+    return Case(machine=machine, vectors=vectors)
+
+
+def _check_seq_equivalence(case: Case) -> Optional[str]:
+    if case.machine is None or case.vectors is None or not case.vectors:
+        return None
+    machine, vectors = case.machine, list(case.vectors)
+    reference = [tuple(out) for out in machine.run(vectors)]
+    dualff = to_dual_flipflop(machine)
+    run_d = dualff.run(vectors)
+    if run_d.detected:
+        return "fault-free dual flip-flop run fails to alternate"
+    decoded_d = [tuple(z) for z in dualff.decoded_outputs(run_d)]
+    if decoded_d != reference:
+        return (
+            f"dual flip-flop machine decodes {decoded_d}, reference Mealy "
+            f"run gives {reference}"
+        )
+    codeconv = to_code_conversion(machine)
+    run_c = codeconv.run(vectors)
+    if run_c.detected:
+        return "fault-free code-conversion run raises a checker"
+    decoded_c = [tuple(z) for z in codeconv.decoded_outputs(run_c)]
+    if decoded_c != decoded_d:
+        return (
+            f"code-conversion machine decodes {decoded_c}, dual flip-flop "
+            f"decodes {decoded_d}"
+        )
+    return None
+
+
+seq_equivalence = register(
+    "seq-transform-equivalence",
+    "dual flip-flop and code-conversion SCAL machines both decode to the "
+    "reference Mealy run and alternate cleanly fault-free",
+)((_gen_machine, _check_seq_equivalence))
+
+
+# ----------------------------------------------------------------------
+# sampled-determinism
+# ----------------------------------------------------------------------
+def _gen_sampled(rng: random.Random) -> Case:
+    case = _gen_mixed(rng)
+    return dataclasses.replace(case, seed=rng.randint(0, 2**31 - 1))
+
+
+def _sampled_run(
+    net: Network, seed: int
+) -> Tuple[List[int], List[Tuple[str, Tuple[Tuple[int, ...], ...]]]]:
+    """One complete seeded sampled campaign, on entirely fresh state."""
+    n = len(net.inputs)
+    rng = random.Random(seed)
+    points = random_sample_points(rng, n, min(8, 1 << n))
+    engine = NetworkEngine(net)
+    verdicts = []
+    for fault in enumerate_stem_faults(net):
+        vectors = tuple(engine.sampled.output_vectors(points, fault))
+        verdicts.append((fault.describe(), vectors))
+    return points, verdicts
+
+
+def _check_sampled_determinism(case: Case) -> Optional[str]:
+    net = case.network
+    if net is None or case.seed is None:
+        return None
+    points_a, verdicts_a = _sampled_run(net, case.seed)
+    points_b, verdicts_b = _sampled_run(net, case.seed)
+    if points_a != points_b:
+        return (
+            f"sample set differs across runs of seed {case.seed}: "
+            f"{points_a} != {points_b}"
+        )
+    if verdicts_a != verdicts_b:
+        return f"sampled verdicts differ across runs of seed {case.seed}"
+    sweep = FaultSweep(net)
+    universe = sweep.single_fault_universe()
+    serial = [status for _f, status in sweep.sweep(universe)]
+    forked = [
+        status for _f, status in sweep.sweep(universe, processes=2)
+    ]
+    if serial != forked:
+        return "serial and fork-worker sweeps classify faults differently"
+    return None
+
+
+sampled_determinism = register(
+    "sampled-determinism",
+    "one seed ⇒ one sample set and one verdict list, across fresh "
+    "backends and across serial vs fork-worker sweeps",
+)((_gen_sampled, _check_sampled_determinism))
+
+
+def property_names() -> List[str]:
+    return sorted(PROPERTIES)
+
+
+def resolve(names: Optional[Sequence[str]] = None) -> List[Property]:
+    """The selected properties (default: all), with a helpful error."""
+    if not names:
+        return [PROPERTIES[name] for name in property_names()]
+    chosen = []
+    for name in names:
+        if name not in PROPERTIES:
+            known = ", ".join(property_names())
+            raise KeyError(f"unknown property {name!r}; registered: {known}")
+        chosen.append(PROPERTIES[name])
+    return chosen

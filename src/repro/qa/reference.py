@@ -1,0 +1,135 @@
+"""An independent naive interpreter — the differential-fuzzing oracle.
+
+PR 1 routed every evaluation path through one compiled engine, so a
+single miscompile would silently corrupt Algorithm 3.1 screening, ATPG
+validation, and the SCAL oracle all at once.  This module is the
+engine's *adversary*: a deliberately slow, first-principles netlist
+interpreter that shares **no code** with :mod:`repro.engine` or even
+:func:`repro.logic.gates.evaluate` — gate semantics are re-derived here
+from the thesis's definitions (counting ones, not reusing the substrate
+helpers), so a bug in the shared primitives cannot mask itself.
+
+Fault semantics replicate the repo-wide contract exactly:
+
+* a stem override forces a line's value and shadows any pin override on
+  the gate driving it;
+* a pin override forces one operand slot of one gate, leaving the stem
+  and the other branches healthy;
+* faults naming lines (or pin indices) absent from the network are
+  ignored, matching the legacy dict-lookup evaluators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..logic.faults import Fault, MultipleFault, fault_overrides
+from ..logic.gates import GateKind
+from ..logic.network import Network
+
+FaultLike = Union[Fault, MultipleFault]
+
+
+def reference_gate(kind: GateKind, values: Sequence[int]) -> int:
+    """Gate semantics re-derived from the definitions via one-counting."""
+    ones = sum(1 for v in values if v)
+    total = len(values)
+    if kind is GateKind.CONST0:
+        return 0
+    if kind is GateKind.CONST1:
+        return 1
+    if kind is GateKind.BUF:
+        return 1 if values[0] else 0
+    if kind is GateKind.NOT:
+        return 0 if values[0] else 1
+    if kind is GateKind.AND:
+        return 1 if ones == total else 0
+    if kind is GateKind.NAND:
+        return 0 if ones == total else 1
+    if kind is GateKind.OR:
+        return 1 if ones > 0 else 0
+    if kind is GateKind.NOR:
+        return 0 if ones > 0 else 1
+    if kind is GateKind.XOR:
+        return ones & 1
+    if kind is GateKind.XNOR:
+        return 1 - (ones & 1)
+    if kind is GateKind.MAJ:
+        return 1 if 2 * ones > total else 0
+    if kind is GateKind.MIN:
+        return 1 if 2 * ones < total else 0
+    raise ValueError(f"gate kind {kind} has no reference evaluation")
+
+
+def reference_line_values(
+    network: Network,
+    point: Sequence[int],
+    fault: Optional[FaultLike] = None,
+) -> Dict[str, int]:
+    """Evaluate every line at one input point, by plain topological walk.
+
+    ``point[i]`` is the value of ``network.inputs[i]`` (the repo-wide
+    bit-order convention).
+    """
+    stems: Dict[str, int] = {}
+    pins: Dict[Tuple[str, int], int] = {}
+    if fault is not None:
+        stems, pins = fault_overrides(fault)
+    values: Dict[str, int] = {}
+    for i, name in enumerate(network.inputs):
+        values[name] = stems.get(name, int(point[i]) & 1)
+    for gate in network.gates:
+        if gate.name in stems:
+            values[gate.name] = stems[gate.name]
+            continue
+        operands: List[int] = [values[src] for src in gate.inputs]
+        for slot in range(len(operands)):
+            forced = pins.get((gate.name, slot))
+            if forced is not None:
+                operands[slot] = forced
+        values[gate.name] = reference_gate(gate.kind, operands)
+    return values
+
+
+def reference_outputs(
+    network: Network,
+    point: Sequence[int],
+    fault: Optional[FaultLike] = None,
+) -> Tuple[int, ...]:
+    """Output tuple at one input point under an optional fault."""
+    values = reference_line_values(network, point, fault)
+    return tuple(values[out] for out in network.outputs)
+
+
+def point_tuple(n_inputs: int, index: int) -> Tuple[int, ...]:
+    """Decode a truth-table index (bit *i* = input *i*)."""
+    return tuple((index >> i) & 1 for i in range(n_inputs))
+
+
+def reference_output_bits(
+    network: Network, fault: Optional[FaultLike] = None
+) -> Tuple[int, ...]:
+    """Per-output truth-table bitmasks, accumulated one point at a time.
+
+    The pointwise accumulation is the whole point: it cannot share a bug
+    with the word-parallel bitmask backend it is checked against.
+    """
+    n = len(network.inputs)
+    bits = [0] * len(network.outputs)
+    for index in range(1 << n):
+        outputs = reference_outputs(network, point_tuple(n, index), fault)
+        for pos, value in enumerate(outputs):
+            if value:
+                bits[pos] |= 1 << index
+    return tuple(bits)
+
+
+def reference_is_self_dual(table_bits: int, n: int) -> bool:
+    """Self-duality checked pointwise: F(X̄) = ¬F(X) for every X."""
+    full = (1 << n) - 1
+    for index in range(1 << n):
+        value = (table_bits >> index) & 1
+        mirror = (table_bits >> (index ^ full)) & 1
+        if mirror != 1 - value:
+            return False
+    return True

@@ -1,0 +1,176 @@
+"""The fuzz campaign driver behind ``python -m repro fuzz``.
+
+Splits a trial budget across the registered properties, draws each
+trial's case from a deterministic per-(seed, property, trial) RNG, and
+on any violation runs the greedy shrinker and writes two artifacts per
+counterexample into the artifact directory:
+
+* ``<property>-seed<seed>-trial<k>.json`` — the full case (original and
+  shrunk) plus the failure detail, machine-readable;
+* ``test_repro_<property>_<k>.py`` — a runnable pytest regression test
+  that fails while the bug is present and passes once fixed.
+
+Everything is deterministic given ``--seed``; the nightly CI job rotates
+the seed by run number so the explored population grows over time while
+any failure stays reproducible from the artifact alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import List, Optional, Sequence
+
+from .cases import Counterexample
+from .properties import Property, resolve, trial_rng
+from .shrink import shrink_case
+
+DEFAULT_ARTIFACT_DIR = os.path.join("qa", "artifacts")
+
+
+@dataclasses.dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of one property's share of a fuzz campaign."""
+
+    property_name: str
+    trials: int
+    counterexamples: List[Counterexample]
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzReport:
+    """Outcome of one whole campaign."""
+
+    seed: int
+    budget: int
+    reports: List[PropertyReport]
+    artifact_paths: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    def summary(self) -> str:
+        lines = [f"fuzz seed={self.seed} budget={self.budget}"]
+        for report in self.reports:
+            status = (
+                "ok"
+                if report.ok
+                else f"{len(report.counterexamples)} counterexample(s)"
+            )
+            lines.append(
+                f"  {report.property_name}: {report.trials} trials -> {status}"
+            )
+            for ce in report.counterexamples:
+                lines.append(f"    trial {ce.trial}: {ce.detail}")
+                lines.append(
+                    f"    shrunk size {ce.case.size()} -> {ce.shrunk.size()}"
+                )
+        for path in self.artifact_paths:
+            lines.append(f"  wrote {path}")
+        return "\n".join(lines)
+
+
+def run_property(
+    prop: Property,
+    seed: int,
+    trials: int,
+    shrink: bool = True,
+    max_failures: int = 1,
+) -> PropertyReport:
+    """Fuzz one property for ``trials`` cases; stop after
+    ``max_failures`` counterexamples (each shrink re-runs the checker
+    many times, so one witness per property per campaign is the useful
+    default)."""
+    counterexamples: List[Counterexample] = []
+    for trial in range(trials):
+        rng = trial_rng(seed, prop.name, trial)
+        case = prop.generate(rng)
+        detail = prop.check(case)
+        if detail is None:
+            continue
+        shrunk = shrink_case(case, prop.check) if shrink else case
+        final_detail = prop.check(shrunk) or detail
+        counterexamples.append(
+            Counterexample(
+                property_name=prop.name,
+                seed=seed,
+                trial=trial,
+                detail=final_detail,
+                case=case,
+                shrunk=shrunk,
+            )
+        )
+        if len(counterexamples) >= max_failures:
+            break
+    return PropertyReport(prop.name, trials, counterexamples)
+
+
+def write_artifacts(
+    counterexamples: Sequence[Counterexample], artifact_dir: str
+) -> List[str]:
+    paths: List[str] = []
+    if not counterexamples:
+        return paths
+    os.makedirs(artifact_dir, exist_ok=True)
+    for ce in counterexamples:
+        slug = ce.property_name.replace("-", "_")
+        stem = f"{ce.property_name}-seed{ce.seed}-trial{ce.trial}"
+        json_path = os.path.join(artifact_dir, f"{stem}.json")
+        with open(json_path, "w") as handle:
+            handle.write(ce.dumps() + "\n")
+        paths.append(json_path)
+        test_path = os.path.join(
+            artifact_dir, f"test_repro_{slug}_{ce.trial}.py"
+        )
+        with open(test_path, "w") as handle:
+            handle.write(ce.to_json()["pytest_snippet"])
+        paths.append(test_path)
+    return paths
+
+
+def fuzz(
+    seed: int = 0,
+    budget: int = 200,
+    properties: Optional[Sequence[str]] = None,
+    shrink: bool = True,
+    artifact_dir: Optional[str] = DEFAULT_ARTIFACT_DIR,
+    chaos_bug: Optional[str] = None,
+) -> FuzzReport:
+    """Run one fuzz campaign: ``budget`` trials split evenly across the
+    selected properties.  ``chaos_bug`` activates a named engine sabotage
+    (:mod:`repro.qa.chaos`) for the whole campaign — the harness
+    self-test that proves detection, shrinking, and artifact emission
+    work end to end."""
+    chosen = resolve(properties)
+    per_property = max(1, budget // max(len(chosen), 1))
+    reports: List[PropertyReport] = []
+
+    def campaign() -> None:
+        for prop in chosen:
+            reports.append(run_property(prop, seed, per_property, shrink))
+
+    if chaos_bug is not None:
+        from .chaos import inject
+
+        with inject(chaos_bug):
+            campaign()
+    else:
+        campaign()
+
+    artifact_paths: List[str] = []
+    if artifact_dir is not None:
+        for report in reports:
+            artifact_paths.extend(
+                write_artifacts(report.counterexamples, artifact_dir)
+            )
+    return FuzzReport(
+        seed=seed,
+        budget=budget,
+        reports=reports,
+        artifact_paths=artifact_paths,
+    )

@@ -1,0 +1,226 @@
+"""Greedy counterexample shrinking: smallest case that still fails.
+
+The shrinker repeatedly applies structure-removing transformations to a
+failing :class:`~repro.qa.cases.Case` and keeps any candidate on which
+the property still fails, restarting greedily until no transformation
+helps.  Transformations are ordered most-aggressive first, so the
+common outcome — a one-or-two-gate netlist witnessing an engine bug —
+is reached in a handful of property evaluations:
+
+* drop gates outside every output cone (one shot),
+* bypass a gate (rewire its readers to its first input and delete it),
+* drop an output (multi-output cases),
+* drop one gate input pin (arity permitting),
+* drop an unread primary input,
+* halve / single-drop input-vector streams and sampled point lists,
+* delete a non-initial machine state (redirecting transitions into the
+  initial state).
+
+All network rewrites route sources to topologically *earlier* lines, so
+candidates can never introduce combinational cycles; candidates the
+:class:`~repro.logic.network.Network` validator still rejects (e.g.
+duplicate outputs after rewiring) are simply skipped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List, Optional, Set
+
+from ..logic.gates import GateArityError, GateKind
+from ..logic.network import Gate, Network, NetworkError
+from ..seq.machine import StateTable, StateTableError
+from .cases import Case
+
+Check = Callable[[Case], Optional[str]]
+
+#: Bypassing never helps for gates that have no inputs to route through.
+_SOURCELESS = (GateKind.CONST0, GateKind.CONST1)
+
+
+def shrink_case(case: Case, check: Check, max_steps: int = 2000) -> Case:
+    """The greedy fixpoint: smallest derived case on which ``check``
+    still returns a failure message.
+
+    ``max_steps`` bounds the number of candidate evaluations (each one
+    runs the full property check) — the greedy loop converges long
+    before that on fuzz-scale cases.
+    """
+    if check(case) is None:
+        raise ValueError("shrink_case needs a failing case to start from")
+    current = case
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in _candidates(current):
+            steps += 1
+            if steps >= max_steps:
+                break
+            if candidate.size() >= current.size():
+                continue
+            if check(candidate) is not None:
+                current = candidate
+                improved = True
+                break  # greedy restart from the smaller case
+    return current
+
+
+# ----------------------------------------------------------------------
+# candidate generation
+# ----------------------------------------------------------------------
+def _candidates(case: Case) -> Iterator[Case]:
+    if case.network is not None:
+        for net in _network_candidates(case.network):
+            yield dataclasses.replace(case, network=net)
+    if case.vectors is not None and len(case.vectors) > 1:
+        for seq in _sequence_candidates(list(case.vectors)):
+            yield dataclasses.replace(case, vectors=tuple(seq))
+    if case.points is not None and len(case.points) > 1:
+        for seq in _sequence_candidates(list(case.points)):
+            yield dataclasses.replace(case, points=tuple(seq))
+    if case.machine is not None and len(case.machine.states) > 1:
+        for machine in _machine_candidates(case.machine):
+            yield dataclasses.replace(case, machine=machine)
+
+
+def _network_candidates(network: Network) -> Iterator[Network]:
+    pruned = _drop_dead_gates(network)
+    if pruned is not None:
+        yield pruned
+    # Bypass gates, latest first: downstream structure disappears fastest.
+    for gate in reversed(network.gates):
+        candidate = _bypass_gate(network, gate)
+        if candidate is not None:
+            yield candidate
+    if len(network.outputs) > 1:
+        for out in network.outputs:
+            rest = [o for o in network.outputs if o != out]
+            try:
+                yield network.with_outputs(rest)
+            except NetworkError:
+                continue
+    for gate in network.gates:
+        if len(gate.inputs) <= 1:
+            continue
+        for pin in range(len(gate.inputs)):
+            candidate = _drop_pin(network, gate, pin)
+            if candidate is not None:
+                yield candidate
+    yield from _drop_unused_inputs(network)
+
+
+def _rebuild(
+    inputs: List[str], gates: List[Gate], outputs: List[str], name: str
+) -> Optional[Network]:
+    try:
+        return Network(inputs, gates, outputs, name=name)
+    except (NetworkError, GateArityError):
+        return None
+
+
+def _drop_dead_gates(network: Network) -> Optional[Network]:
+    live: Set[str] = set()
+    for out in network.outputs:
+        live |= network.cone(out)
+    kept = [g for g in network.gates if g.name in live]
+    if len(kept) == len(network.gates):
+        return None
+    return _rebuild(
+        list(network.inputs), kept, list(network.outputs), network.name
+    )
+
+
+def _bypass_gate(network: Network, gate: Gate) -> Optional[Network]:
+    """Remove ``gate``, rerouting its readers (and output slots) to its
+    first input — an earlier line, so acyclicity is preserved."""
+    replacement = gate.inputs[0] if gate.inputs else None
+    read_by_others = any(
+        gate.name in g.inputs for g in network.gates if g.name != gate.name
+    )
+    if replacement is None and (read_by_others or gate.name in network.outputs):
+        return None  # CONST with readers: nothing to route through
+    gates = []
+    for g in network.gates:
+        if g.name == gate.name:
+            continue
+        if replacement is not None and gate.name in g.inputs:
+            srcs = tuple(
+                replacement if src == gate.name else src for src in g.inputs
+            )
+            g = Gate(g.name, g.kind, srcs)
+        gates.append(g)
+    outputs = [
+        replacement if out == gate.name else out for out in network.outputs
+    ]
+    return _rebuild(list(network.inputs), gates, outputs, network.name)
+
+
+def _drop_pin(network: Network, gate: Gate, pin: int) -> Optional[Network]:
+    srcs = gate.inputs[:pin] + gate.inputs[pin + 1 :]
+    try:
+        slimmer = Gate(gate.name, gate.kind, srcs)
+    except GateArityError:
+        return None
+    gates = [slimmer if g.name == gate.name else g for g in network.gates]
+    return _rebuild(
+        list(network.inputs), gates, list(network.outputs), network.name
+    )
+
+
+def _drop_unused_inputs(network: Network) -> Iterator[Network]:
+    read: Set[str] = set()
+    for g in network.gates:
+        read |= set(g.inputs)
+    for name in network.inputs:
+        if name in read or name in network.outputs:
+            continue
+        inputs = [i for i in network.inputs if i != name]
+        if not inputs:
+            continue
+        candidate = _rebuild(
+            inputs, list(network.gates), list(network.outputs), network.name
+        )
+        if candidate is not None:
+            yield candidate
+
+
+def _sequence_candidates(items: List) -> Iterator[List]:
+    half = len(items) // 2
+    if half:
+        yield items[:half]
+        yield items[half:]
+    for i in range(len(items)):
+        yield items[:i] + items[i + 1 :]
+
+
+def _machine_candidates(machine: StateTable) -> Iterator[StateTable]:
+    """Drop one non-initial state, redirecting transitions into the
+    initial state (keeps the table completely specified)."""
+    for victim in machine.states:
+        if victim == machine.initial_state:
+            continue
+        states = [s for s in machine.states if s != victim]
+        table = {}
+        for state in states:
+            row = {}
+            for vector in machine.input_vectors():
+                t = machine.transition(state, vector)
+                nxt = (
+                    machine.initial_state
+                    if t.next_state == victim
+                    else t.next_state
+                )
+                row[vector] = (nxt, t.output)
+            table[state] = row
+        try:
+            yield StateTable(
+                states,
+                machine.n_inputs,
+                machine.n_outputs,
+                table,
+                machine.initial_state,
+                name=machine.name,
+            )
+        except StateTableError:  # pragma: no cover - defensive
+            continue

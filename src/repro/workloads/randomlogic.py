@@ -143,3 +143,27 @@ def random_input_vectors(
         tuple(rng.randint(0, 1) for _ in range(n_inputs))
         for _ in range(length)
     ]
+
+
+def random_sample_points(
+    rng: random.Random, n_inputs: int, count: int
+) -> List[int]:
+    """Distinct truth-table indices for the sampled backend, sorted so
+    one seed names one sample set regardless of draw order."""
+    space = 1 << n_inputs
+    return sorted(rng.sample(range(space), min(count, space)))
+
+
+def random_fault(rng: random.Random, network: Network, include_pins: bool = True):
+    """A uniformly random single stuck-at fault site of ``network``."""
+    from ..logic.faults import PinStuckAt, StuckAt
+
+    value = rng.randint(0, 1)
+    sites: List[Tuple[str, int]] = [(line, -1) for line in network.lines()]
+    if include_pins:
+        for gate in network.gates:
+            sites.extend((gate.name, pin) for pin in range(len(gate.inputs)))
+    line, pin = rng.choice(sites)
+    if pin < 0:
+        return StuckAt(line, value)
+    return PinStuckAt(line, pin, value)
