@@ -8,9 +8,16 @@ storage cost, and detection latency.  Also sweeps *transient* faults
 (Definition 2.1's temporary case) on the dual-FF 0101 detector.
 """
 
+import random
+import time
+from collections import Counter
+
 from _harness import benchmark_elapsed, record
 
+from repro.engine import FaultSweep
+from repro.engine.vectorized import HAVE_NUMPY
 from repro.logic.faults import enumerate_stem_faults
+from repro.workloads.randomlogic import random_mixed_network
 from repro.scal.codeconv import to_code_conversion
 from repro.scal.dualff import to_dual_flipflop
 from repro.scal.verify import codeconv_campaign, dualff_campaign, random_vectors
@@ -101,3 +108,78 @@ def test_campaigns(benchmark):
     )
     assert ok
     record("campaigns", text, metrics=metrics, elapsed=benchmark_elapsed(benchmark))
+
+
+# ----------------------------------------------------------------------
+# large random-logic fault sweep: scalar bitmask vs the fault-batched
+# vectorized backend on one universe, statuses byte-identical
+# ----------------------------------------------------------------------
+RANDLOGIC_SEED = 0xA17
+RANDLOGIC_INPUTS = 12
+RANDLOGIC_GATES = 240
+RANDLOGIC_OUTPUTS = 8
+
+#: The PR's floor: with NumPy installed the auto-selected backend must
+#: beat the scalar bitmask sweep by at least this factor.
+MIN_VECTOR_SPEEDUP = 3.0
+
+
+def randlogic_sweep_report():
+    rng = random.Random(RANDLOGIC_SEED)
+    net = random_mixed_network(
+        rng,
+        n_inputs=RANDLOGIC_INPUTS,
+        n_gates=RANDLOGIC_GATES,
+        n_outputs=RANDLOGIC_OUTPUTS,
+    )
+    sweep = FaultSweep(net)
+    universe = sweep.single_fault_universe()
+
+    start = time.perf_counter()
+    scalar = sweep.sweep(universe, backend="bitmask")
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = sweep.sweep(universe, backend="auto")
+    fast_seconds = time.perf_counter() - start
+    fast_backend = sweep.last_sweep_backend
+
+    identical = fast == scalar
+    speedup = scalar_seconds / fast_seconds if fast_seconds > 0 else 0.0
+    counts = Counter(status for _fault, status in scalar)
+    lines = [
+        "Large random-logic single-fault sweep "
+        f"({RANDLOGIC_INPUTS} inputs, {RANDLOGIC_GATES} gates, "
+        f"{len(universe)} live faults)",
+        f"  statuses: {counts['detected']} detected, "
+        f"{counts['silent']} silent, {counts['dangerous']} dangerous",
+        f"  scalar bitmask sweep:    {scalar_seconds:8.4f} s",
+        f"  auto ({fast_backend:>10s}) sweep: {fast_seconds:8.4f} s   "
+        f"({speedup:.1f}x)",
+        f"  statuses byte-identical across backends: {identical}",
+    ]
+    ok = identical and (not HAVE_NUMPY or speedup >= MIN_VECTOR_SPEEDUP)
+    metrics = {
+        "randlogic_faults": len(universe),
+        "randlogic_detected": counts["detected"],
+        "randlogic_silent": counts["silent"],
+        "randlogic_dangerous": counts["dangerous"],
+        "randlogic_statuses_identical": identical,
+        "randlogic_scalar_seconds": scalar_seconds,
+        "randlogic_fast_seconds": fast_seconds,
+        "randlogic_speedup": speedup,
+    }
+    return "\n".join(lines), ok, metrics
+
+
+def test_randlogic_sweep(benchmark):
+    text, ok, metrics = benchmark.pedantic(
+        randlogic_sweep_report, rounds=2, iterations=1
+    )
+    record(
+        "campaigns_randlogic",
+        text,
+        metrics=metrics,
+        elapsed=benchmark_elapsed(benchmark),
+    )
+    assert ok, "statuses diverged or vectorized speedup below 3x"

@@ -1,0 +1,27 @@
+"""Bench-local pytest hooks: the ``--check`` regression-gate flag.
+
+``pytest benchmarks/... --check`` compares every bench's fresh
+``BENCH_<name>.json`` against the committed baseline in
+``benchmarks/results/`` (see ``_harness.record``): non-timing metrics
+must match exactly and wall time may not exceed the baseline by more
+than ``BENCH_CHECK_FACTOR`` (default 1.6x).  Implemented by exporting
+``BENCH_CHECK`` so the harness (and bare ``python bench_x.py`` runs)
+share one switch.
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--check",
+        action="store_true",
+        default=False,
+        help="fail benches that regress against the committed "
+        "benchmarks/results/BENCH_*.json baselines",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--check", default=False):
+        os.environ["BENCH_CHECK"] = "1"

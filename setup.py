@@ -21,7 +21,12 @@ setup(
     python_requires=">=3.9",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        # NumPy accelerates the fault-batched vectorized backend; the
+        # package runs fully (packed-word fallback) without it.
+        "fast": ["numpy"],
+    },
     keywords=[
         "self-checking",
         "alternating-logic",

@@ -9,6 +9,8 @@ Point the thesis's machinery at any ``.bench`` netlist:
 * ``minority``  — convert a NAND/NOR netlist to minority modules;
 * ``dot``       — Graphviz export with the failing lines highlighted;
 * ``faulttable``— a Figure 3.6-style fault table for chosen lines;
+* ``campaign``  — a bulk single-fault coverage sweep through the
+  backend-selection heuristic (bitmask / vectorized / fallback);
 * ``fuzz``      — seeded differential/metamorphic fuzz campaign with
   counterexample shrinking (see ``repro.qa``).
 """
@@ -148,6 +150,34 @@ def cmd_faulttable(args: argparse.Namespace) -> int:
     return 0 if not bad else 1
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine import FaultSweep
+    from .core.collapse import collapsed_single_faults
+
+    network = _load(args.netlist)
+    sweep = FaultSweep(network)
+    if args.no_collapse:
+        universe = sweep.single_fault_universe()
+    else:
+        universe = list(collapsed_single_faults(network))
+    stats = sweep.coverage(
+        universe, processes=args.processes, backend=args.backend
+    )
+    stats["backend"] = sweep.last_sweep_backend
+    if args.json:
+        print(json.dumps(stats, sort_keys=True))
+    else:
+        print(
+            f"{int(stats['faults'])} faults via {stats['backend']}: "
+            f"{stats['detected']:.1%} detected, "
+            f"{stats['silent']:.1%} silent, "
+            f"{stats['dangerous']:.1%} dangerous"
+        )
+    return 0 if stats["dangerous"] == 0 else 1
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .qa import fuzz, property_names
     from .qa.chaos import bug_names
@@ -224,6 +254,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("faults", nargs="+",
                    help="fault specs like nab/0 or_ab/1")
     p.set_defaults(func=cmd_faulttable)
+
+    p = sub.add_parser(
+        "campaign",
+        help="bulk single-fault coverage sweep (heuristic backend choice)",
+    )
+    p.add_argument("netlist")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "bitmask", "vectorized", "fallback"],
+                   help="sweep backend (default: auto heuristic)")
+    p.add_argument("--processes", type=int, default=None,
+                   help="fan out across this many fork workers")
+    p.add_argument("--no-collapse", action="store_true",
+                   help="sweep the raw fault universe (no equivalence "
+                   "collapsing)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the coverage stats as one JSON object")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
         "fuzz",

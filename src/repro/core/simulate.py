@@ -251,6 +251,7 @@ def fault_coverage(
     faults: Optional[Sequence[FaultLike]] = None,
     collapse: bool = True,
     processes: Optional[int] = None,
+    backend: str = "auto",
 ) -> Dict[str, float]:
     """Coverage statistics for the merits discussion (Section 2.4).
 
@@ -263,7 +264,9 @@ def fault_coverage(
     equivalence class, :mod:`repro.core.collapse`) — equivalent faults
     have identical faulty functions, so per-class classification is
     unchanged while the sweep shrinks.  Pass ``collapse=False`` for the
-    raw universe; ``processes`` fans the sweep across fork workers.
+    raw universe; ``processes`` fans the sweep across fork workers;
+    ``backend`` picks the sweep execution backend (``auto`` applies the
+    :func:`repro.engine.select_backend` heuristic).
     """
     sweep = FaultSweep(network)
     if faults is not None:
@@ -274,4 +277,4 @@ def fault_coverage(
         universe = list(collapsed_single_faults(network))
     else:
         universe = sweep.single_fault_universe()
-    return sweep.coverage(universe, processes=processes)
+    return sweep.coverage(universe, processes=processes, backend=backend)

@@ -41,16 +41,44 @@ from .compiled import (
     compile_network,
     reflect_bits,
 )
+from .vectorized import (
+    HAVE_NUMPY,
+    PackedFallbackBackend,
+    VectorizedBackend,
+    select_backend,
+)
 
 
 class NetworkEngine:
-    """One network's compiled form plus its three shared backends."""
+    """One network's compiled form plus its shared backends.
+
+    The three scalar backends are always built; the fault-batched block
+    backends (:attr:`packed`, :attr:`vectorized`) are constructed lazily
+    on first use so engines for small one-off queries pay nothing.
+    """
 
     def __init__(self, network: Network) -> None:
         self.compiled = compile_network(network)
         self.bitmask = BitmaskBackend(self.compiled)
         self.pointwise = PointwiseBackend(self.compiled)
         self.sampled = SampledBackend(self.pointwise)
+        self._packed: Optional[PackedFallbackBackend] = None
+        self._vectorized: Optional[VectorizedBackend] = None
+
+    @property
+    def packed(self) -> PackedFallbackBackend:
+        """The pure-Python packed-word block backend (shares the bitmask
+        backend's baseline — always available)."""
+        if self._packed is None:
+            self._packed = PackedFallbackBackend(self.compiled, self.bitmask)
+        return self._packed
+
+    @property
+    def vectorized(self) -> Optional["VectorizedBackend"]:
+        """The NumPy PPSFP block backend, or ``None`` without NumPy."""
+        if self._vectorized is None and HAVE_NUMPY:
+            self._vectorized = VectorizedBackend(self.compiled)
+        return self._vectorized
 
 
 _engine_cache: "weakref.WeakKeyDictionary[Network, NetworkEngine]" = (
@@ -76,12 +104,16 @@ __all__ = [
     "CompiledNetwork",
     "FaultPlan",
     "FaultSweep",
+    "HAVE_NUMPY",
     "NetworkEngine",
     "Op",
+    "PackedFallbackBackend",
     "PointwiseBackend",
     "ResponseBits",
     "SampledBackend",
+    "VectorizedBackend",
     "compile_network",
     "engine_for",
     "reflect_bits",
+    "select_backend",
 ]

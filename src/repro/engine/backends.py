@@ -48,13 +48,17 @@ class BitmaskBackend:
             comp = self.compiled
             n = comp.n_inputs
             values: List[int] = [0] * len(comp.names)
+            total = 1 << n
             for i in range(n):
                 # Variable mask: bit p of the table is bit i of point p.
-                block = (1 << (1 << i)) - 1
-                period = 1 << (i + 1)
-                mask = 0
-                for start in range(1 << i, 1 << n, period):
-                    mask |= block << start
+                # Mask doubling: start from one period (2**i zeros then
+                # 2**i ones) and double the covered span until it fills
+                # the table — O(n) big-int ops instead of O(2**n) shifts.
+                mask = ((1 << (1 << i)) - 1) << (1 << i)
+                span = 1 << (i + 1)
+                while span < total:
+                    mask |= mask << span
+                    span <<= 1
                 values[i] = mask
             for op in comp.ops:
                 values[op.out] = evaluate_mask(

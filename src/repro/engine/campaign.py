@@ -15,9 +15,15 @@ The SCAL pair-level classification lives here in raw-integer form (the
 * **violations** — pairs where some output is wrong yet every output
   alternates: the undetected fault-secure violation of Theorem 3.1.
 
-Campaigns over large fault lists can optionally fan out across worker
-processes (fork start method); each worker compiles the network once and
-sweeps its own share of the fault list.
+Bulk sweeps route through a backend-selection heuristic
+(:func:`~repro.engine.vectorized.select_backend`): small batches stay on
+the scalar big-int path, large ones go to the fault-batched vectorized
+backend (NumPy PPSFP, or its pure-Python packed fallback).  Campaigns
+can additionally fan out across fork workers; the parent ships the
+fault-free baseline to the workers through
+:mod:`multiprocessing.shared_memory` so no worker re-derives it, and on
+platforms without fork the sweep degrades to the serial vectorized path
+instead of silently losing the batching.
 """
 
 from __future__ import annotations
@@ -27,8 +33,8 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..logic.faults import enumerate_single_faults
 from ..logic.network import Network
-from .backends import BitmaskBackend
-from .compiled import FaultLike, compile_network, reflect_bits
+from .compiled import FaultLike
+from .vectorized import HAVE_NUMPY, VECTOR_MIN_FAULTS, select_backend
 
 
 @dataclasses.dataclass(frozen=True)
@@ -50,49 +56,36 @@ class ResponseBits:
         return "silent"
 
 
-class FaultSweep:
-    """Compile once, baseline once, then classify faults one cone at a time."""
+#: Backend names accepted by :meth:`FaultSweep.sweep`.
+SWEEP_BACKENDS = ("auto", "bitmask", "vectorized", "fallback")
 
-    def __init__(self, network: Network) -> None:
+
+class FaultSweep:
+    """Compile once, baseline once, then classify faults in batches.
+
+    ``engine`` lets callers that insist on fresh state (the QA
+    determinism properties) supply their own
+    :class:`~repro.engine.NetworkEngine`; by default the weakly-cached
+    shared engine of ``network`` is used, so every sweep over the same
+    network instance shares baselines and fault plans.
+    """
+
+    def __init__(self, network: Network, engine=None) -> None:
+        from . import engine_for  # local: engine/__init__ imports us
+
         self.network = network
-        self.compiled = compile_network(network)
-        self.bitmask = BitmaskBackend(self.compiled)
+        self.engine = engine if engine is not None else engine_for(network)
+        self.compiled = self.engine.compiled
+        self.bitmask = self.engine.bitmask
         self.n = self.compiled.n_inputs
         self.full = self.bitmask.full
-        baseline = self.bitmask.baseline()
-        self.normal_out: Tuple[int, ...] = tuple(
-            baseline[i] for i in self.compiled.out_idx
-        )
-        # Alternation mask of each fault-free output: 1 where the (X, X̄)
-        # pair alternates.  Reused verbatim for outputs a fault leaves
-        # untouched, which skips most reflect work in a sweep.
-        self._normal_alt: Tuple[int, ...] = tuple(
-            bits ^ reflect_bits(bits, self.n) for bits in self.normal_out
-        )
+        #: Name of the backend the most recent :meth:`sweep` ran on
+        #: (``"fork:<name>"`` when fanned out across workers).
+        self.last_sweep_backend: Optional[str] = None
 
     def response_bits(self, fault: FaultLike) -> ResponseBits:
         """The pair-level response masks for one fault."""
-        values = self.bitmask.line_bits(fault)
-        n = self.n
-        full = self.full
-        wrong = 0
-        detected = 0
-        all_alternate = full
-        for pos, idx in enumerate(self.compiled.out_idx):
-            t_fault = values[idx]
-            t_normal = self.normal_out[pos]
-            if t_fault == t_normal:
-                alternates = self._normal_alt[pos]
-            else:
-                alternates = t_fault ^ reflect_bits(t_fault, n)
-                wrong |= t_normal ^ t_fault
-            detected |= alternates ^ full  # nonalternating pairs
-            all_alternate &= alternates
-        # Close point sets under the X ↔ X̄ pairing (alternation masks are
-        # already pair-symmetric, so `detected` needs no closing).
-        affected = wrong | reflect_bits(wrong, n)
-        violations = affected & all_alternate
-        return ResponseBits(affected, detected, violations)
+        return ResponseBits(*self.engine.packed.response_triple(fault))
 
     def classify(self, fault: FaultLike) -> str:
         return self.response_bits(fault).status
@@ -119,32 +112,77 @@ class FaultSweep:
                 kept.append(fault)
         return kept
 
+    def _resolve_backend(self, backend: str, n_faults: int) -> str:
+        if backend not in SWEEP_BACKENDS:
+            raise ValueError(
+                f"unknown sweep backend {backend!r}; "
+                f"expected one of {SWEEP_BACKENDS}"
+            )
+        if backend == "auto":
+            backend = select_backend(self.n, n_faults)
+        if backend == "vectorized" and not HAVE_NUMPY:
+            backend = "fallback"
+        return backend
+
+    def _statuses(self, universe: Sequence[FaultLike], backend: str) -> List[str]:
+        """Serial classification of ``universe`` on a resolved backend."""
+        if backend == "vectorized":
+            vec = self.engine.vectorized
+            if vec is not None:
+                return vec.sweep_statuses(universe)
+            backend = "fallback"
+        if backend == "fallback":
+            return self.engine.packed.sweep_statuses(universe)
+        # "bitmask": the scalar per-fault big-int path.
+        return [self.classify(fault) for fault in universe]
+
     def sweep(
         self,
         faults: Iterable[FaultLike],
         processes: Optional[int] = None,
+        backend: str = "auto",
     ) -> List[Tuple[FaultLike, str]]:
-        """Classify every fault; optionally fan out across ``processes``
-        fork workers (falls back to serial when fork is unavailable or
-        the batch is too small to amortize worker start-up)."""
+        """Classify every fault.
+
+        ``backend`` is ``auto`` (the :func:`select_backend` heuristic),
+        ``bitmask`` (scalar big-int masks), ``vectorized`` (NumPy
+        fault-batched; degrades to ``fallback`` without NumPy), or
+        ``fallback`` (pure-Python packed words).  With ``processes > 1``
+        the universe is fanned out across fork workers that receive the
+        fault-free baseline through shared memory; when fork is
+        unavailable the sweep falls back to the serial vectorized path.
+        """
         universe = list(faults)
+        chosen = self._resolve_backend(backend, len(universe))
         if processes and processes > 1 and len(universe) >= 4 * processes:
-            parallel = _sweep_parallel(self.network, universe, processes)
+            parallel = _sweep_parallel(
+                self.network, universe, processes, chosen, self
+            )
             if parallel is not None:
+                self.last_sweep_backend = f"fork:{chosen}"
                 return parallel
-        return [(fault, self.classify(fault)) for fault in universe]
+            # No fork on this platform: serve the batch serially on the
+            # block backend rather than degrading to per-fault scalar.
+            if chosen == "bitmask" and len(universe) >= VECTOR_MIN_FAULTS:
+                chosen = "vectorized" if HAVE_NUMPY else "fallback"
+        self.last_sweep_backend = chosen
+        statuses = self._statuses(universe, chosen)
+        return list(zip(universe, statuses))
 
     def coverage(
         self,
         faults: Optional[Sequence[FaultLike]] = None,
         processes: Optional[int] = None,
+        backend: str = "auto",
     ) -> dict:
         """Section 2.4 coverage fractions over a fault universe."""
         universe = (
             list(faults) if faults is not None else self.single_fault_universe()
         )
         counts = {"detected": 0, "silent": 0, "dangerous": 0}
-        for _fault, status in self.sweep(universe, processes=processes):
+        for _fault, status in self.sweep(
+            universe, processes=processes, backend=backend
+        ):
             counts[status] += 1
         total = max(len(universe), 1)
         return {
@@ -155,24 +193,59 @@ class FaultSweep:
         }
 
 
+
 # ----------------------------------------------------------------------
-# process fan-out: each worker compiles the network once, sweeps a chunk
+# process fan-out: workers share the parent's fault-free baseline via
+# multiprocessing.shared_memory instead of re-deriving it
 # ----------------------------------------------------------------------
 _worker_sweep: Optional[FaultSweep] = None
 
 
-def _init_worker(network: Network) -> None:
+def _baseline_line_bytes(n_inputs: int) -> int:
+    """Bytes per packed line in the shared baseline buffer (whole
+    64-bit words, minimum one word)."""
+    return max(1, (1 << n_inputs) >> 6) * 8
+
+
+def _init_worker(
+    network: Network, shm_name: Optional[str], line_bytes: int
+) -> None:
     global _worker_sweep
-    _worker_sweep = FaultSweep(network)
+    from . import NetworkEngine
+
+    engine = NetworkEngine(network)
+    if shm_name is not None:
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(name=shm_name)
+            try:
+                buf = bytes(shm.buf)
+            finally:
+                shm.close()
+            engine.bitmask._baseline = [
+                int.from_bytes(
+                    buf[i * line_bytes : (i + 1) * line_bytes], "little"
+                )
+                for i in range(len(engine.compiled.names))
+            ]
+        except Exception:
+            pass  # worker derives its own baseline; correctness unchanged
+    _worker_sweep = FaultSweep(network, engine=engine)
 
 
-def _classify_chunk(faults: Sequence[FaultLike]) -> List[str]:
+def _classify_chunk(job: Tuple[Sequence[FaultLike], str]) -> List[str]:
     assert _worker_sweep is not None
-    return [_worker_sweep.classify(fault) for fault in faults]
+    faults, backend = job
+    return _worker_sweep._statuses(list(faults), backend)
 
 
 def _sweep_parallel(
-    network: Network, universe: List[FaultLike], processes: int
+    network: Network,
+    universe: List[FaultLike],
+    processes: int,
+    backend: str,
+    sweep: Optional[FaultSweep] = None,
 ) -> Optional[List[Tuple[FaultLike, str]]]:
     try:
         import multiprocessing
@@ -185,14 +258,41 @@ def _sweep_parallel(
         universe[start : start + chunk]
         for start in range(0, len(universe), chunk)
     ]
+    shm = None
+    shm_name = None
+    line_bytes = 8
+    if sweep is not None:
+        try:
+            from multiprocessing import shared_memory
+
+            baseline = sweep.bitmask.baseline()
+            line_bytes = _baseline_line_bytes(sweep.n)
+            payload = b"".join(
+                value.to_bytes(line_bytes, "little") for value in baseline
+            )
+            shm = shared_memory.SharedMemory(create=True, size=len(payload))
+            shm.buf[: len(payload)] = payload
+            shm_name = shm.name
+        except Exception:
+            shm = None
+            shm_name = None
     try:
         with ctx.Pool(
             processes=min(processes, len(chunks)),
             initializer=_init_worker,
-            initargs=(network,),
+            initargs=(network, shm_name, line_bytes),
         ) as pool:
-            results = pool.map(_classify_chunk, chunks)
+            results = pool.map(
+                _classify_chunk, [(block, backend) for block in chunks]
+            )
     except OSError:
         return None
+    finally:
+        if shm is not None:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
     statuses = [status for block in results for status in block]
     return list(zip(universe, statuses))

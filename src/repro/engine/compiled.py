@@ -176,9 +176,18 @@ _compile_cache: "weakref.WeakKeyDictionary[Network, CompiledNetwork]" = (
 def compile_network(network: Network) -> CompiledNetwork:
     """The compiled form of ``network``, cached per network instance.
 
-    Networks are immutable once constructed, so identity caching is safe;
-    the cache holds the network weakly and the compiled form keeps no
+    Networks are immutable once constructed, so identity caching is safe:
+    ``logic.evaluate``, the Chapter-3 conditions, ``scal.verify`` and the
+    campaign drivers all hit this memo and share one compile (and, via
+    :func:`repro.engine.engine_for`, one baseline) per netlist.  The
+    cache holds the network weakly and the compiled form keeps no
     reference back, so both are released together.
+
+    **Mutation caveat**: the memo is keyed on *identity*, not content.
+    Code that mutates a ``Network`` in place after first evaluation
+    (nothing in this repository does — the design/repair flows build new
+    networks) would keep receiving the stale compiled form; rebuild the
+    network instead of mutating it.
     """
     compiled = _compile_cache.get(network)
     if compiled is None:

@@ -23,6 +23,34 @@ def fig37_bench(tmp_path):
     return path
 
 
+class TestCampaign:
+    def test_self_checking_network_exits_0(self, fig37_bench, capsys):
+        assert main(["campaign", fig37_bench]) == 0
+        out = capsys.readouterr().out
+        assert "100.0% detected" in out
+        assert "via" in out  # names the backend it ran on
+
+    def test_dangerous_fault_exits_1(self, fig34_bench, capsys):
+        assert main(["campaign", fig34_bench, "--no-collapse"]) == 1
+        assert "dangerous" in capsys.readouterr().out
+
+    def test_json_output_and_backend_agreement(self, fig37_bench, capsys):
+        import json
+
+        stats = {}
+        for backend in ("bitmask", "vectorized", "fallback"):
+            assert main(
+                ["campaign", fig37_bench, "--json", "--backend", backend]
+            ) == 0
+            stats[backend] = json.loads(capsys.readouterr().out)
+            del stats[backend]["backend"]
+        assert stats["bitmask"] == stats["vectorized"] == stats["fallback"]
+
+    def test_processes_flag(self, fig37_bench, capsys):
+        assert main(["campaign", fig37_bench, "--processes", "2",
+                     "--no-collapse"]) == 0
+
+
 class TestAnalyze:
     def test_failing_network_exits_1(self, fig34_bench, capsys):
         assert main(["analyze", fig34_bench]) == 1

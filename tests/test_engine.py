@@ -13,7 +13,12 @@ import random
 
 import pytest
 
-from repro.engine import FaultSweep, engine_for
+from repro.engine import FaultSweep, engine_for, select_backend
+from repro.engine.vectorized import (
+    HAVE_NUMPY,
+    PackedFallbackBackend,
+    VectorizedBackend,
+)
 from repro.logic.benchfmt import load_bench
 from repro.logic.faults import enumerate_single_faults, fault_overrides
 from repro.logic.gates import evaluate as eval_gate
@@ -125,6 +130,97 @@ class TestSingleFaultEquivalence:
                 assert sampled[pos] == expected_out, (fault.describe(), point)
 
 
+class TestVectorizedEquivalence:
+    """The fault-batched block backends must agree bit-for-bit with the
+    scalar bitmask backend, fault-free and under every single fault."""
+
+    def test_fallback_output_bits_match_bitmask(self, circuit):
+        engine = engine_for(circuit)
+        packed = PackedFallbackBackend(engine.compiled, engine.bitmask)
+        assert packed.output_bits() == engine.bitmask.output_bits()
+        for fault in enumerate_single_faults(circuit):
+            assert packed.output_bits(fault) == engine.bitmask.output_bits(
+                fault
+            ), fault.describe()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
+    def test_vectorized_line_bits_match_bitmask(self, circuit):
+        engine = engine_for(circuit)
+        vec = VectorizedBackend(engine.compiled)
+        assert vec.line_bits() == engine.bitmask.line_bits()
+        for fault in enumerate_single_faults(circuit):
+            assert vec.line_bits(fault) == engine.bitmask.line_bits(
+                fault
+            ), fault.describe()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
+    def test_vectorized_response_blocks_match_scalar(self, circuit):
+        sweep = FaultSweep(circuit)
+        universe = sweep.single_fault_universe()
+        vec = VectorizedBackend(sweep.compiled)
+        triples = vec.response_block(universe)
+        for fault, triple in zip(universe, triples):
+            bits = sweep.response_bits(fault)
+            assert triple == (
+                bits.affected,
+                bits.detected,
+                bits.violations,
+            ), fault.describe()
+
+    def test_sweep_statuses_identical_across_backends(self, circuit):
+        sweep = FaultSweep(circuit)
+        universe = sweep.single_fault_universe()
+        reference = [(f, sweep.classify(f)) for f in universe]
+        assert sweep.sweep(universe, backend="bitmask") == reference
+        assert sweep.sweep(universe, backend="fallback") == reference
+        assert sweep.sweep(universe, backend="vectorized") == reference
+        assert sweep.sweep(universe, backend="auto") == reference
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
+    def test_chunked_word_axis_matches_scalar(self, circuit):
+        """Tiny chunk_words forces the mirror-chunk-pair path even on
+        the seed circuits (the 9-input adder gets real multi-chunk
+        sweeps: 8 words at chunk size 1 and 2)."""
+        if len(circuit.inputs) < 7:
+            pytest.skip("needs a multi-word truth table to chunk")
+        sweep = FaultSweep(circuit)
+        universe = sweep.single_fault_universe()
+        reference = [sweep.classify(f) for f in universe]
+        for chunk_words in (1, 2):
+            vec = VectorizedBackend(sweep.compiled, chunk_words=chunk_words)
+            assert vec.chunked
+            assert vec.sweep_statuses(universe) == reference
+        triples = VectorizedBackend(
+            sweep.compiled, chunk_words=1
+        ).response_block(universe[:12])
+        for fault, triple in zip(universe[:12], triples):
+            bits = sweep.response_bits(fault)
+            assert triple == (bits.affected, bits.detected, bits.violations)
+
+
+class TestBackendSelection:
+    def test_explicit_points_pick_pointwise_or_sampled(self):
+        assert select_backend(4, 100, n_points=1) == "pointwise"
+        assert select_backend(4, 100, n_points=64) == "sampled"
+
+    def test_small_batches_stay_scalar(self):
+        assert select_backend(4, 3, numpy_available=True) == "bitmask"
+        assert select_backend(4, 3, numpy_available=False) == "bitmask"
+
+    def test_large_batches_vectorize(self):
+        assert select_backend(4, 200, numpy_available=True) == "vectorized"
+        assert select_backend(4, 200, numpy_available=False) == "fallback"
+
+    def test_wide_inputs_vectorize_even_for_few_faults(self):
+        assert select_backend(20, 2, numpy_available=True) == "vectorized"
+        assert select_backend(20, 2, numpy_available=False) == "fallback"
+
+    def test_unknown_backend_name_rejected(self):
+        sweep = FaultSweep(fig34_network())
+        with pytest.raises(ValueError):
+            sweep.sweep(sweep.single_fault_universe(), backend="gpu")
+
+
 class TestSweepDrivers:
     def test_parallel_sweep_matches_serial(self, circuit):
         if len(circuit.inputs) > EXHAUSTIVE_LIMIT:
@@ -134,6 +230,32 @@ class TestSweepDrivers:
         serial = sweep.sweep(universe)
         parallel = sweep.sweep(universe, processes=2)
         assert serial == parallel
+        assert sweep.last_sweep_backend.startswith("fork:")
+
+    def test_fork_unavailable_falls_back_to_serial_block_backend(
+        self, monkeypatch
+    ):
+        """Platforms without the fork start method must still serve
+        parallel requests — on the serial vectorized path, not by
+        silently degrading to per-fault scalar."""
+        import multiprocessing
+
+        import repro.engine.campaign as campaign_mod
+
+        real_get_context = multiprocessing.get_context
+
+        def no_fork(method=None):
+            if method == "fork":
+                raise ValueError("cannot find context for 'fork'")
+            return real_get_context(method)
+
+        monkeypatch.setattr(multiprocessing, "get_context", no_fork)
+        sweep = FaultSweep(fig37_fixed_network())
+        universe = sweep.single_fault_universe()
+        reference = [(f, sweep.classify(f)) for f in universe]
+        result = sweep.sweep(universe, processes=4)
+        assert result == reference
+        assert sweep.last_sweep_backend in ("vectorized", "fallback")
 
     def test_classification_matches_legacy_simulator(self, circuit):
         if len(circuit.inputs) > EXHAUSTIVE_LIMIT:
