@@ -183,3 +183,86 @@ def test_randlogic_sweep(benchmark):
         elapsed=benchmark_elapsed(benchmark),
     )
     assert ok, "statuses diverged or vectorized speedup below 3x"
+
+
+# ----------------------------------------------------------------------
+# supervised campaign runtime: fork fan-out with per-chunk supervision,
+# clean and under a mid-sweep worker kill — statuses must stay
+# byte-identical to the serial path and every incident must be visible
+# in the CampaignReport
+# ----------------------------------------------------------------------
+def supervised_sweep_report():
+    import os
+    import tempfile
+
+    from repro.qa.chaos import sabotage_campaign
+
+    rng = random.Random(RANDLOGIC_SEED)
+    net = random_mixed_network(
+        rng,
+        n_inputs=RANDLOGIC_INPUTS,
+        n_gates=RANDLOGIC_GATES,
+        n_outputs=RANDLOGIC_OUTPUTS,
+    )
+    sweep = FaultSweep(net)
+    universe = sweep.single_fault_universe()
+
+    start = time.perf_counter()
+    serial = sweep.sweep(universe)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    forked = sweep.sweep(universe, processes=2)
+    forked_seconds = time.perf_counter() - start
+    clean = sweep.last_report
+
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        with sabotage_campaign(
+            "worker-killed", once_path=os.path.join(tmp, "once")
+        ):
+            sabotaged = sweep.sweep(universe, processes=2)
+        chaos_seconds = time.perf_counter() - start
+    chaos = sweep.last_report
+
+    forked_identical = forked == serial
+    chaos_identical = sabotaged == serial
+    recovered = chaos.workers_replaced >= 1 and bool(chaos.retries)
+    lines = [
+        "Supervised fork campaign over the random-logic universe "
+        f"({len(universe)} faults, 2 workers)",
+        f"  serial sweep:               {serial_seconds:8.4f} s",
+        f"  supervised fork sweep:      {forked_seconds:8.4f} s   "
+        f"(backend {clean.backend}, {clean.chunks_total} chunks, "
+        f"{len(clean.degradations)} degradations)",
+        f"  fork sweep, worker killed:  {chaos_seconds:8.4f} s   "
+        f"({chaos.workers_replaced} workers replaced, "
+        f"{len(chaos.retries)} retries)",
+        f"  statuses byte-identical (clean / chaos): "
+        f"{forked_identical} / {chaos_identical}",
+    ]
+    ok = forked_identical and chaos_identical and recovered
+    metrics = {
+        "supervised_faults": len(universe),
+        "supervised_clean_identical": forked_identical,
+        "supervised_clean_degradations": len(clean.degradations),
+        "supervised_chaos_identical": chaos_identical,
+        "supervised_chaos_recovered": recovered,
+        "supervised_serial_seconds": serial_seconds,
+        "supervised_forked_seconds": forked_seconds,
+        "supervised_chaos_seconds": chaos_seconds,
+    }
+    return "\n".join(lines), ok, metrics
+
+
+def test_supervised_sweep(benchmark):
+    text, ok, metrics = benchmark.pedantic(
+        supervised_sweep_report, rounds=2, iterations=1
+    )
+    record(
+        "campaigns_supervised",
+        text,
+        metrics=metrics,
+        elapsed=benchmark_elapsed(benchmark),
+    )
+    assert ok, "supervised sweep diverged or failed to recover from chaos"

@@ -10,7 +10,9 @@ Point the thesis's machinery at any ``.bench`` netlist:
 * ``dot``       — Graphviz export with the failing lines highlighted;
 * ``faulttable``— a Figure 3.6-style fault table for chosen lines;
 * ``campaign``  — a bulk single-fault coverage sweep through the
-  backend-selection heuristic (bitmask / vectorized / fallback);
+  backend-selection heuristic (bitmask / vectorized / fallback) under
+  the supervised runtime (``--timeout``, ``--checkpoint``/``--resume``,
+  ``--report``);
 * ``fuzz``      — seeded differential/metamorphic fuzz campaign with
   counterexample shrinking (see ``repro.qa``).
 """
@@ -153,20 +155,42 @@ def cmd_faulttable(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     import json
 
-    from .engine import FaultSweep
+    from .engine import CheckpointError, FaultSweep
     from .core.collapse import collapsed_single_faults
 
+    if args.processes is not None and args.processes < 1:
+        raise SystemExit(
+            f"--processes must be >= 1, got {args.processes}"
+        )
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit(
+            f"--timeout must be a positive number of seconds, "
+            f"got {args.timeout:g}"
+        )
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("--resume requires --checkpoint PATH")
     network = _load(args.netlist)
     sweep = FaultSweep(network)
     if args.no_collapse:
         universe = sweep.single_fault_universe()
     else:
         universe = list(collapsed_single_faults(network))
-    stats = sweep.coverage(
-        universe, processes=args.processes, backend=args.backend
-    )
+    try:
+        stats = sweep.coverage(
+            universe,
+            processes=args.processes,
+            backend=args.backend,
+            timeout=args.timeout,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    except CheckpointError as error:
+        raise SystemExit(str(error))
     stats["backend"] = sweep.last_sweep_backend
+    report = sweep.last_report
     if args.json:
+        if args.report and report is not None:
+            stats["report"] = report.to_dict()
         print(json.dumps(stats, sort_keys=True))
     else:
         print(
@@ -175,6 +199,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             f"{stats['silent']:.1%} silent, "
             f"{stats['dangerous']:.1%} dangerous"
         )
+        if report is not None:
+            if args.report:
+                print(report.summary())
+            else:
+                # Degradations are never silent: even without --report,
+                # every ladder step down is surfaced with its reason.
+                for deg in report.degradations:
+                    print(f"degraded {deg.frm} -> {deg.to}: {deg.reason}")
     return 0 if stats["dangerous"] == 0 else 1
 
 
@@ -264,7 +296,19 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "bitmask", "vectorized", "fallback"],
                    help="sweep backend (default: auto heuristic)")
     p.add_argument("--processes", type=int, default=None,
-                   help="fan out across this many fork workers")
+                   help="fan out across this many supervised fork workers")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-chunk timeout; hung chunks are killed and "
+                   "retried (default: no timeout)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="record completed chunks to this JSON artifact "
+                   "after each chunk")
+    p.add_argument("--resume", action="store_true",
+                   help="reload --checkpoint and re-simulate only the "
+                   "uncovered remainder")
+    p.add_argument("--report", action="store_true",
+                   help="print (or, with --json, embed) the structured "
+                   "campaign report: backend, degradations, retries")
     p.add_argument("--no-collapse", action="store_true",
                    help="sweep the raw fault universe (no equivalence "
                    "collapsing)")

@@ -34,6 +34,16 @@ from typing import Optional
 from ..logic.network import Network
 from .backends import BitmaskBackend, PointwiseBackend, SampledBackend
 from .campaign import FaultSweep, ResponseBits
+from .supervisor import (
+    CampaignCheckpoint,
+    CampaignInterrupted,
+    CampaignReport,
+    CheckpointError,
+    Degradation,
+    RetryEvent,
+    run_campaign,
+    universe_fingerprint,
+)
 from .compiled import (
     CompiledNetwork,
     FaultPlan,
@@ -101,7 +111,12 @@ def engine_for(network: Network) -> NetworkEngine:
 
 __all__ = [
     "BitmaskBackend",
+    "CampaignCheckpoint",
+    "CampaignInterrupted",
+    "CampaignReport",
+    "CheckpointError",
     "CompiledNetwork",
+    "Degradation",
     "FaultPlan",
     "FaultSweep",
     "HAVE_NUMPY",
@@ -110,10 +125,13 @@ __all__ = [
     "PackedFallbackBackend",
     "PointwiseBackend",
     "ResponseBits",
+    "RetryEvent",
     "SampledBackend",
     "VectorizedBackend",
     "compile_network",
     "engine_for",
     "reflect_bits",
+    "run_campaign",
     "select_backend",
+    "universe_fingerprint",
 ]

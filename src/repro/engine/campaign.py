@@ -18,12 +18,13 @@ The SCAL pair-level classification lives here in raw-integer form (the
 Bulk sweeps route through a backend-selection heuristic
 (:func:`~repro.engine.vectorized.select_backend`): small batches stay on
 the scalar big-int path, large ones go to the fault-batched vectorized
-backend (NumPy PPSFP, or its pure-Python packed fallback).  Campaigns
-can additionally fan out across fork workers; the parent ships the
-fault-free baseline to the workers through
-:mod:`multiprocessing.shared_memory` so no worker re-derives it, and on
-platforms without fork the sweep degrades to the serial vectorized path
-instead of silently losing the batching.
+backend (NumPy PPSFP, or its pure-Python packed fallback).  Execution —
+serial or fanned out across supervised fork workers with per-chunk
+timeouts, retries, checkpoint/resume, and the explicit
+fork+shm → fork → serial → scalar degradation ladder — is delegated to
+:func:`repro.engine.supervisor.run_campaign`; every sweep leaves a
+structured :class:`~repro.engine.supervisor.CampaignReport` in
+:attr:`FaultSweep.last_report`.
 """
 
 from __future__ import annotations
@@ -34,7 +35,8 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from ..logic.faults import enumerate_single_faults
 from ..logic.network import Network
 from .compiled import FaultLike
-from .vectorized import HAVE_NUMPY, VECTOR_MIN_FAULTS, select_backend
+from .supervisor import CampaignReport, run_campaign
+from .vectorized import HAVE_NUMPY, chunk_statuses, select_backend
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,6 +84,9 @@ class FaultSweep:
         #: Name of the backend the most recent :meth:`sweep` ran on
         #: (``"fork:<name>"`` when fanned out across workers).
         self.last_sweep_backend: Optional[str] = None
+        #: Structured :class:`CampaignReport` of the most recent
+        #: :meth:`sweep` — backend, degradations, retries, wall time.
+        self.last_report: Optional[CampaignReport] = None
 
     def response_bits(self, fault: FaultLike) -> ResponseBits:
         """The pair-level response masks for one fault."""
@@ -125,48 +130,55 @@ class FaultSweep:
         return backend
 
     def _statuses(self, universe: Sequence[FaultLike], backend: str) -> List[str]:
-        """Serial classification of ``universe`` on a resolved backend."""
-        if backend == "vectorized":
-            vec = self.engine.vectorized
-            if vec is not None:
-                return vec.sweep_statuses(universe)
-            backend = "fallback"
-        if backend == "fallback":
-            return self.engine.packed.sweep_statuses(universe)
-        # "bitmask": the scalar per-fault big-int path.
-        return [self.classify(fault) for fault in universe]
+        """Serial classification of ``universe`` on a resolved backend
+        (one chunk, no supervision — the supervised drivers build on the
+        same :func:`chunk_statuses` seam)."""
+        return chunk_statuses(self.engine, universe, backend)
 
     def sweep(
         self,
         faults: Iterable[FaultLike],
         processes: Optional[int] = None,
         backend: str = "auto",
+        timeout: Optional[float] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+        chunk_faults: Optional[int] = None,
+        abort_after_chunks: Optional[int] = None,
     ) -> List[Tuple[FaultLike, str]]:
-        """Classify every fault.
+        """Classify every fault under the supervised campaign runtime.
 
         ``backend`` is ``auto`` (the :func:`select_backend` heuristic),
         ``bitmask`` (scalar big-int masks), ``vectorized`` (NumPy
         fault-batched; degrades to ``fallback`` without NumPy), or
         ``fallback`` (pure-Python packed words).  With ``processes > 1``
-        the universe is fanned out across fork workers that receive the
-        fault-free baseline through shared memory; when fork is
-        unavailable the sweep falls back to the serial vectorized path.
+        the universe is fanned out across supervised fork workers: each
+        chunk carries an optional per-chunk ``timeout`` (seconds),
+        failed or hung chunks are retried with exponential backoff and
+        re-chunked smaller on repeat failure, and dead workers are
+        replaced instead of aborting the sweep.  ``checkpoint`` names a
+        JSON artifact that records completed chunks after each one;
+        ``resume=True`` reloads it and re-simulates only the uncovered
+        remainder (statuses are byte-identical either way).  Every
+        fallback taken is recorded in :attr:`last_report`;
+        ``abort_after_chunks`` is the deliberate-interruption hook used
+        by tests and resume drills.
         """
         universe = list(faults)
         chosen = self._resolve_backend(backend, len(universe))
-        if processes and processes > 1 and len(universe) >= 4 * processes:
-            parallel = _sweep_parallel(
-                self.network, universe, processes, chosen, self
-            )
-            if parallel is not None:
-                self.last_sweep_backend = f"fork:{chosen}"
-                return parallel
-            # No fork on this platform: serve the batch serially on the
-            # block backend rather than degrading to per-fault scalar.
-            if chosen == "bitmask" and len(universe) >= VECTOR_MIN_FAULTS:
-                chosen = "vectorized" if HAVE_NUMPY else "fallback"
-        self.last_sweep_backend = chosen
-        statuses = self._statuses(universe, chosen)
+        statuses, report = run_campaign(
+            self,
+            universe,
+            chosen,
+            processes=processes,
+            timeout=timeout,
+            checkpoint=checkpoint,
+            resume=resume,
+            chunk_faults=chunk_faults,
+            abort_after_chunks=abort_after_chunks,
+        )
+        self.last_report = report
+        self.last_sweep_backend = _legacy_backend_name(report)
         return list(zip(universe, statuses))
 
     def coverage(
@@ -174,6 +186,9 @@ class FaultSweep:
         faults: Optional[Sequence[FaultLike]] = None,
         processes: Optional[int] = None,
         backend: str = "auto",
+        timeout: Optional[float] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
     ) -> dict:
         """Section 2.4 coverage fractions over a fault universe."""
         universe = (
@@ -181,7 +196,12 @@ class FaultSweep:
         )
         counts = {"detected": 0, "silent": 0, "dangerous": 0}
         for _fault, status in self.sweep(
-            universe, processes=processes, backend=backend
+            universe,
+            processes=processes,
+            backend=backend,
+            timeout=timeout,
+            checkpoint=checkpoint,
+            resume=resume,
         ):
             counts[status] += 1
         total = max(len(universe), 1)
@@ -193,106 +213,10 @@ class FaultSweep:
         }
 
 
-
-# ----------------------------------------------------------------------
-# process fan-out: workers share the parent's fault-free baseline via
-# multiprocessing.shared_memory instead of re-deriving it
-# ----------------------------------------------------------------------
-_worker_sweep: Optional[FaultSweep] = None
-
-
-def _baseline_line_bytes(n_inputs: int) -> int:
-    """Bytes per packed line in the shared baseline buffer (whole
-    64-bit words, minimum one word)."""
-    return max(1, (1 << n_inputs) >> 6) * 8
-
-
-def _init_worker(
-    network: Network, shm_name: Optional[str], line_bytes: int
-) -> None:
-    global _worker_sweep
-    from . import NetworkEngine
-
-    engine = NetworkEngine(network)
-    if shm_name is not None:
-        try:
-            from multiprocessing import shared_memory
-
-            shm = shared_memory.SharedMemory(name=shm_name)
-            try:
-                buf = bytes(shm.buf)
-            finally:
-                shm.close()
-            engine.bitmask._baseline = [
-                int.from_bytes(
-                    buf[i * line_bytes : (i + 1) * line_bytes], "little"
-                )
-                for i in range(len(engine.compiled.names))
-            ]
-        except Exception:
-            pass  # worker derives its own baseline; correctness unchanged
-    _worker_sweep = FaultSweep(network, engine=engine)
-
-
-def _classify_chunk(job: Tuple[Sequence[FaultLike], str]) -> List[str]:
-    assert _worker_sweep is not None
-    faults, backend = job
-    return _worker_sweep._statuses(list(faults), backend)
-
-
-def _sweep_parallel(
-    network: Network,
-    universe: List[FaultLike],
-    processes: int,
-    backend: str,
-    sweep: Optional[FaultSweep] = None,
-) -> Optional[List[Tuple[FaultLike, str]]]:
-    try:
-        import multiprocessing
-
-        ctx = multiprocessing.get_context("fork")
-    except (ImportError, ValueError):
-        return None
-    chunk = max(1, (len(universe) + processes - 1) // processes)
-    chunks = [
-        universe[start : start + chunk]
-        for start in range(0, len(universe), chunk)
-    ]
-    shm = None
-    shm_name = None
-    line_bytes = 8
-    if sweep is not None:
-        try:
-            from multiprocessing import shared_memory
-
-            baseline = sweep.bitmask.baseline()
-            line_bytes = _baseline_line_bytes(sweep.n)
-            payload = b"".join(
-                value.to_bytes(line_bytes, "little") for value in baseline
-            )
-            shm = shared_memory.SharedMemory(create=True, size=len(payload))
-            shm.buf[: len(payload)] = payload
-            shm_name = shm.name
-        except Exception:
-            shm = None
-            shm_name = None
-    try:
-        with ctx.Pool(
-            processes=min(processes, len(chunks)),
-            initializer=_init_worker,
-            initargs=(network, shm_name, line_bytes),
-        ) as pool:
-            results = pool.map(
-                _classify_chunk, [(block, backend) for block in chunks]
-            )
-    except OSError:
-        return None
-    finally:
-        if shm is not None:
-            shm.close()
-            try:
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
-    statuses = [status for block in results for status in block]
-    return list(zip(universe, statuses))
+def _legacy_backend_name(report: CampaignReport) -> str:
+    """The :attr:`FaultSweep.last_sweep_backend` convention predating the
+    structured report: ``"fork:<block>"`` for fanned-out sweeps, the
+    plain block-backend name otherwise."""
+    if report.backend.startswith("fork"):
+        return f"fork:{report.block_backend}"
+    return report.block_backend

@@ -1,0 +1,960 @@
+"""Supervised fault-campaign runtime: retries, timeouts, checkpoints.
+
+:mod:`repro.engine.campaign` makes sweeps fast; this module makes them
+survive.  A long campaign over a large fault universe dies in boring
+ways — a worker segfaults or is OOM-killed, a chunk hangs on a
+pathological cone, shared memory is unavailable inside a container —
+and an all-or-nothing ``pool.map`` turns any of those into a lost
+campaign.  :func:`run_campaign` replaces it with per-chunk supervision:
+
+* the universe is split into **chunk tasks** (contiguous index ranges),
+  each with a configurable ``timeout``;
+* a failed or hung chunk is retried with exponential backoff and, on
+  repeat failure, **split in half** so a single poisoned fault cannot
+  hold a whole chunk hostage;
+* a dead worker is **replaced** instead of killing the sweep, and a
+  runtime that cannot keep workers alive salvages every completed
+  chunk and finishes the remainder serially;
+* completed chunks are **checkpointed** to a JSON artifact so an
+  interrupted campaign can resume without re-simulating them, with
+  byte-identical statuses (classification is per-fault deterministic,
+  so chunking never changes results).
+
+Every step down the **degradation ladder** —
+
+    ``fork+shm`` → ``fork`` → ``serial`` → ``scalar``
+
+— is recorded as a :class:`Degradation` in the :class:`CampaignReport`
+instead of being swallowed by a bare ``except``.  ``fork+shm`` fans
+chunks across fork workers that attach the parent's fault-free baseline
+through :mod:`multiprocessing.shared_memory`; ``fork`` lets each worker
+re-derive it; ``serial`` runs the block backend in-process; ``scalar``
+is the per-fault big-int loop that needs nothing but the interpreter.
+
+Chaos hooks (:data:`WORKER_CHUNK_HOOK`, swapped by
+:mod:`repro.qa.chaos`) let the test suite SIGKILL a worker, hang a
+chunk, or deny shared memory mid-campaign and assert the sweep still
+finishes with statuses identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .vectorized import HAVE_NUMPY, VECTOR_MIN_FAULTS, chunk_statuses
+
+#: Attempts on one chunk before it is split (multi-fault chunks) or
+#: escalated to the parent's serial path (single-fault chunks).
+MAX_CHUNK_ATTEMPTS = 3
+
+#: Worker replacements tolerated before the runtime concludes fork
+#: workers cannot be kept alive and degrades to the serial rung.
+def _max_replacements(processes: int) -> int:
+    return max(2 * processes, 4)
+
+#: Exponential-backoff schedule for chunk retries (seconds).
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 2.0
+
+#: Supervision poll interval: deadline precision and the latency of
+#: noticing a dead worker (seconds).
+POLL_SECONDS = 0.05
+
+#: Grace given to SIGTERM before a hung worker is SIGKILLed (seconds).
+KILL_GRACE = 0.25
+
+#: Statuses a checkpoint may legally contain.
+VALID_STATUSES = frozenset({"dangerous", "detected", "silent"})
+
+#: Test/chaos seam: when set, every worker calls this with
+#: ``(chunk_key, attempt)`` before classifying the chunk.  Fork workers
+#: inherit the value at spawn time, so arming it in the parent sabotages
+#: the children (see :func:`repro.qa.chaos.sabotage_campaign`).
+WORKER_CHUNK_HOOK: Optional[Callable[[str, int], None]] = None
+
+
+class CheckpointError(ValueError):
+    """A checkpoint artifact is unreadable or belongs to a different
+    campaign (wrong fault universe, corrupted statuses)."""
+
+
+class CampaignInterrupted(RuntimeError):
+    """Raised when a campaign stops early on purpose (the
+    ``abort_after_chunks`` hook); the checkpoint holds every chunk
+    completed so far and ``--resume`` picks up from it."""
+
+
+class _SupervisionFailure(RuntimeError):
+    """The fork runtime cannot make progress (workers cannot be spawned
+    or kept alive); completed chunks are salvaged serially."""
+
+
+# ----------------------------------------------------------------------
+# report structures
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class Degradation:
+    """One step down the ladder, with the reason it was taken."""
+
+    frm: str
+    to: str
+    reason: str
+
+
+@dataclasses.dataclass
+class RetryEvent:
+    """One chunk failure and what the supervisor did about it."""
+
+    chunk: str  #: index range ``"start:stop"``
+    attempt: int
+    reason: str
+    action: str  #: ``retried`` | ``split`` | ``parent-serial``
+
+
+@dataclasses.dataclass
+class CampaignReport:
+    """Structured account of how a sweep actually ran.
+
+    ``backend`` is the ladder rung plus block backend that served the
+    bulk of the campaign (e.g. ``"fork+shm:vectorized"``,
+    ``"serial:fallback"``, ``"scalar:bitmask"``, or ``"resumed"`` when
+    every chunk came from the checkpoint); ``block_backend`` is the
+    final resolved block-backend name alone.  ``degradations`` lists
+    every ladder step down with its reason — an empty list means the
+    requested mode is exactly what ran.
+    """
+
+    requested: str
+    backend: str = ""
+    block_backend: str = ""
+    faults: int = 0
+    chunks_total: int = 0
+    chunks_completed: int = 0
+    chunks_resumed: int = 0
+    workers_replaced: int = 0
+    degradations: List[Degradation] = dataclasses.field(default_factory=list)
+    retries: List[RetryEvent] = dataclasses.field(default_factory=list)
+    wall_seconds: float = 0.0
+    checkpoint_path: Optional[str] = None
+
+    def degrade(self, frm: str, to: str, reason: str) -> None:
+        self.degradations.append(Degradation(frm, to, reason))
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations)
+
+    def to_dict(self) -> dict:
+        return {
+            "requested": self.requested,
+            "backend": self.backend,
+            "block_backend": self.block_backend,
+            "faults": self.faults,
+            "chunks_total": self.chunks_total,
+            "chunks_completed": self.chunks_completed,
+            "chunks_resumed": self.chunks_resumed,
+            "workers_replaced": self.workers_replaced,
+            "degradations": [dataclasses.asdict(d) for d in self.degradations],
+            "retries": [dataclasses.asdict(r) for r in self.retries],
+            "wall_seconds": self.wall_seconds,
+            "checkpoint": self.checkpoint_path,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"campaign: {self.faults} faults via {self.backend} "
+            f"(requested {self.requested}) in {self.wall_seconds:.3f}s",
+            f"  chunks: {self.chunks_completed} simulated, "
+            f"{self.chunks_resumed} resumed of {self.chunks_total}",
+        ]
+        if self.workers_replaced:
+            lines.append(f"  workers replaced: {self.workers_replaced}")
+        for event in self.retries:
+            lines.append(
+                f"  retry [{event.chunk}] attempt {event.attempt}: "
+                f"{event.reason} -> {event.action}"
+            )
+        for deg in self.degradations:
+            lines.append(f"  degraded {deg.frm} -> {deg.to}: {deg.reason}")
+        if not self.degradations:
+            lines.append("  no degradations")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# checkpoint artifact
+# ----------------------------------------------------------------------
+def describe_fault(fault) -> str:
+    describe = getattr(fault, "describe", None)
+    return describe() if callable(describe) else repr(fault)
+
+
+def universe_fingerprint(universe: Sequence, n_inputs: int) -> str:
+    """Identity of a campaign: the ordered fault universe plus the
+    input width.  Statuses are backend-independent, so this is all a
+    checkpoint needs to match to be resumable."""
+    digest = hashlib.sha256()
+    digest.update(f"n_inputs={n_inputs}".encode())
+    for fault in universe:
+        digest.update(b"\x00" + describe_fault(fault).encode())
+    return digest.hexdigest()
+
+
+class CampaignCheckpoint:
+    """Completed chunk statuses, flushed to JSON after every chunk.
+
+    The artifact maps contiguous index ranges of the ordered fault
+    universe to their statuses; resuming fills those ranges and
+    re-chunks only the uncovered remainder, so chunk-size changes
+    between runs cannot corrupt a resume.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str, fingerprint: str, n_faults: int) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.n_faults = n_faults
+        self.ranges: Dict[Tuple[int, int], List[str]] = {}
+
+    def load(self) -> None:
+        """Read and validate an existing artifact (for ``--resume``)."""
+        try:
+            with open(self.path) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} does not exist; run without "
+                f"--resume to start a fresh campaign"
+            )
+        except (OSError, ValueError) as error:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} is unreadable: {error}"
+            )
+        if not isinstance(payload, dict) or payload.get("version") != self.VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} has an unsupported format"
+            )
+        if payload.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} belongs to a different campaign "
+                f"(fault universe or netlist changed); run without --resume"
+            )
+        if payload.get("n_faults") != self.n_faults:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} covers {payload.get('n_faults')} "
+                f"faults, campaign has {self.n_faults}"
+            )
+        for entry in payload.get("ranges", []):
+            try:
+                start, stop = int(entry["start"]), int(entry["stop"])
+                statuses = list(entry["statuses"])
+            except (KeyError, TypeError, ValueError):
+                raise CheckpointError(
+                    f"checkpoint {self.path!r} has a malformed range entry"
+                )
+            if not (0 <= start < stop <= self.n_faults):
+                raise CheckpointError(
+                    f"checkpoint {self.path!r} range {start}:{stop} is out "
+                    f"of bounds for {self.n_faults} faults"
+                )
+            if len(statuses) != stop - start or not all(
+                s in VALID_STATUSES for s in statuses
+            ):
+                raise CheckpointError(
+                    f"checkpoint {self.path!r} range {start}:{stop} holds "
+                    f"corrupt statuses"
+                )
+            self.ranges[(start, stop)] = statuses
+
+    def apply(self, statuses: List[Optional[str]]) -> int:
+        """Fill ``statuses`` from the loaded ranges; returns the number
+        of resumed chunks."""
+        for (start, stop), values in self.ranges.items():
+            statuses[start:stop] = values
+        return len(self.ranges)
+
+    def record(self, start: int, stop: int, values: Sequence[str]) -> None:
+        self.ranges[(start, stop)] = list(values)
+        self._flush()
+
+    def _flush(self) -> None:
+        payload = {
+            "version": self.VERSION,
+            "fingerprint": self.fingerprint,
+            "n_faults": self.n_faults,
+            "ranges": [
+                {"start": start, "stop": stop, "statuses": values}
+                for (start, stop), values in sorted(self.ranges.items())
+            ],
+        }
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+
+
+# ----------------------------------------------------------------------
+# chunk tasks
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class _Task:
+    start: int
+    stop: int
+    faults: List
+    attempt: int = 0
+    not_before: float = 0.0
+
+    @property
+    def key(self) -> str:
+        return f"{self.start}:{self.stop}"
+
+
+def _uncovered_runs(statuses: List[Optional[str]]) -> List[Tuple[int, int]]:
+    """Maximal contiguous index ranges still lacking a status."""
+    runs: List[Tuple[int, int]] = []
+    i, n = 0, len(statuses)
+    while i < n:
+        if statuses[i] is None:
+            j = i
+            while j < n and statuses[j] is None:
+                j += 1
+            runs.append((i, j))
+            i = j
+        else:
+            i += 1
+    return runs
+
+
+def default_chunk_faults(n_remaining: int, processes: Optional[int]) -> int:
+    """Chunk size balancing checkpoint granularity against per-chunk
+    overhead: roughly four chunks per worker lane."""
+    lanes = max(processes or 1, 1)
+    return max(1, -(-n_remaining // max(4 * lanes, 8)))
+
+
+def _build_tasks(
+    universe: Sequence,
+    statuses: List[Optional[str]],
+    chunk: int,
+) -> List[_Task]:
+    tasks: List[_Task] = []
+    for run_start, run_stop in _uncovered_runs(statuses):
+        for start in range(run_start, run_stop, chunk):
+            stop = min(start + chunk, run_stop)
+            tasks.append(_Task(start, stop, list(universe[start:stop])))
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# shared-memory baseline fan-out (parent side)
+# ----------------------------------------------------------------------
+def _baseline_line_bytes(n_inputs: int) -> int:
+    """Bytes per packed line in the shared baseline buffer (whole
+    64-bit words, minimum one word)."""
+    return max(1, (1 << n_inputs) >> 6) * 8
+
+
+def _create_shared_baseline(sweep):
+    """Publish the parent's fault-free baseline for workers to attach.
+
+    Returns ``(shm, name, line_bytes)``.  Raises the *narrow* set of
+    failures shared memory can legitimately produce — ``ImportError``
+    (no ``multiprocessing.shared_memory``), ``OSError`` (``/dev/shm``
+    missing, quota, permissions), ``ValueError`` (bad size) — so the
+    caller can record exactly why the ladder stepped down instead of
+    swallowing everything.  Swapped out by chaos tests.
+    """
+    from multiprocessing import shared_memory
+
+    baseline = sweep.bitmask.baseline()
+    line_bytes = _baseline_line_bytes(sweep.n)
+    payload = b"".join(
+        value.to_bytes(line_bytes, "little") for value in baseline
+    )
+    shm = shared_memory.SharedMemory(create=True, size=max(len(payload), 1))
+    shm.buf[: len(payload)] = payload
+    return shm, shm.name, line_bytes
+
+
+def _attach_shared_baseline(engine, shm_name: str, line_bytes: int) -> bool:
+    """Worker side: adopt the parent's baseline from shared memory.
+
+    Returns ``False`` (worker derives its own baseline — correctness
+    unchanged, throughput degraded) only on the narrow attach failures;
+    the supervisor records that as a ``fork+shm -> fork`` degradation.
+    """
+    try:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=shm_name)
+    except (ImportError, OSError, ValueError):
+        return False
+    try:
+        buf = bytes(shm.buf)
+    finally:
+        shm.close()
+    expected = len(engine.compiled.names) * line_bytes
+    if len(buf) < expected:
+        return False
+    engine.bitmask._baseline = [
+        int.from_bytes(buf[i * line_bytes : (i + 1) * line_bytes], "little")
+        for i in range(len(engine.compiled.names))
+    ]
+    return True
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _supervised_worker(conn, network, shm_name, line_bytes) -> None:
+    """One fork worker: build an engine, then serve chunk jobs until a
+    ``None`` shutdown sentinel (or the parent disappears)."""
+    from . import NetworkEngine
+
+    engine = NetworkEngine(network)
+    shm_ok = True
+    if shm_name is not None:
+        shm_ok = _attach_shared_baseline(engine, shm_name, line_bytes)
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent vanished
+            break
+        if job is None:
+            break
+        key, faults, backend, attempt = job
+        hook = WORKER_CHUNK_HOOK
+        try:
+            if hook is not None:
+                hook(key, attempt)
+            statuses = chunk_statuses(engine, faults, backend)
+        except Exception as error:  # reported, retried by the supervisor
+            conn.send(
+                ("error", key, f"{type(error).__name__}: {error}", shm_ok)
+            )
+        else:
+            conn.send(("ok", key, statuses, shm_ok))
+    conn.close()
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "task", "deadline")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.task: Optional[_Task] = None
+        self.deadline: Optional[float] = None
+
+
+def _spawn_worker(ctx, network, shm_name, line_bytes) -> _Worker:
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    process = ctx.Process(
+        target=_supervised_worker,
+        args=(child_conn, network, shm_name, line_bytes),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    return _Worker(process, parent_conn)
+
+
+def _stop_worker(worker: _Worker) -> None:
+    """Tear one worker down, escalating SIGTERM -> SIGKILL."""
+    try:
+        worker.conn.close()
+    except OSError:  # pragma: no cover
+        pass
+    process = worker.process
+    if process.is_alive():
+        process.terminate()
+        process.join(KILL_GRACE)
+        if process.is_alive():
+            process.kill()
+            process.join(KILL_GRACE)
+    else:
+        process.join(0)
+
+
+# ----------------------------------------------------------------------
+# the supervised fork runtime
+# ----------------------------------------------------------------------
+class _ForkSupervisor:
+    """Drives chunk tasks across replaceable fork workers."""
+
+    def __init__(
+        self,
+        sweep,
+        ctx,
+        chosen: str,
+        processes: int,
+        timeout: Optional[float],
+        report: CampaignReport,
+        shm_name: Optional[str],
+        line_bytes: int,
+        complete: Callable[[_Task, List[str]], None],
+    ) -> None:
+        self.sweep = sweep
+        self.ctx = ctx
+        self.chosen = chosen
+        self.processes = processes
+        self.timeout = timeout
+        self.report = report
+        self.shm_name = shm_name
+        self.line_bytes = line_bytes
+        self.complete = complete
+        self.workers: List[_Worker] = []
+        self.pending: deque = deque()
+        self.replaced = 0
+        self._noted_attach_failure = False
+
+    # -- lifecycle -----------------------------------------------------
+    def run(self, tasks: List[_Task]) -> None:
+        self.pending = deque(tasks)
+        try:
+            for _ in range(min(self.processes, max(len(tasks), 1))):
+                self.workers.append(self._spawn())
+            self._loop()
+        finally:
+            self._shutdown()
+
+    def _spawn(self) -> _Worker:
+        try:
+            return _spawn_worker(
+                self.ctx, self.sweep.network, self.shm_name, self.line_bytes
+            )
+        except OSError as error:
+            raise _SupervisionFailure(f"cannot spawn fork worker: {error}")
+
+    def _replace(self, worker: _Worker) -> None:
+        _stop_worker(worker)
+        self.replaced += 1
+        self.report.workers_replaced += 1
+        if self.replaced > _max_replacements(self.processes):
+            self.workers.remove(worker)
+            raise _SupervisionFailure(
+                f"{self.replaced} worker replacements exceeded the limit"
+            )
+        index = self.workers.index(worker)
+        self.workers[index] = self._spawn()
+
+    def _shutdown(self) -> None:
+        for worker in self.workers:
+            try:
+                worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        for worker in self.workers:
+            _stop_worker(worker)
+        self.workers = []
+
+    # -- supervision loop ----------------------------------------------
+    def _loop(self) -> None:
+        from multiprocessing import connection as mp_connection
+
+        while self.pending or any(w.task is not None for w in self.workers):
+            now = time.monotonic()
+            self._assign(now)
+            busy = [w for w in self.workers if w.task is not None]
+            if not busy:
+                if self.pending:
+                    delay = min(t.not_before for t in self.pending) - now
+                    time.sleep(max(delay, 0.005))
+                continue
+            ready = mp_connection.wait(
+                [w.conn for w in busy], timeout=POLL_SECONDS
+            )
+            for conn in ready:
+                worker = next(w for w in busy if w.conn is conn)
+                self._drain(worker)
+            self._enforce_deadlines()
+
+    def _assign(self, now: float) -> None:
+        for worker in self.workers:
+            if worker.task is not None or not self.pending:
+                continue
+            task = self._next_ready(now)
+            if task is None:
+                break
+            try:
+                worker.conn.send(
+                    (task.key, task.faults, self.chosen, task.attempt)
+                )
+            except (OSError, ValueError) as error:
+                # Worker died while idle: put the task back, replace it.
+                self.pending.appendleft(task)
+                self.report.retries.append(
+                    RetryEvent(
+                        task.key,
+                        task.attempt,
+                        f"worker unreachable at assignment: {error}",
+                        "retried",
+                    )
+                )
+                self._replace(worker)
+                continue
+            worker.task = task
+            worker.deadline = (
+                now + self.timeout if self.timeout is not None else None
+            )
+
+    def _next_ready(self, now: float) -> Optional[_Task]:
+        for _ in range(len(self.pending)):
+            task = self.pending.popleft()
+            if task.not_before <= now:
+                return task
+            self.pending.append(task)
+        return None
+
+    def _drain(self, worker: _Worker) -> None:
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            self._on_death(worker)
+            return
+        kind, key, payload, shm_ok = message
+        if not shm_ok:
+            self._note_attach_failure()
+        task, worker.task, worker.deadline = worker.task, None, None
+        if task is None or key != task.key:  # pragma: no cover - stale
+            return
+        if kind == "ok" and len(payload) == len(task.faults):
+            self.complete(task, payload)
+        else:
+            reason = (
+                f"chunk raised: {payload}"
+                if kind == "error"
+                else "malformed chunk result"
+            )
+            self._requeue(task, reason)
+
+    def _on_death(self, worker: _Worker) -> None:
+        task, worker.task, worker.deadline = worker.task, None, None
+        self._replace(worker)
+        if task is not None:
+            self._requeue(task, "worker died mid-chunk")
+
+    def _enforce_deadlines(self) -> None:
+        now = time.monotonic()
+        for worker in self.workers:
+            if worker.task is None:
+                continue
+            if worker.deadline is not None and now >= worker.deadline:
+                task, worker.task, worker.deadline = worker.task, None, None
+                self._replace(worker)
+                self._requeue(
+                    task, f"timeout after {self.timeout:g}s"
+                )
+            elif not worker.process.is_alive():
+                self._on_death(worker)
+
+    def _note_attach_failure(self) -> None:
+        if not self._noted_attach_failure:
+            self._noted_attach_failure = True
+            self.report.degrade(
+                "fork+shm",
+                "fork",
+                "a worker could not attach the shared-memory baseline "
+                "and re-derived it locally",
+            )
+
+    # -- retry policy ---------------------------------------------------
+    def _requeue(self, task: _Task, reason: str) -> None:
+        task.attempt += 1
+        now = time.monotonic()
+        if task.attempt >= MAX_CHUNK_ATTEMPTS:
+            if task.stop - task.start > 1:
+                # Re-chunk smaller: a repeatedly failing chunk is split
+                # so one poisoned fault cannot sink its neighbours.
+                mid = (task.start + task.stop) // 2
+                cut = mid - task.start
+                left = _Task(task.start, mid, task.faults[:cut])
+                right = _Task(mid, task.stop, task.faults[cut:])
+                self.report.retries.append(
+                    RetryEvent(task.key, task.attempt, reason, "split")
+                )
+                self.report.chunks_total += 1
+                self.pending.appendleft(right)
+                self.pending.appendleft(left)
+            else:
+                # A single fault that keeps failing runs in the parent,
+                # stepping down the block ladder if it must.
+                self.report.retries.append(
+                    RetryEvent(task.key, task.attempt, reason, "parent-serial")
+                )
+                statuses = _parent_serial_chunk(
+                    self.sweep, task.faults, self.chosen, self.report
+                )
+                self.complete(task, statuses)
+        else:
+            task.not_before = now + min(
+                BACKOFF_BASE * (2 ** (task.attempt - 1)), BACKOFF_CAP
+            )
+            self.report.retries.append(
+                RetryEvent(task.key, task.attempt, reason, "retried")
+            )
+            self.pending.append(task)
+
+
+def _parent_serial_chunk(sweep, faults, chosen, report) -> List[str]:
+    """Classify one chunk in the parent, degrading serial -> scalar on a
+    block-backend failure (recorded, never swallowed)."""
+    try:
+        return chunk_statuses(sweep.engine, faults, chosen)
+    except Exception as error:
+        if chosen == "bitmask":
+            raise
+        report.degrade(
+            "serial",
+            "scalar",
+            f"{chosen} block backend failed: "
+            f"{type(error).__name__}: {error}",
+        )
+        return chunk_statuses(sweep.engine, faults, "bitmask")
+
+
+# ----------------------------------------------------------------------
+# the campaign driver
+# ----------------------------------------------------------------------
+def run_campaign(
+    sweep,
+    universe: Sequence,
+    chosen: str,
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    chunk_faults: Optional[int] = None,
+    abort_after_chunks: Optional[int] = None,
+) -> Tuple[List[str], CampaignReport]:
+    """Run one supervised campaign; returns ``(statuses, report)``.
+
+    ``chosen`` is a resolved block-backend name (``bitmask`` /
+    ``vectorized`` / ``fallback``).  ``abort_after_chunks`` is the
+    interruption hook used by tests and drills: the campaign raises
+    :class:`CampaignInterrupted` after that many newly simulated chunks,
+    leaving the checkpoint resumable.
+    """
+    start_time = time.perf_counter()
+    n = len(universe)
+    want_fork = bool(processes and processes > 1)
+    report = CampaignReport(
+        requested=(f"fork+shm:{chosen}" if want_fork else _serial_rung(chosen)),
+        block_backend=chosen,
+        faults=n,
+        checkpoint_path=checkpoint,
+    )
+    statuses: List[Optional[str]] = [None] * n
+
+    if resume and checkpoint is None:
+        raise CheckpointError("resume requires a checkpoint path")
+    store: Optional[CampaignCheckpoint] = None
+    if checkpoint is not None:
+        store = CampaignCheckpoint(
+            checkpoint, universe_fingerprint(universe, sweep.n), n
+        )
+        if resume:
+            store.load()
+            report.chunks_resumed = store.apply(statuses)
+            report.chunks_total += report.chunks_resumed
+
+    abort_state = (
+        {"remaining": abort_after_chunks}
+        if abort_after_chunks is not None
+        else None
+    )
+
+    def complete(task: _Task, values: List[str]) -> None:
+        statuses[task.start : task.stop] = values
+        report.chunks_completed += 1
+        if store is not None:
+            store.record(task.start, task.stop, values)
+        if abort_state is not None:
+            abort_state["remaining"] -= 1
+            if abort_state["remaining"] <= 0:
+                raise CampaignInterrupted(
+                    f"campaign interrupted after "
+                    f"{report.chunks_completed} chunks (checkpoint "
+                    f"{checkpoint!r} is resumable)"
+                )
+
+    n_remaining = sum(1 for s in statuses if s is None)
+    if n_remaining == 0:
+        # Everything came from the checkpoint (or the universe is empty).
+        report.backend = "resumed" if report.chunks_resumed else _serial_rung(chosen)
+        report.wall_seconds = time.perf_counter() - start_time
+        return [s for s in statuses], report
+
+    # Degenerate-fan-out guard: never fork more lanes than chunks.
+    use_fork = want_fork and n_remaining >= 4 * processes
+    if want_fork and not use_fork:
+        report.degrade(
+            "fork+shm",
+            "serial" if chosen != "bitmask" else "scalar",
+            f"{n_remaining} remaining faults cannot amortize {processes} "
+            f"fork workers (need >= {4 * processes}); running in-process",
+        )
+    chunk = chunk_faults or default_chunk_faults(
+        n_remaining, processes if use_fork else None
+    )
+    tasks = _build_tasks(universe, statuses, chunk)
+    report.chunks_total += len(tasks)
+
+    forked = False
+    if use_fork:
+        forked = _try_forked(
+            sweep, tasks, chosen, processes, timeout, report, complete
+        )
+        if not forked and chosen == "bitmask" and n_remaining >= VECTOR_MIN_FAULTS:
+            # Serve the bulk request on the serial block backend rather
+            # than degrading all the way to the per-fault scalar loop.
+            chosen = "vectorized" if HAVE_NUMPY else "fallback"
+            report.block_backend = chosen
+
+    if not forked:
+        chosen = _serial_fill(
+            sweep, universe, statuses, chosen, report, store, complete, chunk
+        )
+        report.block_backend = chosen
+        report.backend = _serial_rung(chosen)
+    else:
+        rung = (
+            "fork"
+            if any(
+                d.frm == "fork+shm" and d.to == "fork"
+                for d in report.degradations
+            )
+            else "fork+shm"
+        )
+        report.backend = f"{rung}:{chosen}"
+
+    report.wall_seconds = time.perf_counter() - start_time
+    missing = [i for i, s in enumerate(statuses) if s is None]
+    if missing:  # pragma: no cover - defended invariant
+        raise RuntimeError(
+            f"campaign finished with {len(missing)} unclassified faults"
+        )
+    return [s for s in statuses], report
+
+
+def _serial_rung(chosen: str) -> str:
+    return f"scalar:{chosen}" if chosen == "bitmask" else f"serial:{chosen}"
+
+
+def _try_forked(
+    sweep,
+    tasks: List[_Task],
+    chosen: str,
+    processes: int,
+    timeout: Optional[float],
+    report: CampaignReport,
+    complete: Callable[[_Task, List[str]], None],
+) -> bool:
+    """Attempt the fork rungs; returns False (with the degradation
+    recorded) when the campaign must continue serially."""
+    try:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+    except (ImportError, ValueError) as error:
+        report.degrade(
+            "fork+shm",
+            "serial",
+            f"fork start method unavailable: {error}; serving the batch "
+            f"on the serial block backend",
+        )
+        return False
+
+    shm = None
+    shm_name: Optional[str] = None
+    line_bytes = 8
+    try:
+        shm, shm_name, line_bytes = _create_shared_baseline(sweep)
+    except (ImportError, OSError, ValueError) as error:
+        report.degrade(
+            "fork+shm",
+            "fork",
+            f"shared-memory baseline unavailable: "
+            f"{type(error).__name__}: {error}; workers re-derive it",
+        )
+    supervisor = _ForkSupervisor(
+        sweep,
+        ctx,
+        chosen,
+        processes,
+        timeout,
+        report,
+        shm_name,
+        line_bytes,
+        complete,
+    )
+    try:
+        supervisor.run(tasks)
+        return True
+    except _SupervisionFailure as error:
+        rung = (
+            "fork"
+            if any(
+                d.frm == "fork+shm" and d.to == "fork"
+                for d in report.degradations
+            )
+            else "fork+shm"
+        )
+        report.degrade(
+            rung,
+            "serial",
+            f"supervised fork runtime failed: {error}; salvaging "
+            f"completed chunks and finishing serially",
+        )
+        return False
+    finally:
+        if shm is not None:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
+def _serial_fill(
+    sweep,
+    universe: Sequence,
+    statuses: List[Optional[str]],
+    chosen: str,
+    report: CampaignReport,
+    store: Optional[CampaignCheckpoint],
+    complete: Callable[[_Task, List[str]], None],
+    chunk: int,
+) -> str:
+    """Classify every still-uncovered fault in-process, stepping down to
+    the scalar rung on a block-backend failure.  Returns the backend
+    that finished the job."""
+    tasks = _build_tasks(universe, statuses, chunk)
+    # _build_tasks was already counted for the fork attempt; only count
+    # tasks that re-chunked differently after a partial fork salvage.
+    already = report.chunks_completed + report.chunks_resumed
+    report.chunks_total = already + len(tasks)
+    for task in tasks:
+        try:
+            values = chunk_statuses(sweep.engine, task.faults, chosen)
+        except Exception as error:
+            if chosen == "bitmask":
+                raise
+            report.degrade(
+                "serial",
+                "scalar",
+                f"{chosen} block backend failed: "
+                f"{type(error).__name__}: {error}",
+            )
+            chosen = "bitmask"
+            values = chunk_statuses(sweep.engine, task.faults, chosen)
+        complete(task, values)
+    return chosen

@@ -571,6 +571,35 @@ class VectorizedBackend:
         return out
 
 
+def chunk_statuses(engine, faults: Sequence[FaultLike], backend: str) -> List[str]:
+    """Classify one chunk of faults on a resolved block backend.
+
+    This is the single chunk-level entry point shared by the serial
+    campaign driver and the supervised fork workers, so every rung of
+    the degradation ladder classifies through the same code.  ``engine``
+    is a :class:`~repro.engine.NetworkEngine`; ``backend`` is a resolved
+    name (``vectorized`` / ``fallback`` / ``bitmask``) — ``vectorized``
+    quietly serves on the packed fallback when NumPy is absent (the
+    selection already happened upstream).
+    """
+    universe = list(faults)
+    if backend == "vectorized":
+        vec = engine.vectorized
+        if vec is not None:
+            return vec.sweep_statuses(universe)
+        backend = "fallback"
+    if backend == "fallback":
+        return engine.packed.sweep_statuses(universe)
+    if backend != "bitmask":
+        raise ValueError(f"unknown chunk backend {backend!r}")
+    # "bitmask": the scalar per-fault big-int path.
+    packed = engine.packed
+    return [
+        classify_status(det, vio)
+        for _aff, det, vio in (packed.response_triple(f) for f in universe)
+    ]
+
+
 def vectorized_backend_for(
     compiled: CompiledNetwork,
     bitmask: Optional[BitmaskBackend] = None,

@@ -7,14 +7,29 @@ must catch, and the harness self-test drives the full pipeline —
 detect, shrink, emit artifact — against it.  The patches restore
 themselves on exit; fuzz trials build fresh backends per case, so no
 sabotaged baseline outlives the context.
+
+The second half of this module sabotages the *campaign runtime* the
+same way: :func:`sabotage_campaign` arms worker-level failures — a
+chunk that raises, a chunk that hangs, a worker SIGKILLed or exiting
+mid-sweep, shared-memory allocation denied, the block backend broken —
+and the supervisor tests assert the sweep still completes with
+statuses byte-identical to the serial path, the incident visible in
+the :class:`~repro.engine.supervisor.CampaignReport`.  Worker
+sabotages ride :data:`repro.engine.supervisor.WORKER_CHUNK_HOOK`,
+which fork children inherit from the parent at spawn time; one-shot
+kinds coordinate across processes through an ``O_EXCL`` sentinel file
+so a replacement worker does not re-fire the failure forever.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Dict, Iterator
+import os
+import time
+from typing import Callable, Dict, Iterator, Optional
 
 from ..engine import backends
+from ..engine import supervisor as _supervisor
 from ..logic.gates import GateKind
 
 
@@ -77,3 +92,123 @@ def inject(name: str) -> Iterator[None]:
         yield
     finally:
         setattr(backends, attr, original)
+
+
+# ----------------------------------------------------------------------
+# campaign-runtime sabotage (worker-level failures)
+# ----------------------------------------------------------------------
+def _fire_once(once_path: Optional[str]) -> bool:
+    """Cross-process one-shot latch: only the first caller — parent or
+    any forked worker — wins the ``O_EXCL`` create and fires."""
+    if once_path is None:
+        return True
+    try:
+        fd = os.open(once_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _worker_hook(action: Callable[[], None], once_path: Optional[str]):
+    def hook(_chunk_key: str, _attempt: int) -> None:
+        if _fire_once(once_path):
+            action()
+
+    return hook
+
+
+def _chunk_raises() -> None:
+    raise RuntimeError("chaos: chunk sabotaged")
+
+
+def _chunk_hangs() -> None:
+    time.sleep(3600)
+
+
+def _worker_killed() -> None:
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _worker_exits() -> None:
+    os._exit(3)
+
+
+#: Worker-level sabotages delivered through WORKER_CHUNK_HOOK (fork
+#: children inherit the armed hook from the parent).
+WORKER_SABOTAGE: Dict[str, Callable[[], None]] = {
+    # The first chunk touched raises inside the worker: the supervisor
+    # must retry it (backoff) and the sweep must still complete.
+    "chunk-raises": _chunk_raises,
+    # The first chunk hangs forever: the per-chunk timeout must fire,
+    # the worker be killed and replaced, the chunk retried elsewhere.
+    "chunk-hangs": _chunk_hangs,
+    # A worker is SIGKILLed mid-chunk: pipe EOF, replacement, retry.
+    "worker-killed": _worker_killed,
+    # A worker exits cleanly but prematurely mid-chunk: same recovery.
+    "worker-exits": _worker_exits,
+}
+
+
+def campaign_sabotage_names() -> list:
+    return sorted(WORKER_SABOTAGE) + ["shm-denied", "block-backend-broken"]
+
+
+@contextlib.contextmanager
+def sabotage_campaign(
+    kind: str, once_path: Optional[str] = None
+) -> Iterator[None]:
+    """Arm one campaign-runtime failure for the duration of the context.
+
+    Worker-level kinds (see :data:`WORKER_SABOTAGE`) install a
+    :data:`~repro.engine.supervisor.WORKER_CHUNK_HOOK`; pass
+    ``once_path`` (a path that does not exist yet) to make the failure
+    one-shot across all forked workers, otherwise every chunk attempt
+    fails and the sweep degrades to the serial rung.  Parent-side kinds:
+
+    * ``shm-denied`` — shared-memory baseline allocation raises
+      ``OSError``, forcing the ``fork+shm -> fork`` step;
+    * ``block-backend-broken`` — the block backends raise on every
+      chunk, forcing the ``serial -> scalar`` step (the scalar bitmask
+      path stays honest).
+    """
+    if kind in WORKER_SABOTAGE:
+        previous = _supervisor.WORKER_CHUNK_HOOK
+        _supervisor.WORKER_CHUNK_HOOK = _worker_hook(
+            WORKER_SABOTAGE[kind], once_path
+        )
+        try:
+            yield
+        finally:
+            _supervisor.WORKER_CHUNK_HOOK = previous
+    elif kind == "shm-denied":
+        original = _supervisor._create_shared_baseline
+
+        def denied(_sweep):
+            raise OSError("chaos: shared memory denied")
+
+        _supervisor._create_shared_baseline = denied
+        try:
+            yield
+        finally:
+            _supervisor._create_shared_baseline = original
+    elif kind == "block-backend-broken":
+        original = _supervisor.chunk_statuses
+
+        def broken(engine, faults, backend):
+            if backend != "bitmask" and _fire_once(once_path):
+                raise RuntimeError("chaos: block backend sabotaged")
+            return original(engine, faults, backend)
+
+        _supervisor.chunk_statuses = broken
+        try:
+            yield
+        finally:
+            _supervisor.chunk_statuses = original
+    else:
+        known = ", ".join(campaign_sabotage_names())
+        raise KeyError(
+            f"unknown campaign sabotage {kind!r}; known: {known}"
+        )

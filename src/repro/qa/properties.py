@@ -31,7 +31,8 @@ around.  The registered invariants:
   run and alternate cleanly when fault-free.
 * ``sampled-determinism`` — one seed yields one sample set and one set
   of verdicts, across fresh backends and across the sweep's serial vs
-  fork-worker paths.
+  fork-worker paths; the supervised campaign report's chunk ledger must
+  balance (completed + resumed = total) so no work is silently lost.
 """
 
 from __future__ import annotations
@@ -463,13 +464,31 @@ def _check_sampled_determinism(case: Case) -> Optional[str]:
     ]
     if serial != forked:
         return "serial and fork-worker sweeps classify faults differently"
+    # The supervised runtime must also account for every chunk it ran:
+    # a report whose chunk ledger does not add up means work was lost
+    # (or double-counted) even though the statuses happened to agree.
+    report = sweep.last_report
+    if report is None:
+        return "sweep left no CampaignReport behind"
+    if report.chunks_completed + report.chunks_resumed != report.chunks_total:
+        return (
+            f"campaign report ledger does not balance: "
+            f"{report.chunks_completed} completed + "
+            f"{report.chunks_resumed} resumed != {report.chunks_total} total"
+        )
+    if report.faults != len(universe):
+        return (
+            f"campaign report covers {report.faults} faults, "
+            f"universe has {len(universe)}"
+        )
     return None
 
 
 sampled_determinism = register(
     "sampled-determinism",
     "one seed ⇒ one sample set and one verdict list, across fresh "
-    "backends and across serial vs fork-worker sweeps",
+    "backends and across serial vs fork-worker sweeps, with a balanced "
+    "campaign-report chunk ledger",
 )((_gen_sampled, _check_sampled_determinism))
 
 

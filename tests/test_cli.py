@@ -50,6 +50,56 @@ class TestCampaign:
         assert main(["campaign", fig37_bench, "--processes", "2",
                      "--no-collapse"]) == 0
 
+    def test_bad_processes_is_a_validation_error(self, fig37_bench):
+        with pytest.raises(SystemExit, match="--processes must be >= 1"):
+            main(["campaign", fig37_bench, "--processes", "0"])
+
+    def test_bad_timeout_is_a_validation_error(self, fig37_bench):
+        with pytest.raises(SystemExit, match="--timeout must be"):
+            main(["campaign", fig37_bench, "--timeout", "-3"])
+
+    def test_resume_requires_checkpoint(self, fig37_bench):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["campaign", fig37_bench, "--resume"])
+
+    def test_missing_resume_checkpoint_is_not_a_traceback(
+        self, fig37_bench, tmp_path
+    ):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["campaign", fig37_bench, "--resume",
+                  "--checkpoint", os.path.join(tmp_path, "absent.json")])
+
+    def test_checkpoint_then_resume_matches(self, fig37_bench, tmp_path,
+                                            capsys):
+        import json
+
+        ckpt = os.path.join(tmp_path, "campaign.json")
+        assert main(["campaign", fig37_bench, "--json", "--no-collapse",
+                     "--checkpoint", ckpt]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert os.path.exists(ckpt)
+        assert main(["campaign", fig37_bench, "--json", "--no-collapse",
+                     "--checkpoint", ckpt, "--resume"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        del first["backend"], resumed["backend"]
+        assert first == resumed
+
+    def test_report_flag(self, fig37_bench, capsys):
+        import json
+
+        assert main(["campaign", fig37_bench, "--json", "--report"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        report = stats["report"]
+        assert report["degradations"] == []
+        assert report["chunks_completed"] == report["chunks_total"]
+        # Without --report the JSON stays stable across runs (no
+        # wall-time noise leaks into the comparison-friendly output).
+        assert main(["campaign", fig37_bench, "--json"]) == 0
+        assert "report" not in json.loads(capsys.readouterr().out)
+        # Human mode prints the summary.
+        assert main(["campaign", fig37_bench, "--report"]) == 0
+        assert "campaign:" in capsys.readouterr().out
+
 
 class TestAnalyze:
     def test_failing_network_exits_1(self, fig34_bench, capsys):

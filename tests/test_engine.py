@@ -256,6 +256,24 @@ class TestSweepDrivers:
         result = sweep.sweep(universe, processes=4)
         assert result == reference
         assert sweep.last_sweep_backend in ("vectorized", "fallback")
+        # The fallback is recorded, not silent: the campaign report
+        # names the ladder step and the reason.
+        assert any(
+            d.to == "serial" and "fork" in d.reason
+            for d in sweep.last_report.degradations
+        )
+
+    def test_every_sweep_leaves_a_report(self, circuit):
+        sweep = FaultSweep(circuit)
+        universe = sweep.single_fault_universe()
+        sweep.sweep(universe)
+        report = sweep.last_report
+        assert report is not None
+        assert report.faults == len(universe)
+        assert report.chunks_completed + report.chunks_resumed == (
+            report.chunks_total
+        )
+        assert sweep.last_sweep_backend == report.block_backend
 
     def test_classification_matches_legacy_simulator(self, circuit):
         if len(circuit.inputs) > EXHAUSTIVE_LIMIT:

@@ -1,0 +1,387 @@
+"""The supervised campaign runtime under injected failure.
+
+Every test here follows the chaos discipline of the fuzz harness: arm a
+failure (a chunk that raises or hangs, a worker that dies, shared memory
+denied, a broken block backend), run the sweep, and assert it still
+completes with per-fault statuses byte-identical to the undisturbed
+serial path — with the incident recorded in the
+:class:`~repro.engine.supervisor.CampaignReport` rather than swallowed.
+Checkpoint/resume and the degenerate-chunking guards are covered the
+same way: interruption is deliberate, resumption must be exact.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import (
+    CampaignInterrupted,
+    CheckpointError,
+    FaultSweep,
+    universe_fingerprint,
+)
+from repro.engine import supervisor as supervisor_mod
+from repro.logic.benchfmt import load_bench
+from repro.qa.chaos import campaign_sabotage_names, sabotage_campaign
+from repro.workloads.fig34 import fig37_fixed_network
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "..", "examples", "data")
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return load_bench(os.path.join(DATA_DIR, "adder4.bench"))
+
+
+@pytest.fixture(scope="module")
+def adder_reference(adder):
+    """Undisturbed serial statuses — the byte-identical yardstick."""
+    sweep = FaultSweep(adder)
+    universe = sweep.single_fault_universe()
+    return universe, [s for _f, s in sweep.sweep(universe)]
+
+
+def _statuses(pairs):
+    return [status for _fault, status in pairs]
+
+
+def fresh_sweep(network):
+    from repro.engine import NetworkEngine
+
+    return FaultSweep(network, engine=NetworkEngine(network))
+
+
+class TestChaosWorkerFailures:
+    def test_worker_killed_mid_sweep(self, adder, adder_reference, tmp_path):
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        with sabotage_campaign(
+            "worker-killed", once_path=str(tmp_path / "once")
+        ):
+            result = sweep.sweep(universe, processes=2)
+        assert _statuses(result) == reference
+        report = sweep.last_report
+        assert sweep.last_sweep_backend.startswith("fork:")
+        assert report.workers_replaced >= 1
+        assert any("worker died" in r.reason for r in report.retries)
+        # Salvage: only the killed chunk was retried; every completed
+        # chunk fed the final result instead of being discarded.
+        assert report.chunks_completed == report.chunks_total
+
+    def test_worker_exits_mid_sweep(self, adder, adder_reference, tmp_path):
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        with sabotage_campaign(
+            "worker-exits", once_path=str(tmp_path / "once")
+        ):
+            result = sweep.sweep(universe, processes=2)
+        assert _statuses(result) == reference
+        assert sweep.last_report.workers_replaced >= 1
+        assert sweep.last_report.retries
+
+    def test_chunk_raises_is_retried(self, adder, adder_reference, tmp_path):
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        with sabotage_campaign(
+            "chunk-raises", once_path=str(tmp_path / "once")
+        ):
+            result = sweep.sweep(universe, processes=2)
+        assert _statuses(result) == reference
+        report = sweep.last_report
+        assert any(
+            "chunk raised" in r.reason and r.action == "retried"
+            for r in report.retries
+        )
+        # The worker survived its own exception: no replacement needed.
+        assert report.workers_replaced == 0
+
+    def test_hung_chunk_hits_timeout(self, adder, adder_reference, tmp_path):
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        with sabotage_campaign(
+            "chunk-hangs", once_path=str(tmp_path / "once")
+        ):
+            result = sweep.sweep(universe, processes=2, timeout=0.5)
+        assert _statuses(result) == reference
+        report = sweep.last_report
+        assert any("timeout" in r.reason for r in report.retries)
+        assert report.workers_replaced >= 1
+
+    def test_shm_allocation_failure_degrades_to_plain_fork(
+        self, adder, adder_reference
+    ):
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        with sabotage_campaign("shm-denied"):
+            result = sweep.sweep(universe, processes=2)
+        assert _statuses(result) == reference
+        report = sweep.last_report
+        assert sweep.last_sweep_backend.startswith("fork:")
+        assert any(
+            d.frm == "fork+shm" and d.to == "fork" for d in report.degradations
+        )
+        assert "shared-memory" in report.degradations[0].reason
+        assert report.backend.startswith("fork:")
+
+    def test_unkillable_workers_salvaged_serially(
+        self, adder, adder_reference
+    ):
+        """No once-latch: every spawned worker dies on its first chunk.
+        The replacement cap trips and the sweep must salvage by
+        finishing on the serial rung — never abort."""
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        with sabotage_campaign("worker-killed"):
+            result = sweep.sweep(universe, processes=2)
+        assert _statuses(result) == reference
+        report = sweep.last_report
+        assert any(d.to == "serial" for d in report.degradations)
+        assert sweep.last_sweep_backend in ("vectorized", "fallback")
+        assert report.chunks_completed + report.chunks_resumed == (
+            report.chunks_total
+        )
+
+    def test_poisoned_chunk_splits_then_runs_in_parent(
+        self, adder, adder_reference, monkeypatch
+    ):
+        """A chunk that fails on every attempt is re-chunked smaller and
+        its single faults finally classified in the parent."""
+        universe, reference = adder_reference
+        monkeypatch.setattr(supervisor_mod, "BACKOFF_BASE", 0.001)
+        sweep = fresh_sweep(adder)
+        sub = universe[:8]
+        with sabotage_campaign("chunk-raises"):
+            result = sweep.sweep(sub, processes=2, chunk_faults=8)
+        assert _statuses(result) == reference[:8]
+        report = sweep.last_report
+        assert any(r.action == "split" for r in report.retries)
+        assert any(r.action == "parent-serial" for r in report.retries)
+        assert report.chunks_completed + report.chunks_resumed == (
+            report.chunks_total
+        )
+
+    def test_block_backend_broken_degrades_to_scalar(self, adder):
+        sweep = fresh_sweep(adder)
+        universe = sweep.single_fault_universe()[:24]
+        reference = [sweep.classify(f) for f in universe]
+        with sabotage_campaign("block-backend-broken"):
+            result = sweep.sweep(universe, backend="vectorized")
+        assert _statuses(result) == reference
+        report = sweep.last_report
+        assert any(
+            d.frm == "serial" and d.to == "scalar" for d in report.degradations
+        )
+        assert report.block_backend == "bitmask"
+        assert sweep.last_sweep_backend == "bitmask"
+
+    def test_unknown_sabotage_rejected(self):
+        with pytest.raises(KeyError):
+            with sabotage_campaign("frobnicate"):
+                pass
+        assert "worker-killed" in campaign_sabotage_names()
+
+
+class TestDegenerateChunking:
+    def test_empty_universe(self):
+        sweep = fresh_sweep(fig37_fixed_network())
+        assert sweep.sweep([]) == []
+        assert sweep.sweep([], processes=4) == []
+        report = sweep.last_report
+        assert report.faults == 0
+        assert report.chunks_total == 0
+
+    def test_more_processes_than_faults(self):
+        sweep = fresh_sweep(fig37_fixed_network())
+        universe = sweep.single_fault_universe()[:3]
+        reference = [sweep.classify(f) for f in universe]
+        result = sweep.sweep(universe, processes=8)
+        assert _statuses(result) == reference
+        # The fan-out gate declined — observably, not silently.
+        assert any(
+            "cannot amortize" in d.reason
+            for d in sweep.last_report.degradations
+        )
+        assert not sweep.last_sweep_backend.startswith("fork:")
+
+    def test_single_fault_universe(self):
+        sweep = fresh_sweep(fig37_fixed_network())
+        universe = sweep.single_fault_universe()[:1]
+        reference = [sweep.classify(universe[0])]
+        assert _statuses(sweep.sweep(universe, processes=2)) == reference
+        assert sweep.last_report.chunks_total == 1
+
+    def test_single_process_stays_serial(self, adder, adder_reference):
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        result = sweep.sweep(universe, processes=1)
+        assert _statuses(result) == reference
+        assert not sweep.last_sweep_backend.startswith("fork:")
+        assert not sweep.last_report.degradations
+
+
+class TestCheckpointResume:
+    def test_interrupt_then_resume_is_byte_identical(
+        self, adder, adder_reference, tmp_path
+    ):
+        universe, reference = adder_reference
+        ckpt = str(tmp_path / "campaign.json")
+        sweep = fresh_sweep(adder)
+        with pytest.raises(CampaignInterrupted):
+            sweep.sweep(universe, checkpoint=ckpt, abort_after_chunks=2)
+        payload = json.load(open(ckpt))
+        assert len(payload["ranges"]) == 2
+        resumed = fresh_sweep(adder)
+        result = resumed.sweep(universe, checkpoint=ckpt, resume=True)
+        assert _statuses(result) == reference
+        report = resumed.last_report
+        assert report.chunks_resumed == 2
+        # Completed chunks were not re-simulated.
+        assert report.chunks_completed == report.chunks_total - 2
+
+    def test_interrupted_fork_campaign_resumes_under_fork(
+        self, adder, adder_reference, tmp_path
+    ):
+        universe, reference = adder_reference
+        ckpt = str(tmp_path / "campaign.json")
+        sweep = fresh_sweep(adder)
+        with pytest.raises(CampaignInterrupted):
+            sweep.sweep(
+                universe, processes=2, checkpoint=ckpt, abort_after_chunks=3
+            )
+        resumed = fresh_sweep(adder)
+        result = resumed.sweep(
+            universe, processes=2, checkpoint=ckpt, resume=True
+        )
+        assert _statuses(result) == reference
+        assert resumed.last_report.chunks_resumed >= 3
+
+    def test_fully_completed_checkpoint_short_circuits(
+        self, adder, adder_reference, tmp_path
+    ):
+        universe, reference = adder_reference
+        ckpt = str(tmp_path / "campaign.json")
+        sweep = fresh_sweep(adder)
+        sweep.sweep(universe, checkpoint=ckpt)
+        again = fresh_sweep(adder)
+        result = again.sweep(universe, checkpoint=ckpt, resume=True)
+        assert _statuses(result) == reference
+        report = again.last_report
+        assert report.backend == "resumed"
+        assert report.chunks_completed == 0
+        assert report.chunks_resumed == report.chunks_total
+
+    def test_resume_requires_checkpoint_path(self, adder):
+        sweep = fresh_sweep(adder)
+        with pytest.raises(CheckpointError):
+            sweep.sweep(sweep.single_fault_universe(), resume=True)
+
+    def test_missing_checkpoint_rejected(self, adder, tmp_path):
+        sweep = fresh_sweep(adder)
+        with pytest.raises(CheckpointError, match="does not exist"):
+            sweep.sweep(
+                sweep.single_fault_universe(),
+                checkpoint=str(tmp_path / "absent.json"),
+                resume=True,
+            )
+
+    def test_foreign_checkpoint_rejected(self, adder, tmp_path):
+        """A checkpoint from a different fault universe must be refused,
+        not silently misapplied."""
+        ckpt = str(tmp_path / "campaign.json")
+        sweep = fresh_sweep(adder)
+        universe = sweep.single_fault_universe()
+        with pytest.raises(CampaignInterrupted):
+            sweep.sweep(universe, checkpoint=ckpt, abort_after_chunks=1)
+        other = fresh_sweep(fig37_fixed_network())
+        with pytest.raises(CheckpointError, match="different campaign"):
+            other.sweep(
+                other.single_fault_universe(), checkpoint=ckpt, resume=True
+            )
+
+    def test_corrupt_checkpoint_rejected(self, adder, tmp_path):
+        universe = fresh_sweep(adder).single_fault_universe()
+        fingerprint = universe_fingerprint(universe, 9)
+        bad_cases = [
+            "not json at all {",
+            json.dumps({"version": 99}),
+            json.dumps(
+                {
+                    "version": 1,
+                    "fingerprint": fingerprint,
+                    "n_faults": len(universe),
+                    "ranges": [
+                        {"start": 0, "stop": 2, "statuses": ["detected", "bogus"]}
+                    ],
+                }
+            ),
+            json.dumps(
+                {
+                    "version": 1,
+                    "fingerprint": fingerprint,
+                    "n_faults": len(universe),
+                    "ranges": [
+                        {
+                            "start": 0,
+                            "stop": len(universe) + 5,
+                            "statuses": [],
+                        }
+                    ],
+                }
+            ),
+        ]
+        for i, content in enumerate(bad_cases):
+            path = tmp_path / f"bad{i}.json"
+            path.write_text(content)
+            sweep = fresh_sweep(adder)
+            with pytest.raises(CheckpointError):
+                sweep.sweep(universe, checkpoint=str(path), resume=True)
+
+    def test_chunk_size_change_does_not_break_resume(
+        self, adder, adder_reference, tmp_path
+    ):
+        universe, reference = adder_reference
+        ckpt = str(tmp_path / "campaign.json")
+        sweep = fresh_sweep(adder)
+        with pytest.raises(CampaignInterrupted):
+            sweep.sweep(
+                universe, checkpoint=ckpt, chunk_faults=50, abort_after_chunks=2
+            )
+        resumed = fresh_sweep(adder)
+        result = resumed.sweep(
+            universe, checkpoint=ckpt, resume=True, chunk_faults=17
+        )
+        assert _statuses(result) == reference
+
+
+class TestCampaignReport:
+    def test_serial_report_shape(self, adder, adder_reference):
+        universe, _reference = adder_reference
+        sweep = fresh_sweep(adder)
+        sweep.sweep(universe)
+        report = sweep.last_report
+        assert report.backend.startswith(("serial:", "scalar:"))
+        assert report.faults == len(universe)
+        assert report.chunks_completed == report.chunks_total > 0
+        assert report.wall_seconds > 0
+        assert not report.degradations
+        # The report must survive a JSON round trip for the CLI.
+        encoded = json.loads(json.dumps(report.to_dict()))
+        assert encoded["faults"] == len(universe)
+        assert encoded["degradations"] == []
+        assert "no degradations" in report.summary()
+
+    def test_fork_report_names_the_rung(self, adder, adder_reference):
+        universe, _reference = adder_reference
+        sweep = fresh_sweep(adder)
+        sweep.sweep(universe, processes=2)
+        report = sweep.last_report
+        assert report.backend.startswith("fork")
+        assert sweep.last_sweep_backend == f"fork:{report.block_backend}"
+
+    def test_fingerprint_is_order_sensitive(self, adder):
+        universe = fresh_sweep(adder).single_fault_universe()
+        forward = universe_fingerprint(universe, 9)
+        backward = universe_fingerprint(list(reversed(universe)), 9)
+        assert forward != backward
+        assert forward != universe_fingerprint(universe, 8)
