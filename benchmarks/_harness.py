@@ -25,6 +25,13 @@ overwriting it:
 A missing baseline is not a failure (new benches bootstrap their own);
 the fresh JSON is always written, so a failing check still leaves the
 new numbers on disk for inspection.
+
+When the telemetry registry (:data:`repro.obs.REGISTRY`) is enabled —
+the bench conftest enables it per test — each ``BENCH_<name>.json``
+additionally embeds the final metrics snapshot under ``"telemetry"``,
+and ``--check`` gates one anomaly on it: the campaign degradation
+counter may not exceed the committed baseline's (an unexpected ladder
+step down is a runtime regression even when the wall time looks fine).
 """
 
 import json
@@ -60,6 +67,26 @@ def _load_baseline(json_path):
         return None
 
 
+def load_baseline(name: str):
+    """The committed ``BENCH_<name>.json`` baseline, or ``None``.
+
+    Benches that gate on baseline numbers (e.g. the telemetry overhead
+    check) must call this *before* :func:`record`, which overwrites the
+    file with the fresh run."""
+    return _load_baseline(os.path.join(RESULTS_DIR, f"BENCH_{name}.json"))
+
+
+def _counter_total(telemetry, name: str):
+    """Sum of one counter across label sets in an embedded telemetry
+    snapshot; ``None`` when the snapshot or metric is absent."""
+    if not telemetry:
+        return None
+    entry = (telemetry.get("counters") or {}).get(name)
+    if entry is None:
+        return None
+    return sum(sample.get("value", 0.0) for sample in entry.get("samples", []))
+
+
 def _compare(name: str, baseline: dict, payload: dict):
     """Every regression of ``payload`` against ``baseline`` (messages)."""
     problems = []
@@ -83,6 +110,18 @@ def _compare(name: str, baseline: dict, payload: dict):
                 f"{name}: elapsed {new_elapsed:.4f}s exceeds baseline "
                 f"{base_elapsed:.4f}s by more than {factor:.2f}x"
             )
+    base_deg = _counter_total(
+        baseline.get("telemetry"), "repro_campaign_degradations_total"
+    )
+    new_deg = _counter_total(
+        payload.get("telemetry"), "repro_campaign_degradations_total"
+    )
+    if base_deg is not None and new_deg is not None and new_deg > base_deg:
+        problems.append(
+            f"{name}: campaign degradations rose from baseline "
+            f"{base_deg:.0f} to {new_deg:.0f} (unexpected ladder step "
+            f"down; see the embedded telemetry snapshot)"
+        )
     return problems
 
 
@@ -105,6 +144,12 @@ def record(name: str, text: str, metrics=None, elapsed=None) -> str:
         "elapsed_seconds": elapsed,
         "metrics": metrics or {},
     }
+    try:
+        from repro import obs
+    except ImportError:  # bare script run without src on sys.path
+        obs = None
+    if obs is not None and obs.metrics_enabled():
+        payload["telemetry"] = obs.REGISTRY.to_json()
     json_path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
     baseline = _load_baseline(json_path) if check_enabled() else None
     with open(json_path, "w") as handle:

@@ -14,12 +14,20 @@ Point the thesis's machinery at any ``.bench`` netlist:
   the supervised runtime (``--timeout``, ``--checkpoint``/``--resume``,
   ``--report``);
 * ``fuzz``      — seeded differential/metamorphic fuzz campaign with
-  counterexample shrinking (see ``repro.qa``).
+  counterexample shrinking (see ``repro.qa``);
+* ``stats``     — render a flight recorded with ``--trace-out``: time
+  per backend, degradations, retries, faults/sec, QA pass rates.
+
+``campaign`` and ``fuzz`` accept ``--metrics-out FILE`` (Prometheus
+text, or JSON when the name ends ``.json``) and ``--trace-out FILE``
+(the JSONL flight ``stats`` reads); both are off by default, leaving
+the telemetry layer at its zero-overhead disabled state.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -41,6 +49,44 @@ def _load(path: str):
         return load_bench(path)
     except OSError as error:
         raise SystemExit(f"cannot read {path}: {error}")
+
+
+def _write_metrics(path: str) -> None:
+    import json
+
+    from . import obs
+
+    if path.endswith(".json"):
+        text = json.dumps(obs.REGISTRY.to_json(), indent=2, sort_keys=True)
+    else:
+        text = obs.REGISTRY.to_prometheus()
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+
+
+@contextlib.contextmanager
+def _telemetry(args: argparse.Namespace):
+    """Honour ``--metrics-out`` / ``--trace-out`` around one command.
+
+    With neither flag this is a straight pass-through: the registry
+    stays disabled and no recorder is installed, so the instrumented
+    seams pay their single branch and nothing more.
+    """
+    from . import obs
+
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    if metrics_out is None and trace_out is None:
+        yield
+        return
+    with obs.recording(
+        trace_path=trace_out, metrics=metrics_out is not None
+    ):
+        try:
+            yield
+        finally:
+            if metrics_out is not None:
+                _write_metrics(metrics_out)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -176,14 +222,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     else:
         universe = list(collapsed_single_faults(network))
     try:
-        stats = sweep.coverage(
-            universe,
-            processes=args.processes,
-            backend=args.backend,
-            timeout=args.timeout,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
-        )
+        with _telemetry(args):
+            stats = sweep.coverage(
+                universe,
+                processes=args.processes,
+                backend=args.backend,
+                timeout=args.timeout,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
     except CheckpointError as error:
         raise SystemExit(str(error))
     stats["backend"] = sweep.last_sweep_backend
@@ -226,20 +273,41 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             + ", ".join(bug_names())
         )
     try:
-        report = fuzz(
-            seed=args.seed,
-            budget=args.budget,
-            properties=args.property or None,
-            shrink=not args.no_shrink,
-            artifact_dir=(
-                None if args.artifact_dir == "none" else args.artifact_dir
-            ),
-            chaos_bug=args.chaos,
-        )
+        with _telemetry(args):
+            report = fuzz(
+                seed=args.seed,
+                budget=args.budget,
+                properties=args.property or None,
+                shrink=not args.no_shrink,
+                artifact_dir=(
+                    None if args.artifact_dir == "none" else args.artifact_dir
+                ),
+                chaos_bug=args.chaos,
+            )
     except KeyError as error:
         raise SystemExit(str(error))
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from . import obs
+    from .obs.stats import render, summarize
+
+    try:
+        events = list(obs.read_flight(args.flight))
+    except obs.FlightRecorderError as error:
+        raise SystemExit(str(error))
+    except OSError as error:
+        raise SystemExit(f"cannot read {args.flight}: {error}")
+    summary = summarize(events)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(render(summary))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -314,6 +382,12 @@ def build_parser() -> argparse.ArgumentParser:
                    "collapsing)")
     p.add_argument("--json", action="store_true",
                    help="emit the coverage stats as one JSON object")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the metrics snapshot here (Prometheus "
+                   "text, or JSON when FILE ends in .json)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record the campaign flight (JSONL) here; "
+                   "render it with 'repro stats FILE'")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
@@ -336,7 +410,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject a named engine bug (harness self-test)")
     p.add_argument("--list", action="store_true",
                    help="list registered properties and exit")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the metrics snapshot here (Prometheus "
+                   "text, or JSON when FILE ends in .json)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record the fuzz campaign flight (JSONL) here")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "stats",
+        help="render a flight recorded with --trace-out",
+    )
+    p.add_argument("flight", help="flight JSONL written by --trace-out")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary as one JSON object")
+    p.set_defaults(func=cmd_stats)
     return parser
 
 

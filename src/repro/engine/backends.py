@@ -27,11 +27,23 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..logic.gates import evaluate as eval_gate
 from ..logic.gates import evaluate_mask
+from .. import obs
 from .compiled import CompiledNetwork, FaultLike
 
 #: Pointwise baseline caches stop growing beyond this many distinct
 #: input points (2**16 — larger spaces should use the sampled backend).
 POINT_CACHE_LIMIT = 1 << 16
+
+# Telemetry: per-backend work counters.  Hot paths hoist the enabled
+# check (`_REG.enabled`) so a disabled registry costs one branch per
+# query, not one call per op.
+_REG = obs.REGISTRY
+_M_OPS = _REG.counter(
+    "repro_engine_ops_total", "Compiled ops evaluated, by backend"
+)
+_M_WORDS = _REG.counter(
+    "repro_engine_words_total", "64-bit truth-table words simulated, by backend"
+)
 
 
 class BitmaskBackend:
@@ -41,6 +53,7 @@ class BitmaskBackend:
         self.compiled = compiled
         self.full = (1 << (1 << compiled.n_inputs)) - 1
         self._baseline: Optional[List[int]] = None
+        self._words_per_line = max(1, (1 << compiled.n_inputs) >> 6)
 
     def baseline(self) -> List[int]:
         """Fault-free masks for every line (cached; do not mutate)."""
@@ -65,6 +78,11 @@ class BitmaskBackend:
                     op.kind, [values[s] for s in op.srcs], self.full
                 )
             self._baseline = values
+            if _REG.enabled:
+                _M_OPS.inc(len(comp.ops), backend="bitmask")
+                _M_WORDS.inc(
+                    len(comp.ops) * self._words_per_line, backend="bitmask"
+                )
         return self._baseline
 
     def line_bits(self, fault: Optional[FaultLike] = None) -> List[int]:
@@ -90,6 +108,11 @@ class BitmaskBackend:
                 for slot, forced in overrides:
                     operands[slot] = full if forced else 0
             values[op.out] = evaluate_mask(op.kind, operands, full)
+        if _REG.enabled:
+            _M_OPS.inc(len(plan.ops), backend="bitmask")
+            _M_WORDS.inc(
+                len(plan.ops) * self._words_per_line, backend="bitmask"
+            )
         return values
 
     def output_bits(self, fault: Optional[FaultLike] = None) -> Tuple[int, ...]:

@@ -32,6 +32,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..logic.faults import enumerate_single_faults
 from ..logic.network import Network
 from .compiled import FaultLike
@@ -166,17 +167,23 @@ class FaultSweep:
         """
         universe = list(faults)
         chosen = self._resolve_backend(backend, len(universe))
-        statuses, report = run_campaign(
-            self,
-            universe,
-            chosen,
-            processes=processes,
-            timeout=timeout,
-            checkpoint=checkpoint,
-            resume=resume,
-            chunk_faults=chunk_faults,
-            abort_after_chunks=abort_after_chunks,
-        )
+        with obs.span(
+            "campaign.sweep",
+            faults=len(universe),
+            requested=backend,
+            backend=chosen,
+        ):
+            statuses, report = run_campaign(
+                self,
+                universe,
+                chosen,
+                processes=processes,
+                timeout=timeout,
+                checkpoint=checkpoint,
+                resume=resume,
+                chunk_faults=chunk_faults,
+                abort_after_chunks=abort_after_chunks,
+            )
         self.last_report = report
         self.last_sweep_backend = _legacy_backend_name(report)
         return list(zip(universe, statuses))

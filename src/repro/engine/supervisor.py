@@ -47,7 +47,35 @@ import time
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from .vectorized import HAVE_NUMPY, VECTOR_MIN_FAULTS, chunk_statuses
+
+# Telemetry: campaign-level counters are incremented by the supervising
+# parent (fork workers keep their own process-local registries, which
+# die with them — their per-chunk detail travels as flight-recorder
+# events over the result channel instead).
+_REG = obs.REGISTRY
+_M_CHUNKS_DONE = _REG.counter(
+    "repro_campaign_chunks_total", "Chunks completed, by campaign outcome"
+)
+_M_RETRIES = _REG.counter(
+    "repro_campaign_retries_total", "Chunk retries, by supervisor action"
+)
+_M_DEGRADATIONS = _REG.counter(
+    "repro_campaign_degradations_total", "Ladder steps down, by rung edge"
+)
+_M_REPLACED = _REG.counter(
+    "repro_campaign_workers_replaced_total", "Dead fork workers replaced"
+)
+_M_CHECKPOINTS = _REG.counter(
+    "repro_campaign_checkpoint_writes_total", "Checkpoint chunk flushes"
+)
+_M_FAULTS = _REG.counter(
+    "repro_campaign_faults_total", "Faults classified by campaigns, by status"
+)
+_M_WALL = _REG.histogram(
+    "repro_campaign_wall_seconds", "End-to-end campaign wall time"
+)
 
 #: Attempts on one chunk before it is split (multi-fault chunks) or
 #: escalated to the parent's serial path (single-fault chunks).
@@ -145,6 +173,20 @@ class CampaignReport:
 
     def degrade(self, frm: str, to: str, reason: str) -> None:
         self.degradations.append(Degradation(frm, to, reason))
+        _M_DEGRADATIONS.inc(frm=frm, to=to)
+        obs.event("campaign.degradation", frm=frm, to=to, reason=reason)
+
+    def retry(self, chunk: str, attempt: int, reason: str, action: str) -> None:
+        """Record one chunk failure (report, metrics, and flight)."""
+        self.retries.append(RetryEvent(chunk, attempt, reason, action))
+        _M_RETRIES.inc(action=action)
+        obs.event(
+            "campaign.retry",
+            chunk=chunk,
+            attempt=attempt,
+            reason=reason,
+            action=action,
+        )
 
     @property
     def degraded(self) -> bool:
@@ -283,6 +325,14 @@ class CampaignCheckpoint:
     def record(self, start: int, stop: int, values: Sequence[str]) -> None:
         self.ranges[(start, stop)] = list(values)
         self._flush()
+        _M_CHECKPOINTS.inc()
+        obs.event(
+            "campaign.checkpoint",
+            path=self.path,
+            start=start,
+            stop=stop,
+            ranges=len(self.ranges),
+        )
 
     def _flush(self) -> None:
         payload = {
@@ -433,15 +483,24 @@ def _supervised_worker(conn, network, shm_name, line_bytes) -> None:
         key, faults, backend, attempt = job
         hook = WORKER_CHUNK_HOOK
         try:
-            if hook is not None:
-                hook(key, attempt)
-            statuses = chunk_statuses(engine, faults, backend)
+            with obs.span("worker.chunk", chunk=key, attempt=attempt):
+                if hook is not None:
+                    hook(key, attempt)
+                statuses = chunk_statuses(engine, faults, backend)
         except Exception as error:  # reported, retried by the supervisor
             conn.send(
-                ("error", key, f"{type(error).__name__}: {error}", shm_ok)
+                (
+                    "error",
+                    key,
+                    f"{type(error).__name__}: {error}",
+                    shm_ok,
+                    obs.drain_child_events(),
+                )
             )
         else:
-            conn.send(("ok", key, statuses, shm_ok))
+            # The drained buffer carries this chunk's spans back to the
+            # parent, which merges them into the flight exactly once.
+            conn.send(("ok", key, statuses, shm_ok, obs.drain_child_events()))
     conn.close()
 
 
@@ -538,6 +597,12 @@ class _ForkSupervisor:
         _stop_worker(worker)
         self.replaced += 1
         self.report.workers_replaced += 1
+        _M_REPLACED.inc()
+        obs.event(
+            "campaign.worker_replaced",
+            worker_pid=worker.process.pid,
+            replacements=self.replaced,
+        )
         if self.replaced > _max_replacements(self.processes):
             self.workers.remove(worker)
             raise _SupervisionFailure(
@@ -591,13 +656,11 @@ class _ForkSupervisor:
             except (OSError, ValueError) as error:
                 # Worker died while idle: put the task back, replace it.
                 self.pending.appendleft(task)
-                self.report.retries.append(
-                    RetryEvent(
-                        task.key,
-                        task.attempt,
-                        f"worker unreachable at assignment: {error}",
-                        "retried",
-                    )
+                self.report.retry(
+                    task.key,
+                    task.attempt,
+                    f"worker unreachable at assignment: {error}",
+                    "retried",
                 )
                 self._replace(worker)
                 continue
@@ -620,7 +683,11 @@ class _ForkSupervisor:
         except (EOFError, OSError):
             self._on_death(worker)
             return
-        kind, key, payload, shm_ok = message
+        kind, key, payload, shm_ok, worker_events = message
+        if worker_events:
+            recorder = obs.get_recorder()
+            if recorder is not None:
+                recorder.merge(worker_events)
         if not shm_ok:
             self._note_attach_failure()
         task, worker.task, worker.deadline = worker.task, None, None
@@ -678,17 +745,15 @@ class _ForkSupervisor:
                 cut = mid - task.start
                 left = _Task(task.start, mid, task.faults[:cut])
                 right = _Task(mid, task.stop, task.faults[cut:])
-                self.report.retries.append(
-                    RetryEvent(task.key, task.attempt, reason, "split")
-                )
+                self.report.retry(task.key, task.attempt, reason, "split")
                 self.report.chunks_total += 1
                 self.pending.appendleft(right)
                 self.pending.appendleft(left)
             else:
                 # A single fault that keeps failing runs in the parent,
                 # stepping down the block ladder if it must.
-                self.report.retries.append(
-                    RetryEvent(task.key, task.attempt, reason, "parent-serial")
+                self.report.retry(
+                    task.key, task.attempt, reason, "parent-serial"
                 )
                 statuses = _parent_serial_chunk(
                     self.sweep, task.faults, self.chosen, self.report
@@ -698,9 +763,7 @@ class _ForkSupervisor:
             task.not_before = now + min(
                 BACKOFF_BASE * (2 ** (task.attempt - 1)), BACKOFF_CAP
             )
-            self.report.retries.append(
-                RetryEvent(task.key, task.attempt, reason, "retried")
-            )
+            self.report.retry(task.key, task.attempt, reason, "retried")
             self.pending.append(task)
 
 
@@ -742,8 +805,52 @@ def run_campaign(
     interruption hook used by tests and drills: the campaign raises
     :class:`CampaignInterrupted` after that many newly simulated chunks,
     leaving the checkpoint resumable.
+
+    One :class:`~repro.obs.Stopwatch` times the whole campaign;
+    ``report.wall_seconds`` is assigned exactly once from it, and the
+    flight's ``campaign.report`` event carries that same value, so the
+    two records cannot disagree.
     """
-    start_time = time.perf_counter()
+    watch = obs.Stopwatch()
+    with obs.span(
+        "campaign.run",
+        faults=len(universe),
+        backend=chosen,
+        processes=processes or 0,
+    ):
+        statuses, report = _run_campaign(
+            sweep,
+            universe,
+            chosen,
+            processes=processes,
+            timeout=timeout,
+            checkpoint=checkpoint,
+            resume=resume,
+            chunk_faults=chunk_faults,
+            abort_after_chunks=abort_after_chunks,
+        )
+    report.wall_seconds = watch.elapsed()
+    if _REG.enabled:
+        _M_WALL.observe(report.wall_seconds)
+        for status in VALID_STATUSES:
+            count = sum(1 for s in statuses if s == status)
+            if count:
+                _M_FAULTS.inc(count, status=status)
+    obs.event("campaign.report", **report.to_dict())
+    return statuses, report
+
+
+def _run_campaign(
+    sweep,
+    universe: Sequence,
+    chosen: str,
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    chunk_faults: Optional[int] = None,
+    abort_after_chunks: Optional[int] = None,
+) -> Tuple[List[str], CampaignReport]:
     n = len(universe)
     want_fork = bool(processes and processes > 1)
     report = CampaignReport(
@@ -775,6 +882,9 @@ def run_campaign(
     def complete(task: _Task, values: List[str]) -> None:
         statuses[task.start : task.stop] = values
         report.chunks_completed += 1
+        if _REG.enabled:
+            _M_CHUNKS_DONE.inc()
+        obs.event("campaign.chunk", chunk=task.key, n=len(values))
         if store is not None:
             store.record(task.start, task.stop, values)
         if abort_state is not None:
@@ -790,7 +900,6 @@ def run_campaign(
     if n_remaining == 0:
         # Everything came from the checkpoint (or the universe is empty).
         report.backend = "resumed" if report.chunks_resumed else _serial_rung(chosen)
-        report.wall_seconds = time.perf_counter() - start_time
         return [s for s in statuses], report
 
     # Degenerate-fan-out guard: never fork more lanes than chunks.
@@ -836,7 +945,6 @@ def run_campaign(
         )
         report.backend = f"{rung}:{chosen}"
 
-    report.wall_seconds = time.perf_counter() - start_time
     missing = [i for i, s in enumerate(statuses) if s is None]
     if missing:  # pragma: no cover - defended invariant
         raise RuntimeError(

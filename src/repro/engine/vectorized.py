@@ -44,7 +44,28 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .backends import BitmaskBackend
 from .compiled import CompiledNetwork, FaultLike, reflect_bits
+from .. import obs
 from ..logic.gates import GateKind
+
+# Telemetry: block-backend work counters and the per-chunk span.  The
+# enabled check is hoisted (`_REG.enabled`) so disabled telemetry costs
+# one branch per block, never per op.
+_REG = obs.REGISTRY
+_M_OPS = _REG.counter(
+    "repro_engine_ops_total", "Compiled ops evaluated, by backend"
+)
+_M_WORDS = _REG.counter(
+    "repro_engine_words_total", "64-bit truth-table words simulated, by backend"
+)
+_M_BLOCK = _REG.histogram(
+    "repro_engine_block_faults",
+    "Faults simulated per vectorized block",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+)
+_M_CHUNKS = _REG.counter(
+    "repro_campaign_chunk_faults_total",
+    "Faults classified through chunk_statuses, by backend",
+)
 
 try:  # NumPy is optional: the packed fallback keeps every path alive.
     import numpy as _np
@@ -275,6 +296,9 @@ class VectorizedBackend:
             values[op.out] = _eval_words(
                 op.kind, [values[s] for s in op.srcs], self.full_word
             )
+        if _REG.enabled:
+            _M_OPS.inc(len(comp.ops), backend="vectorized")
+            _M_WORDS.inc(len(comp.ops) * (w1 - w0), backend="vectorized")
         k = w1 - w0
         return [
             _np.broadcast_to(_np.asarray(v, dtype=_np.uint64), (k,))
@@ -336,6 +360,11 @@ class VectorizedBackend:
             for row, forced in rows:
                 arr[row, :] = full if forced else np.uint64(0)
             values[idx] = arr
+
+        if _REG.enabled:
+            _M_OPS.inc(len(schedule), backend="vectorized")
+            _M_WORDS.inc(len(schedule) * block * k, backend="vectorized")
+            _M_BLOCK.observe(block)
 
         # Stem-forced lines hold their forced rows from the start (and
         # again after their driving op runs: forced values win, exactly
@@ -583,21 +612,29 @@ def chunk_statuses(engine, faults: Sequence[FaultLike], backend: str) -> List[st
     selection already happened upstream).
     """
     universe = list(faults)
-    if backend == "vectorized":
-        vec = engine.vectorized
-        if vec is not None:
-            return vec.sweep_statuses(universe)
+    if backend == "vectorized" and engine.vectorized is None:
         backend = "fallback"
-    if backend == "fallback":
-        return engine.packed.sweep_statuses(universe)
-    if backend != "bitmask":
+    if backend not in ("vectorized", "fallback", "bitmask"):
         raise ValueError(f"unknown chunk backend {backend!r}")
-    # "bitmask": the scalar per-fault big-int path.
-    packed = engine.packed
-    return [
-        classify_status(det, vio)
-        for _aff, det, vio in (packed.response_triple(f) for f in universe)
-    ]
+    # Every rung classifies through this span: the flight's count of
+    # successful "sweep.chunk" spans equals the report's chunk ledger.
+    with obs.span("sweep.chunk", faults=len(universe), backend=backend):
+        if backend == "vectorized":
+            statuses = engine.vectorized.sweep_statuses(universe)
+        elif backend == "fallback":
+            statuses = engine.packed.sweep_statuses(universe)
+        else:
+            # "bitmask": the scalar per-fault big-int path.
+            packed = engine.packed
+            statuses = [
+                classify_status(det, vio)
+                for _aff, det, vio in (
+                    packed.response_triple(f) for f in universe
+                )
+            ]
+    if _REG.enabled:
+        _M_CHUNKS.inc(len(universe), backend=backend)
+    return statuses
 
 
 def vectorized_backend_for(

@@ -1,0 +1,359 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The registry is dependency-free and built for one discipline: **one
+branch per event when disabled**.  Every metric holds a reference to
+its registry and checks ``registry.enabled`` before touching any
+state, so an instrumented hot path that nobody is watching pays a
+single attribute load and a branch.  Hot loops that cannot even afford
+the call can hoist the same check (``if REGISTRY.enabled: ...``) — the
+flag is a plain bool, mutated only by the CLI/bench set-up code.
+
+Exports:
+
+* :meth:`Registry.to_prometheus` — the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value``
+  samples, ``_bucket``/``_sum``/``_count`` histogram series);
+* :meth:`Registry.to_json` — a machine-readable snapshot embedded in
+  bench artifacts and ``--metrics-out foo.json``;
+* :func:`parse_prometheus` — a strict line-format parser used by the
+  round-trip tests and the CI telemetry smoke job, so the exposition
+  output is validated against the same grammar it claims to speak.
+
+Metrics are process-local: a forked campaign worker increments its own
+copy, which dies with it.  Campaign-level counts are therefore
+incremented by the supervising parent at chunk completion, and the
+per-chunk detail travels as flight-recorder events over the worker's
+result channel (see :mod:`repro.obs.recorder`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (seconds-flavored; +Inf is
+#: implicit as the final overflow bucket).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(key: _LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+class Counter:
+    """A monotonically increasing sum, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, registry: "Registry", name: str, help: str) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if not self._registry.enabled:
+            return
+        if value < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {value}")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def total(self) -> float:
+        """Sum across every label set (anomaly gates, tests)."""
+        return sum(self._values.values())
+
+    def samples(self) -> List[dict]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+    def _lines(self) -> List[str]:
+        return [
+            f"{self.name}{_format_labels(key)} {_format_value(value)}"
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(Counter):
+    """A value that can go anywhere (last write wins per label set)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        if not self._registry.enabled:
+            return
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+
+class Histogram:
+    """Cumulative-bucket histogram with fixed upper bounds."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "Registry",
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name} buckets must be strictly increasing: "
+                f"{buckets!r}"
+            )
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        # per label set: (per-bucket counts incl. +Inf overflow, sum, count)
+        self._values: Dict[_LabelKey, List] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        state = self._values.get(key)
+        if state is None:
+            state = [[0] * (len(self.bounds) + 1), 0.0, 0]
+            self._values[key] = state
+        state[0][bisect_left(self.bounds, value)] += 1
+        state[1] += value
+        state[2] += 1
+
+    def total(self) -> float:
+        return float(sum(state[2] for state in self._values.values()))
+
+    def samples(self) -> List[dict]:
+        out: List[dict] = []
+        for key, (counts, total, count) in sorted(self._values.items()):
+            cumulative = 0
+            buckets = []
+            for bound, n in zip(self.bounds, counts):
+                cumulative += n
+                buckets.append([bound, cumulative])
+            buckets.append(["+Inf", cumulative + counts[-1]])
+            out.append(
+                {
+                    "labels": dict(key),
+                    "buckets": buckets,
+                    "sum": total,
+                    "count": count,
+                }
+            )
+        return out
+
+    def _lines(self) -> List[str]:
+        lines: List[str] = []
+        for sample in self.samples():
+            key = _label_key(sample["labels"])
+            for bound, cumulative in sample["buckets"]:
+                le = "+Inf" if bound == "+Inf" else _format_value(float(bound))
+                lines.append(
+                    f"{self.name}_bucket{_format_labels(key, ('le', le))} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{self.name}_sum{_format_labels(key)} "
+                f"{_format_value(sample['sum'])}"
+            )
+            lines.append(
+                f"{self.name}_count{_format_labels(key)} {sample['count']}"
+            )
+        return lines
+
+
+class Registry:
+    """Get-or-create home of every metric in one process.
+
+    ``enabled`` defaults to ``False``: metric *objects* are created at
+    module import by instrumented code, but no sample is ever recorded
+    until something (``--metrics-out``, the bench harness) flips the
+    flag.  Creating a metric twice with the same name returns the same
+    object; reusing a name across kinds is a programming error.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(self, name, help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls) or type(metric) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def reset(self) -> None:
+        """Drop every recorded sample (metric objects survive — the
+        instrumented modules hold references to them)."""
+        for metric in self._metrics.values():
+            metric._values.clear()
+
+    def total(self, name: str) -> float:
+        """Sum of one metric across label sets; 0.0 when absent."""
+        metric = self._metrics.get(name)
+        return metric.total() if metric is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # exporters
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        chunks: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                chunks.append(f"# HELP {name} {_escape(metric.help)}")
+            chunks.append(f"# TYPE {name} {metric.kind}")
+            chunks.extend(metric._lines())
+        return "\n".join(chunks) + ("\n" if chunks else "")
+
+    def to_json(self) -> dict:
+        """A machine-readable snapshot grouped by metric kind."""
+        snapshot: Dict[str, dict] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            entry = {"help": metric.help, "samples": metric.samples()}
+            if isinstance(metric, Histogram):
+                snapshot["histograms"][name] = entry
+            elif isinstance(metric, Gauge):
+                snapshot["gauges"][name] = entry
+            else:
+                snapshot["counters"][name] = entry
+        return snapshot
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=1, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# exposition-format parser (round-trip tests, CI line check)
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r"\s+(?P<value>[+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|Inf)|NaN)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+class PrometheusFormatError(ValueError):
+    """A line violates the Prometheus text exposition grammar."""
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[_LabelKey, float]]:
+    """Parse exposition text back into ``{name: {label-key: value}}``.
+
+    Strict on purpose: any line that is neither a comment nor a
+    well-formed sample raises :class:`PrometheusFormatError` naming the
+    offending line, which is exactly what the CI smoke job wants from a
+    "line-format check"."""
+    samples: Dict[str, Dict[_LabelKey, float]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise PrometheusFormatError(
+                f"line {lineno} is not a valid Prometheus sample: {raw!r}"
+            )
+        labels: Dict[str, str] = {}
+        body = match.group("labels")
+        if body:
+            consumed = 0
+            for pair in _LABEL_RE.finditer(body):
+                labels[pair.group(1)] = (
+                    pair.group(2)
+                    .replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+                consumed += len(pair.group(0))
+            stripped = re.sub(r"[,\s]", "", body)
+            rebuilt = re.sub(r"[,\s]", "", "".join(
+                m.group(0) for m in _LABEL_RE.finditer(body)
+            ))
+            if stripped != rebuilt:
+                raise PrometheusFormatError(
+                    f"line {lineno} has malformed labels: {raw!r}"
+                )
+        samples.setdefault(match.group("name"), {})[
+            _label_key(labels)
+        ] = _parse_value(match.group("value"))
+    return samples

@@ -1,0 +1,150 @@
+"""The campaign flight recorder: an append-only JSONL event log.
+
+One campaign (or fuzz run) gets one flight: a sequence of JSON objects,
+one per line, each either a completed **span** (``"k": "span"`` — name,
+start time, wall/CPU duration, pid, parent span, attributes) or a
+discrete **event** (``"k": "event"`` — degradations, retries, worker
+replacements, checkpoint writes...).  ``python -m repro stats`` renders
+a recorded flight; :func:`read_flight` is the parsing seam both share.
+
+**Fork safety.**  A supervised campaign forks workers *after* the
+recorder is open, so every child inherits the recorder object — file
+descriptor included.  Two rules keep the log uncorrupted:
+
+* every parent-side write is flushed immediately, so a fork never
+  duplicates buffered bytes through the child's copy of the file
+  object;
+* :meth:`FlightRecorder.emit` compares ``os.getpid()`` against the pid
+  that opened the file: in a child it never writes, it **buffers**.
+  The supervised worker drains that buffer into each chunk result it
+  sends back (:func:`repro.obs.drain_child_events`), and the parent
+  replays the events into the log verbatim — child pids preserved —
+  which is how worker spans appear exactly once in the merged flight.
+  A worker killed mid-chunk loses its unsent buffer; the chunk is
+  retried elsewhere and the retry's events are merged instead, so a
+  partial flight survives as a complete one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Iterator, List, Optional
+
+
+class FlightRecorderError(ValueError):
+    """A flight artifact is unreadable or holds a malformed line."""
+
+
+class FlightRecorder:
+    """JSONL sink bound to the process that opened it."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._pid = os.getpid()
+        self._child_buffer: List[dict] = []
+        self._handle = open(path, "w")
+        self.emit(
+            {
+                "k": "meta",
+                "name": "flight.open",
+                "t": time.time(),
+                "pid": self._pid,
+                "attrs": {"path": path},
+            }
+        )
+
+    def emit(self, event: dict) -> None:
+        """Record one event — or buffer it when running in a fork
+        child (drained back to the parent over the result channel)."""
+        if os.getpid() != self._pid:
+            self._child_buffer.append(event)
+            return
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def drain_child_buffer(self) -> List[dict]:
+        """Worker side: hand over (and clear) the buffered events."""
+        events, self._child_buffer = self._child_buffer, []
+        return events
+
+    def merge(self, events) -> None:
+        """Parent side: replay a worker's drained events into the log
+        (their ``pid`` fields already identify the source process)."""
+        for event in events:
+            self.emit(event)
+
+    def close(self) -> None:
+        if os.getpid() != self._pid:  # a child never owns the file
+            return
+        if not self._handle.closed:
+            self.emit(
+                {
+                    "k": "meta",
+                    "name": "flight.close",
+                    "t": time.time(),
+                    "pid": self._pid,
+                    "attrs": {},
+                }
+            )
+            self._handle.close()
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MemoryRecorder:
+    """An in-memory recorder for tests: same protocol, no file."""
+
+    def __init__(self) -> None:
+        self._pid = os.getpid()
+        self._child_buffer: List[dict] = []
+        self.events: List[dict] = []
+
+    def emit(self, event: dict) -> None:
+        if os.getpid() != self._pid:
+            self._child_buffer.append(event)
+            return
+        self.events.append(event)
+
+    def drain_child_buffer(self) -> List[dict]:
+        events, self._child_buffer = self._child_buffer, []
+        return events
+
+    def merge(self, events) -> None:
+        for event in events:
+            self.emit(event)
+
+    def close(self) -> None:
+        pass
+
+
+def read_flight(path: str, limit: Optional[int] = None) -> Iterator[dict]:
+    """Yield every event of a recorded flight, validating as it goes."""
+    try:
+        handle = open(path)
+    except OSError as error:
+        raise FlightRecorderError(f"cannot read flight {path!r}: {error}")
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            if limit is not None and lineno > limit:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as error:
+                raise FlightRecorderError(
+                    f"flight {path!r} line {lineno} is not JSON: {error}"
+                )
+            if not isinstance(event, dict) or "k" not in event:
+                raise FlightRecorderError(
+                    f"flight {path!r} line {lineno} is not a telemetry "
+                    f"event"
+                )
+            yield event

@@ -1,0 +1,186 @@
+"""Render a recorded campaign flight: ``python -m repro stats``.
+
+Reads a flight-recorder JSONL artifact and aggregates it into the
+questions an operator actually asks after a campaign:
+
+* where did the time go, per block backend (``sweep.chunk`` spans,
+  including the ones merged back from fork workers);
+* did the runtime degrade down the ladder, retry, split chunks, or
+  replace workers — and why;
+* how fast was the sweep end to end (faults/sec from the
+  ``campaign.report`` event, whose ``wall_seconds`` is the same number
+  the :class:`~repro.engine.supervisor.CampaignReport` carries);
+* how did the QA properties fare (``qa.property`` spans: trials,
+  counterexamples, pass rate).
+
+:func:`summarize` returns a plain dict (the ``--json`` output);
+:func:`render` formats it for humans.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List
+
+
+def summarize(events: Iterable[dict]) -> dict:
+    """Aggregate one flight's events into a summary dict."""
+    chunk_backends: "OrderedDict[str, dict]" = OrderedDict()
+    chunk_spans_ok = 0
+    chunk_spans_failed = 0
+    qa: "OrderedDict[str, dict]" = OrderedDict()
+    degradations: List[dict] = []
+    retries: Dict[str, int] = {}
+    reports: List[dict] = []
+    qa_reports: List[dict] = []
+    workers_replaced = 0
+    checkpoint_writes = 0
+    pids = set()
+    total_events = 0
+
+    for event in events:
+        total_events += 1
+        pid = event.get("pid")
+        if pid is not None:
+            pids.add(pid)
+        kind = event.get("k")
+        name = event.get("name", "")
+        attrs = event.get("attrs") or {}
+        if kind == "span" and name == "sweep.chunk":
+            if event.get("ok"):
+                chunk_spans_ok += 1
+            else:
+                chunk_spans_failed += 1
+                continue
+            backend = str(attrs.get("backend", "?"))
+            entry = chunk_backends.setdefault(
+                backend, {"chunks": 0, "faults": 0, "wall": 0.0, "cpu": 0.0}
+            )
+            entry["chunks"] += 1
+            entry["faults"] += int(attrs.get("faults", 0))
+            entry["wall"] += float(event.get("wall", 0.0))
+            entry["cpu"] += float(event.get("cpu", 0.0))
+        elif kind == "span" and name == "qa.property":
+            prop = str(attrs.get("property", "?"))
+            entry = qa.setdefault(
+                prop, {"trials": 0, "counterexamples": 0, "wall": 0.0}
+            )
+            entry["trials"] += int(attrs.get("trials", 0))
+            entry["counterexamples"] += int(attrs.get("counterexamples", 0))
+            entry["wall"] += float(event.get("wall", 0.0))
+        elif kind == "event" and name == "campaign.degradation":
+            degradations.append(attrs)
+        elif kind == "event" and name == "campaign.retry":
+            action = str(attrs.get("action", "?"))
+            retries[action] = retries.get(action, 0) + 1
+        elif kind == "event" and name == "campaign.worker_replaced":
+            workers_replaced += 1
+        elif kind == "event" and name == "campaign.checkpoint":
+            checkpoint_writes += 1
+        elif kind == "event" and name == "campaign.report":
+            reports.append(attrs)
+        elif kind == "event" and name == "qa.report":
+            qa_reports.append(attrs)
+
+    for entry in chunk_backends.values():
+        entry["faults_per_second"] = (
+            entry["faults"] / entry["wall"] if entry["wall"] > 0 else None
+        )
+    for entry in qa.values():
+        entry["pass_rate"] = (
+            (entry["trials"] - entry["counterexamples"]) / entry["trials"]
+            if entry["trials"]
+            else None
+        )
+    campaigns = []
+    for report in reports:
+        wall = report.get("wall_seconds") or 0.0
+        faults = report.get("faults") or 0
+        campaigns.append(
+            dict(
+                report,
+                faults_per_second=(faults / wall if wall > 0 else None),
+            )
+        )
+    return {
+        "events": total_events,
+        "processes": len(pids),
+        "campaigns": campaigns,
+        "chunk_spans": {"ok": chunk_spans_ok, "failed": chunk_spans_failed},
+        "chunk_backends": dict(chunk_backends),
+        "degradations": degradations,
+        "retries": retries,
+        "workers_replaced": workers_replaced,
+        "checkpoint_writes": checkpoint_writes,
+        "qa_properties": dict(qa),
+        "qa_reports": qa_reports,
+    }
+
+
+def _rate(value) -> str:
+    return f"{value:,.0f} faults/s" if value else "n/a"
+
+
+def render(summary: dict) -> str:
+    """Human-readable rendering of :func:`summarize`'s output."""
+    lines = [
+        f"flight: {summary['events']} events from "
+        f"{summary['processes']} process(es)"
+    ]
+    for report in summary["campaigns"]:
+        lines.append(
+            f"campaign: {report.get('faults', 0)} faults via "
+            f"{report.get('backend', '?')} (requested "
+            f"{report.get('requested', '?')}) in "
+            f"{report.get('wall_seconds', 0.0):.3f}s "
+            f"({_rate(report.get('faults_per_second'))})"
+        )
+        lines.append(
+            f"  chunks: {report.get('chunks_completed', 0)} simulated, "
+            f"{report.get('chunks_resumed', 0)} resumed of "
+            f"{report.get('chunks_total', 0)}"
+        )
+    spans = summary["chunk_spans"]
+    if spans["ok"] or spans["failed"]:
+        lines.append(
+            f"chunk spans: {spans['ok']} ok, {spans['failed']} failed"
+        )
+    if summary["chunk_backends"]:
+        lines.append("per-backend chunk time:")
+        for backend, entry in summary["chunk_backends"].items():
+            lines.append(
+                f"  {backend}: {entry['chunks']} chunks, "
+                f"{entry['faults']} faults, {entry['wall']:.3f}s wall, "
+                f"{entry['cpu']:.3f}s cpu ({_rate(entry['faults_per_second'])})"
+            )
+    if summary["retries"]:
+        total = sum(summary["retries"].values())
+        detail = ", ".join(
+            f"{action} {count}"
+            for action, count in sorted(summary["retries"].items())
+        )
+        lines.append(f"retries: {total} ({detail})")
+    if summary["workers_replaced"]:
+        lines.append(f"workers replaced: {summary['workers_replaced']}")
+    if summary["checkpoint_writes"]:
+        lines.append(f"checkpoint writes: {summary['checkpoint_writes']}")
+    if summary["degradations"]:
+        lines.append("degradations:")
+        for deg in summary["degradations"]:
+            lines.append(
+                f"  {deg.get('frm', '?')} -> {deg.get('to', '?')}: "
+                f"{deg.get('reason', '')}"
+            )
+    elif summary["campaigns"]:
+        lines.append("no degradations")
+    if summary["qa_properties"]:
+        lines.append("QA properties:")
+        for prop, entry in summary["qa_properties"].items():
+            rate = entry["pass_rate"]
+            shown = f"{rate:.1%} pass" if rate is not None else "no trials"
+            lines.append(
+                f"  {prop}: {entry['trials']} trials, "
+                f"{entry['counterexamples']} counterexample(s), "
+                f"{entry['wall']:.3f}s ({shown})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Tracing spans: nested, timed, recorded to the active flight.
+
+``with span("sweep.chunk", faults=n):`` wraps a region; on exit one
+``"k": "span"`` event is emitted to the active recorder carrying the
+wall-clock and CPU time spent inside, the enclosing span's name
+(spans nest through a per-thread stack), and the keyword attributes.
+An exception propagating out of the region is never swallowed: the
+span records ``ok: false`` plus the error text and re-raises.
+
+**Zero overhead when disabled.**  :func:`span` and :func:`event` load
+the active recorder and branch — when no recorder is set, :func:`span`
+returns a shared no-op context manager and :func:`event` returns
+immediately.  No timestamp is taken, no dict is allocated beyond the
+caller's kwargs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """A monotonic elapsed-seconds timer.
+
+    The supervised campaign routes its report's ``wall_seconds`` and
+    the flight's ``campaign.report`` event through one shared stopwatch
+    so the two can never disagree.
+    """
+
+    __slots__ = ("started",)
+
+    def __init__(self) -> None:
+        self.started = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+
+class _State:
+    __slots__ = ("recorder",)
+
+    def __init__(self) -> None:
+        self.recorder = None
+
+
+_state = _State()
+_stack = threading.local()
+
+
+def set_recorder(recorder) -> None:
+    """Install (or, with ``None``, remove) the active flight recorder."""
+    _state.recorder = recorder
+
+
+def get_recorder():
+    return _state.recorder
+
+
+def tracing_enabled() -> bool:
+    return _state.recorder is not None
+
+
+def drain_child_events() -> list:
+    """Fork-worker side: the events buffered since the last drain (the
+    supervised worker ships these with every chunk result)."""
+    recorder = _state.recorder
+    if recorder is None:
+        return []
+    return recorder.drain_child_buffer()
+
+
+def _current_stack() -> list:
+    stack = getattr(_stack, "spans", None)
+    if stack is None:
+        stack = []
+        _stack.spans = stack
+    return stack
+
+
+class Span:
+    """One live span; use via :func:`span`, not directly."""
+
+    __slots__ = ("recorder", "name", "attrs", "_t0", "_wall0", "_cpu0")
+
+    def __init__(self, recorder, name: str, attrs: dict) -> None:
+        self.recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered while the span is running."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        _current_stack().append(self.name)
+        self._t0 = time.time()
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        stack = _current_stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        parent: Optional[str] = stack[-1] if stack else None
+        record = {
+            "k": "span",
+            "name": self.name,
+            "t": self._t0,
+            "wall": wall,
+            "cpu": cpu,
+            "pid": os.getpid(),
+            "parent": parent,
+            "ok": exc_type is None,
+            "attrs": self.attrs,
+        }
+        if exc_type is not None:
+            record["error"] = f"{exc_type.__name__}: {exc}"
+        self.recorder.emit(record)
+        return False  # never suppress the exception
+
+
+class _NoopSpan:
+    """The shared disabled span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **attrs):
+    """A context manager timing one named region (or the shared no-op
+    when tracing is disabled — one branch, nothing else)."""
+    recorder = _state.recorder
+    if recorder is None:
+        return NOOP_SPAN
+    return Span(recorder, name, attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record one discrete event on the active flight (one branch and
+    an immediate return when tracing is disabled)."""
+    recorder = _state.recorder
+    if recorder is None:
+        return
+    recorder.emit(
+        {
+            "k": "event",
+            "name": name,
+            "t": time.time(),
+            "pid": os.getpid(),
+            "attrs": attrs,
+        }
+    )

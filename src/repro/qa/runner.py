@@ -21,11 +21,17 @@ import dataclasses
 import os
 from typing import List, Optional, Sequence
 
+from .. import obs
 from .cases import Counterexample
 from .properties import Property, resolve, trial_rng
 from .shrink import shrink_case
 
 DEFAULT_ARTIFACT_DIR = os.path.join("qa", "artifacts")
+
+_REG = obs.REGISTRY
+_M_TRIALS = _REG.counter(
+    "repro_qa_trials_total", "Fuzz trials run, by property and verdict"
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,26 +93,32 @@ def run_property(
     many times, so one witness per property per campaign is the useful
     default)."""
     counterexamples: List[Counterexample] = []
-    for trial in range(trials):
-        rng = trial_rng(seed, prop.name, trial)
-        case = prop.generate(rng)
-        detail = prop.check(case)
-        if detail is None:
-            continue
-        shrunk = shrink_case(case, prop.check) if shrink else case
-        final_detail = prop.check(shrunk) or detail
-        counterexamples.append(
-            Counterexample(
-                property_name=prop.name,
-                seed=seed,
-                trial=trial,
-                detail=final_detail,
-                case=case,
-                shrunk=shrunk,
+    with obs.span("qa.property", property=prop.name, trials=trials) as sp:
+        for trial in range(trials):
+            rng = trial_rng(seed, prop.name, trial)
+            case = prop.generate(rng)
+            detail = prop.check(case)
+            if detail is None:
+                if _REG.enabled:
+                    _M_TRIALS.inc(property=prop.name, verdict="pass")
+                continue
+            if _REG.enabled:
+                _M_TRIALS.inc(property=prop.name, verdict="fail")
+            shrunk = shrink_case(case, prop.check) if shrink else case
+            final_detail = prop.check(shrunk) or detail
+            counterexamples.append(
+                Counterexample(
+                    property_name=prop.name,
+                    seed=seed,
+                    trial=trial,
+                    detail=final_detail,
+                    case=case,
+                    shrunk=shrunk,
+                )
             )
-        )
-        if len(counterexamples) >= max_failures:
-            break
+            if len(counterexamples) >= max_failures:
+                break
+        sp.set(counterexamples=len(counterexamples))
     return PropertyReport(prop.name, trials, counterexamples)
 
 
@@ -168,9 +180,19 @@ def fuzz(
             artifact_paths.extend(
                 write_artifacts(report.counterexamples, artifact_dir)
             )
-    return FuzzReport(
+    report = FuzzReport(
         seed=seed,
         budget=budget,
         reports=reports,
         artifact_paths=artifact_paths,
     )
+    obs.event(
+        "qa.report",
+        seed=seed,
+        budget=budget,
+        ok=report.ok,
+        properties=len(reports),
+        counterexamples=sum(len(r.counterexamples) for r in reports),
+        artifacts=len(artifact_paths),
+    )
+    return report

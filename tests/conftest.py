@@ -4,8 +4,17 @@ import random
 
 import pytest
 
+from repro import obs
 from repro.workloads.detectors import kohavi_0101
 from repro.workloads.fig34 import fig34_network, fig37_fixed_network
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_hygiene():
+    """No test may leak an enabled registry or live recorder into the
+    next one — telemetry always starts from its disabled default."""
+    yield
+    obs.reset()
 
 
 @pytest.fixture

@@ -186,3 +186,85 @@ class TestFaultTable:
     def test_bad_fault_spec(self, fig34_bench):
         with pytest.raises(SystemExit):
             main(["faulttable", fig34_bench, "nab"])
+
+
+class TestTelemetryCli:
+    def test_campaign_writes_flight_and_prometheus(
+        self, fig37_bench, tmp_path, capsys
+    ):
+        from repro import obs
+
+        flight = str(tmp_path / "flight.jsonl")
+        prom = str(tmp_path / "metrics.prom")
+        assert main(["campaign", fig37_bench, "--no-collapse",
+                     "--trace-out", flight, "--metrics-out", prom]) == 0
+        capsys.readouterr()
+        samples = obs.parse_prometheus(open(prom).read())
+        assert samples["repro_campaign_faults_total"]
+        events = list(obs.read_flight(flight))
+        ok_chunks = sum(
+            1 for e in events
+            if e["k"] == "span" and e["name"] == "sweep.chunk" and e["ok"]
+        )
+        (report,) = [
+            e["attrs"] for e in events
+            if e["k"] == "event" and e["name"] == "campaign.report"
+        ]
+        assert ok_chunks == report["chunks_completed"] > 0
+        # the recording context restored the disabled default
+        assert obs.get_recorder() is None
+        assert not obs.metrics_enabled()
+
+    def test_metrics_out_json_flavor(self, fig37_bench, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "metrics.json")
+        assert main(["campaign", fig37_bench, "--no-collapse",
+                     "--metrics-out", out]) == 0
+        capsys.readouterr()
+        snapshot = json.load(open(out))
+        assert snapshot["counters"]["repro_campaign_faults_total"]["samples"]
+
+    def test_fuzz_accepts_telemetry_flags(self, tmp_path, capsys):
+        from repro import obs
+
+        flight = str(tmp_path / "flight.jsonl")
+        prom = str(tmp_path / "metrics.prom")
+        assert main(["fuzz", "--budget", "4",
+                     "--property", "backend-agreement",
+                     "--artifact-dir", "none",
+                     "--trace-out", flight, "--metrics-out", prom]) == 0
+        capsys.readouterr()
+        events = list(obs.read_flight(flight))
+        assert any(
+            e["k"] == "span" and e["name"] == "qa.property" for e in events
+        )
+        assert obs.parse_prometheus(open(prom).read())[
+            "repro_qa_trials_total"
+        ]
+
+    def test_stats_renders_a_recorded_flight(
+        self, fig37_bench, tmp_path, capsys
+    ):
+        import json
+
+        flight = str(tmp_path / "flight.jsonl")
+        assert main(["campaign", fig37_bench, "--no-collapse",
+                     "--trace-out", flight]) == 0
+        capsys.readouterr()
+        assert main(["stats", flight]) == 0
+        out = capsys.readouterr().out
+        assert "flight:" in out and "campaign:" in out
+        assert main(["stats", flight, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["campaigns"] and summary["chunk_spans"]["ok"] > 0
+
+    def test_stats_missing_or_corrupt_flight_is_not_a_traceback(
+        self, tmp_path
+    ):
+        with pytest.raises(SystemExit):
+            main(["stats", str(tmp_path / "nope.jsonl")])
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(SystemExit):
+            main(["stats", str(bad)])
