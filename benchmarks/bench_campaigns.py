@@ -299,3 +299,80 @@ def test_supervised_sweep(benchmark):
         elapsed=benchmark_elapsed(benchmark),
     )
     assert ok, "supervised sweep diverged or failed to recover from chaos"
+
+
+# ----------------------------------------------------------------------
+# execution transports: the same supervised universe over forked pipes
+# vs spawned `repro worker` socket processes — byte-identical statuses,
+# no degradations, and the socket spawn overhead on the record
+# ----------------------------------------------------------------------
+def transport_sweep_report():
+    rng = random.Random(RANDLOGIC_SEED)
+    net = random_mixed_network(
+        rng,
+        n_inputs=RANDLOGIC_INPUTS,
+        n_gates=RANDLOGIC_GATES,
+        n_outputs=RANDLOGIC_OUTPUTS,
+    )
+    sweep = FaultSweep(net)
+    universe = sweep.single_fault_universe()
+
+    start = time.perf_counter()
+    serial = sweep.sweep(universe)
+    serial_seconds = time.perf_counter() - start
+
+    results = {}
+    for transport in ("fork", "socket"):
+        start = time.perf_counter()
+        statuses = sweep.sweep(universe, processes=2, transport=transport)
+        seconds = time.perf_counter() - start
+        report = sweep.last_report
+        results[transport] = {
+            "seconds": seconds,
+            "identical": statuses == serial,
+            "backend": report.backend,
+            "degradations": len(report.degradations),
+        }
+
+    lines = [
+        "Execution transports over the random-logic universe "
+        f"({len(universe)} faults, 2 lanes)",
+        f"  serial:                     {serial_seconds:8.4f} s",
+    ]
+    for transport, entry in results.items():
+        lines.append(
+            f"  {transport + ':':27s} {entry['seconds']:8.4f} s   "
+            f"(backend {entry['backend']}, "
+            f"{entry['degradations']} degradations)"
+        )
+    identical = all(entry["identical"] for entry in results.values())
+    undegraded = all(
+        entry["degradations"] == 0 for entry in results.values()
+    )
+    lines.append(
+        f"  statuses byte-identical across transports: {identical}"
+    )
+    ok = identical and undegraded
+    metrics = {
+        "transports_faults": len(universe),
+        "transports_identical": identical,
+        "transports_fork_degradations": results["fork"]["degradations"],
+        "transports_socket_degradations": results["socket"]["degradations"],
+        "transports_serial_seconds": serial_seconds,
+        "transports_fork_seconds": results["fork"]["seconds"],
+        "transports_socket_seconds": results["socket"]["seconds"],
+    }
+    return "\n".join(lines), ok, metrics
+
+
+def test_transport_sweep(benchmark):
+    text, ok, metrics = benchmark.pedantic(
+        transport_sweep_report, rounds=2, iterations=1
+    )
+    record(
+        "campaigns_transports",
+        text,
+        metrics=metrics,
+        elapsed=benchmark_elapsed(benchmark),
+    )
+    assert ok, "transport sweep diverged from serial or degraded"

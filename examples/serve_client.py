@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""A streaming client for the ``repro serve`` campaign service.
+
+Start the service in one terminal::
+
+    PYTHONPATH=src python -m repro serve --port 8341
+
+then submit a netlist and watch the campaign stream back as NDJSON —
+one JSON object per line: the ``accepted`` header (carrying the content
+fingerprint and whether this submission was coalesced onto an identical
+in-flight campaign), every ``campaign.*`` flight event as it happens
+(chunk completions, retries, degradations, steals), and finally the
+``result`` line with the coverage fractions and the structured
+campaign report::
+
+    python examples/serve_client.py http://127.0.0.1:8341 \\
+        examples/data/adder4.bench
+
+Submitting the same netlist twice concurrently demonstrates the
+service's coalescing: both clients receive the full stream, but only
+one campaign executes (``disposition: coalesced`` on the second).
+``--smoke URL`` runs exactly that as a self-checking scenario — the CI
+serve-smoke job's driver.
+
+Uses only the standard library: the NDJSON stream is plain HTTP/1.1,
+so ``urllib`` consumes it line by line.
+"""
+
+import json
+import sys
+import threading
+from urllib.request import Request, urlopen
+
+SMOKE_BENCH = """\
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+s1 = XOR(a, b)
+sum = XOR(s1, cin)
+c1 = AND(a, b)
+c2 = AND(s1, cin)
+cout = OR(c1, c2)
+OUTPUT(sum)
+OUTPUT(cout)
+"""
+
+
+def submit(base_url, netlist, processes=2, transport="auto", quiet=False):
+    """POST one campaign and yield each NDJSON event as a dict."""
+    body = json.dumps(
+        {"netlist": netlist, "processes": processes, "transport": transport}
+    ).encode()
+    request = Request(
+        base_url.rstrip("/") + "/campaign",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urlopen(request) as response:
+        for raw in response:
+            event = json.loads(raw)
+            if not quiet:
+                print(json.dumps(event, sort_keys=True))
+            yield event
+
+
+def run_smoke(base_url):
+    """Two identical concurrent submissions: both must stream, exactly
+    one may execute."""
+    streams = [[], []]
+
+    def client(slot):
+        for event in submit(base_url, SMOKE_BENCH, quiet=True):
+            streams[slot].append(event)
+
+    threads = [
+        threading.Thread(target=client, args=(slot,)) for slot in (0, 1)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    dispositions = sorted(stream[0]["disposition"] for stream in streams)
+    results = [stream[-1] for stream in streams]
+    for stream, result in zip(streams, results):
+        assert stream[0]["event"] == "accepted", stream[0]
+        assert result["event"] == "result", result
+        assert "error" not in result, result
+    assert dispositions == ["coalesced", "executed"], dispositions
+    assert results[0]["faults"] == results[1]["faults"] > 0, results
+    same = json.dumps(results[0], sort_keys=True) == json.dumps(
+        results[1], sort_keys=True
+    )
+    assert same, "coalesced clients received different results"
+    print(
+        f"serve smoke OK: {dispositions}, one execution, "
+        f"{results[0]['faults']} faults via {results[0]['backend']}, "
+        f"dangerous fraction {results[0]['dangerous']:.1%}"
+    )
+
+
+def run_local_demo():
+    """No URL given: start a service in-process on an ephemeral port
+    and run the coalescing scenario against it — the self-contained
+    form the example guard test executes."""
+    import asyncio
+
+    from repro import obs
+    from repro.engine.store import STORE
+    from repro.server import CampaignServer
+
+    previous_metrics = obs.metrics_enabled()
+    server = CampaignServer(host="127.0.0.1", port=0)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    async def lifecycle():
+        await server.start()
+        ready.set()
+        await stop
+
+    def run_loop():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(lifecycle())
+
+    stop = loop.create_future()
+    thread = threading.Thread(target=run_loop, daemon=True)
+    thread.start()
+    ready.wait(timeout=10)
+    try:
+        run_smoke(f"http://{server.host}:{server.port}")
+    finally:
+        loop.call_soon_threadsafe(stop.set_result, None)
+        thread.join(timeout=10)
+        # The server flips process-global switches; an in-process demo
+        # must hand them back the way it found them.
+        STORE.enabled = False
+        STORE.clear()
+        obs.enable_metrics(previous_metrics)
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--smoke":
+        run_smoke(argv[2] if len(argv) > 2 else "http://127.0.0.1:8341")
+        return 0
+    if len(argv) >= 3 and argv[1].startswith("http"):
+        with open(argv[2]) as handle:
+            netlist = handle.read()
+        final = None
+        for event in submit(argv[1], netlist):
+            final = event
+        return 0 if final and final.get("dangerous") == 0.0 else 1
+    return run_local_demo()
+
+
+if __name__ == "__main__":
+    status = main(sys.argv)
+    if status:  # plain return keeps the example guard test quiet
+        sys.exit(status)

@@ -16,7 +16,12 @@ Point the thesis's machinery at any ``.bench`` netlist:
 * ``fuzz``      — seeded differential/metamorphic fuzz campaign with
   counterexample shrinking (see ``repro.qa``);
 * ``stats``     — render a flight recorded with ``--trace-out``: time
-  per backend, degradations, retries, faults/sec, QA pass rates.
+  per backend, degradations, retries, faults/sec, QA pass rates;
+* ``serve``     — stdlib asyncio campaign service: queues requests,
+  deduplicates identical campaigns by content fingerprint, streams
+  NDJSON progress, exposes Prometheus metrics at ``/metrics``;
+* ``worker``    — one socket-transport worker lane (normally spawned by
+  the supervisor, never by hand).
 
 ``campaign`` and ``fuzz`` accept ``--metrics-out FILE`` (Prometheus
 text, or JSON when the name ends ``.json``) and ``--trace-out FILE``
@@ -230,6 +235,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 timeout=args.timeout,
                 checkpoint=args.checkpoint,
                 resume=args.resume,
+                transport=args.transport,
             )
     except CheckpointError as error:
         raise SystemExit(str(error))
@@ -288,6 +294,23 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         raise SystemExit(str(error))
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from .engine.transport.socket import run_worker
+
+    return run_worker(args.connect)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        processes=args.processes,
+        transport=args.transport,
+    )
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -364,7 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "bitmask", "vectorized", "fallback"],
                    help="sweep backend (default: auto heuristic)")
     p.add_argument("--processes", type=int, default=None,
-                   help="fan out across this many supervised fork workers")
+                   help="fan out across this many supervised worker lanes")
+    p.add_argument("--transport", default="auto",
+                   choices=["auto", "inline", "fork", "fork+shm", "socket"],
+                   help="execution transport for the fan-out (default: "
+                   "auto — fork+shm when --processes > 1)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-chunk timeout; hung chunks are killed and "
                    "retried (default: no timeout)")
@@ -425,6 +452,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the summary as one JSON object")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="campaign service: queue, dedup, and stream sweeps over HTTP",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8341,
+                   help="bind port; 0 picks a free one (default 8341)")
+    p.add_argument("--processes", type=int, default=None,
+                   help="worker lanes per campaign (default: in-process)")
+    p.add_argument("--transport", default="auto",
+                   choices=["auto", "inline", "fork", "fork+shm", "socket"],
+                   help="execution transport for served campaigns")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="socket-transport worker lane (spawned by the supervisor)",
+    )
+    p.add_argument("--connect", required=True, metavar="SPEC",
+                   help="supervisor address: unix:PATH or tcp:HOST:PORT")
+    p.set_defaults(func=cmd_worker)
     return parser
 
 

@@ -13,9 +13,14 @@ simulate many times through one of three interchangeable backends:
 * **sampled** — pointwise over explicit truth-table points (spaces too
   wide to enumerate).
 
-All backends share the cached fault-free baseline and re-simulate only
-the injected fault's output cone; :mod:`repro.engine.campaign` batches
-that into multi-fault sweep drivers with optional process fan-out.
+All backends share the cached fault-free baseline (an immutable tuple —
+engines are shared across sweeps and across ``serve`` requests, so
+in-place mutation must raise) and re-simulate only the injected fault's
+output cone; :mod:`repro.engine.campaign` batches that into multi-fault
+sweep drivers with optional fan-out across pluggable execution
+transports (:mod:`repro.engine.transport`), and the content-addressed
+:data:`repro.engine.store.STORE` lets identical compiled programs share
+derived artifacts across requests.
 
 Usage::
 
@@ -50,6 +55,17 @@ from .compiled import (
     Op,
     compile_network,
     reflect_bits,
+)
+from .store import STORE, ArtifactStore, program_fingerprint
+from .transport import (
+    ForkTransport,
+    InlineTransport,
+    SocketTransport,
+    Transport,
+    TransportError,
+    TransportFailure,
+    TransportUnavailable,
+    create_transport,
 )
 from .vectorized import (
     HAVE_NUMPY,
@@ -110,6 +126,7 @@ def engine_for(network: Network) -> NetworkEngine:
 
 
 __all__ = [
+    "ArtifactStore",
     "BitmaskBackend",
     "CampaignCheckpoint",
     "CampaignInterrupted",
@@ -119,17 +136,27 @@ __all__ = [
     "Degradation",
     "FaultPlan",
     "FaultSweep",
+    "ForkTransport",
     "HAVE_NUMPY",
+    "InlineTransport",
     "NetworkEngine",
     "Op",
     "PackedFallbackBackend",
     "PointwiseBackend",
     "ResponseBits",
     "RetryEvent",
+    "STORE",
     "SampledBackend",
+    "SocketTransport",
+    "Transport",
+    "TransportError",
+    "TransportFailure",
+    "TransportUnavailable",
     "VectorizedBackend",
     "compile_network",
+    "create_transport",
     "engine_for",
+    "program_fingerprint",
     "reflect_bits",
     "run_campaign",
     "select_backend",

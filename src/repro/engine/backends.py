@@ -23,6 +23,7 @@ want them.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, List, Optional, Tuple
 
 from ..logic.gates import evaluate as eval_gate
@@ -52,49 +53,78 @@ class BitmaskBackend:
     def __init__(self, compiled: CompiledNetwork) -> None:
         self.compiled = compiled
         self.full = (1 << (1 << compiled.n_inputs)) - 1
-        self._baseline: Optional[List[int]] = None
+        self._baseline: Optional[Tuple[int, ...]] = None
+        self._baseline_lock = threading.Lock()
         self._words_per_line = max(1, (1 << compiled.n_inputs) >> 6)
 
-    def baseline(self) -> List[int]:
-        """Fault-free masks for every line (cached; do not mutate)."""
+    def baseline(self) -> Tuple[int, ...]:
+        """Fault-free masks for every line.
+
+        Cached as an **immutable tuple**: engines are shared across
+        concurrently constructed sweeps (``engine_for``) and held across
+        ``serve`` requests, so an accidental in-place write by any
+        consumer must raise instead of silently corrupting every other
+        sweep on the same network.  Faulty queries copy it
+        (:meth:`line_bits`); the lock makes first-derivation safe under
+        the server's worker threads.  When the process-wide artifact
+        store is enabled, identical compiled programs (by content
+        fingerprint) share one derivation.
+        """
         if self._baseline is None:
-            comp = self.compiled
-            n = comp.n_inputs
-            values: List[int] = [0] * len(comp.names)
-            total = 1 << n
-            for i in range(n):
-                # Variable mask: bit p of the table is bit i of point p.
-                # Mask doubling: start from one period (2**i zeros then
-                # 2**i ones) and double the covered span until it fills
-                # the table — O(n) big-int ops instead of O(2**n) shifts.
-                mask = ((1 << (1 << i)) - 1) << (1 << i)
-                span = 1 << (i + 1)
-                while span < total:
-                    mask |= mask << span
-                    span <<= 1
-                values[i] = mask
-            for op in comp.ops:
-                values[op.out] = evaluate_mask(
-                    op.kind, [values[s] for s in op.srcs], self.full
-                )
-            self._baseline = values
-            if _REG.enabled:
-                _M_OPS.inc(len(comp.ops), backend="bitmask")
-                _M_WORDS.inc(
-                    len(comp.ops) * self._words_per_line, backend="bitmask"
-                )
+            with self._baseline_lock:
+                if self._baseline is None:
+                    self._baseline = self._derive_baseline()
         return self._baseline
+
+    def _derive_baseline(self) -> Tuple[int, ...]:
+        from .store import STORE, program_fingerprint
+
+        fingerprint = None
+        if STORE.enabled:
+            fingerprint = program_fingerprint(self.compiled)
+            cached = STORE.get("baseline", fingerprint)
+            if cached is not None:
+                return cached
+        comp = self.compiled
+        n = comp.n_inputs
+        values: List[int] = [0] * len(comp.names)
+        total = 1 << n
+        for i in range(n):
+            # Variable mask: bit p of the table is bit i of point p.
+            # Mask doubling: start from one period (2**i zeros then
+            # 2**i ones) and double the covered span until it fills
+            # the table — O(n) big-int ops instead of O(2**n) shifts.
+            mask = ((1 << (1 << i)) - 1) << (1 << i)
+            span = 1 << (i + 1)
+            while span < total:
+                mask |= mask << span
+                span <<= 1
+            values[i] = mask
+        for op in comp.ops:
+            values[op.out] = evaluate_mask(
+                op.kind, [values[s] for s in op.srcs], self.full
+            )
+        if _REG.enabled:
+            _M_OPS.inc(len(comp.ops), backend="bitmask")
+            _M_WORDS.inc(
+                len(comp.ops) * self._words_per_line, backend="bitmask"
+            )
+        frozen = tuple(values)
+        if fingerprint is not None:
+            STORE.put("baseline", fingerprint, value=frozen)
+        return frozen
 
     def line_bits(self, fault: Optional[FaultLike] = None) -> List[int]:
         """Masks for every line under ``fault`` (cone-pruned re-simulation
-        on top of the cached baseline).  Returns a fresh list for faulty
-        queries and the shared baseline for ``fault=None``."""
+        on top of the cached baseline).  Always returns a fresh list —
+        the cached baseline itself stays immutable behind
+        :meth:`baseline`."""
         baseline = self.baseline()
         if fault is None:
-            return baseline
+            return list(baseline)
         comp = self.compiled
         plan = comp.fault_plan(fault)
-        values = baseline.copy()
+        values = list(baseline)
         full = self.full
         for idx, forced in plan.stems:
             values[idx] = full if forced else 0

@@ -19,9 +19,11 @@ Bulk sweeps route through a backend-selection heuristic
 (:func:`~repro.engine.vectorized.select_backend`): small batches stay on
 the scalar big-int path, large ones go to the fault-batched vectorized
 backend (NumPy PPSFP, or its pure-Python packed fallback).  Execution —
-serial or fanned out across supervised fork workers with per-chunk
-timeouts, retries, checkpoint/resume, and the explicit
-fork+shm → fork → serial → scalar degradation ladder — is delegated to
+serial or fanned out across supervised workers on a pluggable transport
+(fork pipes, shared-memory fork, or ``repro worker`` sockets) with
+per-chunk timeouts, retries, work stealing, checkpoint/resume, and the
+explicit socket → fork+shm → fork → serial → scalar degradation ladder —
+is delegated to
 :func:`repro.engine.supervisor.run_campaign`; every sweep leaves a
 structured :class:`~repro.engine.supervisor.CampaignReport` in
 :attr:`FaultSweep.last_report`.
@@ -146,14 +148,18 @@ class FaultSweep:
         resume: bool = False,
         chunk_faults: Optional[int] = None,
         abort_after_chunks: Optional[int] = None,
+        transport: str = "auto",
     ) -> List[Tuple[FaultLike, str]]:
         """Classify every fault under the supervised campaign runtime.
 
         ``backend`` is ``auto`` (the :func:`select_backend` heuristic),
         ``bitmask`` (scalar big-int masks), ``vectorized`` (NumPy
         fault-batched; degrades to ``fallback`` without NumPy), or
-        ``fallback`` (pure-Python packed words).  With ``processes > 1``
-        the universe is fanned out across supervised fork workers: each
+        ``fallback`` (pure-Python packed words).  ``transport`` picks the
+        execution fabric (``auto`` / ``inline`` / ``fork`` / ``fork+shm``
+        / ``socket`` — see :mod:`repro.engine.transport`).  With
+        ``processes > 1`` (or an explicit worker transport) the universe
+        is fanned out across supervised worker lanes: each
         chunk carries an optional per-chunk ``timeout`` (seconds),
         failed or hung chunks are retried with exponential backoff and
         re-chunked smaller on repeat failure, and dead workers are
@@ -172,6 +178,7 @@ class FaultSweep:
             faults=len(universe),
             requested=backend,
             backend=chosen,
+            transport=transport,
         ):
             statuses, report = run_campaign(
                 self,
@@ -183,6 +190,7 @@ class FaultSweep:
                 resume=resume,
                 chunk_faults=chunk_faults,
                 abort_after_chunks=abort_after_chunks,
+                transport=transport,
             )
         self.last_report = report
         self.last_sweep_backend = _legacy_backend_name(report)
@@ -196,6 +204,7 @@ class FaultSweep:
         timeout: Optional[float] = None,
         checkpoint: Optional[str] = None,
         resume: bool = False,
+        transport: str = "auto",
     ) -> dict:
         """Section 2.4 coverage fractions over a fault universe."""
         universe = (
@@ -209,6 +218,7 @@ class FaultSweep:
             timeout=timeout,
             checkpoint=checkpoint,
             resume=resume,
+            transport=transport,
         ):
             counts[status] += 1
         total = max(len(universe), 1)
@@ -222,8 +232,10 @@ class FaultSweep:
 
 def _legacy_backend_name(report: CampaignReport) -> str:
     """The :attr:`FaultSweep.last_sweep_backend` convention predating the
-    structured report: ``"fork:<block>"`` for fanned-out sweeps, the
-    plain block-backend name otherwise."""
+    structured report: ``"fork:<block>"`` / ``"socket:<block>"`` for
+    fanned-out sweeps, the plain block-backend name otherwise."""
+    if report.backend.startswith("socket"):
+        return f"socket:{report.block_backend}"
     if report.backend.startswith("fork"):
         return f"fork:{report.block_backend}"
     return report.block_backend

@@ -12,6 +12,9 @@ campaign.  :func:`run_campaign` replaces it with per-chunk supervision:
 * a failed or hung chunk is retried with exponential backoff and, on
   repeat failure, **split in half** so a single poisoned fault cannot
   hold a whole chunk hostage;
+* an idle lane **steals** half of the largest long-running chunk
+  instead of going to waste, so one slow shard cannot serialize the
+  tail of a campaign;
 * a dead worker is **replaced** instead of killing the sweep, and a
   runtime that cannot keep workers alive salvages every completed
   chunk and finishes the remainder serially;
@@ -20,21 +23,23 @@ campaign.  :func:`run_campaign` replaces it with per-chunk supervision:
   byte-identical statuses (classification is per-fault deterministic,
   so chunking never changes results).
 
-Every step down the **degradation ladder** —
+This module owns *policy* only.  Execution mechanics — where chunks
+actually run — live behind the :class:`repro.engine.transport.Transport`
+seam, with four fabrics: ``inline`` (in-process), ``fork`` and
+``fork+shm`` (forked workers, optionally attaching the parent's
+baseline through shared memory), and ``socket`` (``python -m repro
+worker`` subprocesses over TCP/Unix sockets).  Every step down the
+**degradation ladder** —
 
-    ``fork+shm`` → ``fork`` → ``serial`` → ``scalar``
+    ``socket`` → ``fork+shm`` → ``fork`` → ``serial`` → ``scalar``
 
 — is recorded as a :class:`Degradation` in the :class:`CampaignReport`
-instead of being swallowed by a bare ``except``.  ``fork+shm`` fans
-chunks across fork workers that attach the parent's fault-free baseline
-through :mod:`multiprocessing.shared_memory`; ``fork`` lets each worker
-re-derive it; ``serial`` runs the block backend in-process; ``scalar``
-is the per-fault big-int loop that needs nothing but the interpreter.
+instead of being swallowed by a bare ``except``.
 
 Chaos hooks (:data:`WORKER_CHUNK_HOOK`, swapped by
 :mod:`repro.qa.chaos`) let the test suite SIGKILL a worker, hang a
-chunk, or deny shared memory mid-campaign and assert the sweep still
-finishes with statuses identical to the serial path.
+chunk, drop a socket, or deny shared memory mid-campaign and assert the
+sweep still finishes with statuses identical to the serial path.
 """
 
 from __future__ import annotations
@@ -48,12 +53,20 @@ from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from .transport import (
+    ChunkTask,
+    SubmitFailed,
+    Transport,
+    TransportFailure,
+    TransportUnavailable,
+    create_transport,
+)
 from .vectorized import HAVE_NUMPY, VECTOR_MIN_FAULTS, chunk_statuses
 
 # Telemetry: campaign-level counters are incremented by the supervising
-# parent (fork workers keep their own process-local registries, which
-# die with them — their per-chunk detail travels as flight-recorder
-# events over the result channel instead).
+# parent (workers keep their own process-local registries, which die
+# with them — their per-chunk detail travels as flight-recorder events
+# over the result channel instead).
 _REG = obs.REGISTRY
 _M_CHUNKS_DONE = _REG.counter(
     "repro_campaign_chunks_total", "Chunks completed, by campaign outcome"
@@ -65,13 +78,16 @@ _M_DEGRADATIONS = _REG.counter(
     "repro_campaign_degradations_total", "Ladder steps down, by rung edge"
 )
 _M_REPLACED = _REG.counter(
-    "repro_campaign_workers_replaced_total", "Dead fork workers replaced"
+    "repro_campaign_workers_replaced_total", "Dead workers replaced"
 )
 _M_CHECKPOINTS = _REG.counter(
     "repro_campaign_checkpoint_writes_total", "Checkpoint chunk flushes"
 )
 _M_FAULTS = _REG.counter(
     "repro_campaign_faults_total", "Faults classified by campaigns, by status"
+)
+_M_STEALS = _REG.counter(
+    "repro_campaign_steals_total", "Chunk halves stolen by idle lanes"
 )
 _M_WALL = _REG.histogram(
     "repro_campaign_wall_seconds", "End-to-end campaign wall time"
@@ -81,10 +97,10 @@ _M_WALL = _REG.histogram(
 #: escalated to the parent's serial path (single-fault chunks).
 MAX_CHUNK_ATTEMPTS = 3
 
-#: Worker replacements tolerated before the runtime concludes fork
-#: workers cannot be kept alive and degrades to the serial rung.
-def _max_replacements(processes: int) -> int:
-    return max(2 * processes, 4)
+#: Worker replacements tolerated before the runtime concludes workers
+#: cannot be kept alive and degrades to the serial rung.
+def _max_replacements(lanes: int) -> int:
+    return max(2 * lanes, 4)
 
 #: Exponential-backoff schedule for chunk retries (seconds).
 BACKOFF_BASE = 0.05
@@ -94,8 +110,9 @@ BACKOFF_CAP = 2.0
 #: noticing a dead worker (seconds).
 POLL_SECONDS = 0.05
 
-#: Grace given to SIGTERM before a hung worker is SIGKILLed (seconds).
-KILL_GRACE = 0.25
+#: How long a chunk must have been in flight, with the queue empty and
+#: a lane idle, before half of it is stolen (seconds).
+STEAL_AGE_SECONDS = 0.2
 
 #: Statuses a checkpoint may legally contain.
 VALID_STATUSES = frozenset({"dangerous", "detected", "silent"})
@@ -103,7 +120,8 @@ VALID_STATUSES = frozenset({"dangerous", "detected", "silent"})
 #: Test/chaos seam: when set, every worker calls this with
 #: ``(chunk_key, attempt)`` before classifying the chunk.  Fork workers
 #: inherit the value at spawn time, so arming it in the parent sabotages
-#: the children (see :func:`repro.qa.chaos.sabotage_campaign`).
+#: the children; socket workers arm it from the environment at startup
+#: (see :func:`repro.qa.chaos.sabotage_campaign`).
 WORKER_CHUNK_HOOK: Optional[Callable[[str, int], None]] = None
 
 
@@ -119,8 +137,9 @@ class CampaignInterrupted(RuntimeError):
 
 
 class _SupervisionFailure(RuntimeError):
-    """The fork runtime cannot make progress (workers cannot be spawned
-    or kept alive); completed chunks are salvaged serially."""
+    """The worker runtime cannot make progress (workers cannot be
+    spawned or kept alive); completed chunks are salvaged on a lower
+    rung."""
 
 
 # ----------------------------------------------------------------------
@@ -151,11 +170,13 @@ class CampaignReport:
 
     ``backend`` is the ladder rung plus block backend that served the
     bulk of the campaign (e.g. ``"fork+shm:vectorized"``,
-    ``"serial:fallback"``, ``"scalar:bitmask"``, or ``"resumed"`` when
-    every chunk came from the checkpoint); ``block_backend`` is the
-    final resolved block-backend name alone.  ``degradations`` lists
-    every ladder step down with its reason — an empty list means the
-    requested mode is exactly what ran.
+    ``"socket:vectorized"``, ``"serial:fallback"``,
+    ``"scalar:bitmask"``, or ``"resumed"`` when every chunk came from
+    the checkpoint); ``block_backend`` is the final resolved
+    block-backend name alone.  ``degradations`` lists every ladder step
+    down with its reason — an empty list means the requested mode is
+    exactly what ran.  ``steals`` counts chunk halves re-assigned to
+    idle lanes by the work-stealing scheduler.
     """
 
     requested: str
@@ -166,6 +187,7 @@ class CampaignReport:
     chunks_completed: int = 0
     chunks_resumed: int = 0
     workers_replaced: int = 0
+    steals: int = 0
     degradations: List[Degradation] = dataclasses.field(default_factory=list)
     retries: List[RetryEvent] = dataclasses.field(default_factory=list)
     wall_seconds: float = 0.0
@@ -202,6 +224,7 @@ class CampaignReport:
             "chunks_completed": self.chunks_completed,
             "chunks_resumed": self.chunks_resumed,
             "workers_replaced": self.workers_replaced,
+            "steals": self.steals,
             "degradations": [dataclasses.asdict(d) for d in self.degradations],
             "retries": [dataclasses.asdict(r) for r in self.retries],
             "wall_seconds": self.wall_seconds,
@@ -217,6 +240,8 @@ class CampaignReport:
         ]
         if self.workers_replaced:
             lines.append(f"  workers replaced: {self.workers_replaced}")
+        if self.steals:
+            lines.append(f"  chunks stolen by idle lanes: {self.steals}")
         for event in self.retries:
             lines.append(
                 f"  retry [{event.chunk}] attempt {event.attempt}: "
@@ -344,10 +369,15 @@ class CampaignCheckpoint:
                 for (start, stop), values in sorted(self.ranges.items())
             ],
         }
+        # Atomic flush: a kill at any instant leaves either the previous
+        # complete artifact or the new one, never a truncated JSON that
+        # would poison --resume.  The fsync makes the rename durable.
         tmp = f"{self.path}.tmp"
         with open(tmp, "w") as handle:
             json.dump(payload, handle, indent=1)
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, self.path)
 
 
@@ -403,271 +433,114 @@ def _build_tasks(
     return tasks
 
 
+def _parent_serial_chunk(sweep, faults, chosen, report) -> List[str]:
+    """Classify one chunk in the parent, degrading serial -> scalar on a
+    block-backend failure (recorded, never swallowed)."""
+    try:
+        return chunk_statuses(sweep.engine, faults, chosen)
+    except Exception as error:
+        if chosen == "bitmask":
+            raise
+        report.degrade(
+            "serial",
+            "scalar",
+            f"{chosen} block backend failed: "
+            f"{type(error).__name__}: {error}",
+        )
+        return chunk_statuses(sweep.engine, faults, "bitmask")
+
+
 # ----------------------------------------------------------------------
-# shared-memory baseline fan-out (parent side)
+# the transport-agnostic supervision loop
 # ----------------------------------------------------------------------
-def _baseline_line_bytes(n_inputs: int) -> int:
-    """Bytes per packed line in the shared baseline buffer (whole
-    64-bit words, minimum one word)."""
-    return max(1, (1 << n_inputs) >> 6) * 8
+class _Inflight:
+    """Parent-side record of one submitted chunk.  ``sent_key`` and
+    ``sent_len`` are snapshotted at submit time: work stealing may
+    shrink ``task`` while the lane is still computing the original
+    range, and the (full-width) result is matched against the snapshot,
+    then sliced to the surviving width."""
+
+    __slots__ = ("task", "deadline", "started", "sent_key", "sent_len")
+
+    def __init__(self, task: _Task, deadline: Optional[float],
+                 started: float) -> None:
+        self.task = task
+        self.deadline = deadline
+        self.started = started
+        self.sent_key = task.key
+        self.sent_len = len(task.faults)
 
 
-def _create_shared_baseline(sweep):
-    """Publish the parent's fault-free baseline for workers to attach.
+class _TransportSupervisor:
+    """Drives chunk tasks through any :class:`Transport`.
 
-    Returns ``(shm, name, line_bytes)``.  Raises the *narrow* set of
-    failures shared memory can legitimately produce — ``ImportError``
-    (no ``multiprocessing.shared_memory``), ``OSError`` (``/dev/shm``
-    missing, quota, permissions), ``ValueError`` (bad size) — so the
-    caller can record exactly why the ladder stepped down instead of
-    swallowing everything.  Swapped out by chaos tests.
+    Owns every piece of policy: backoff retries, split-on-repeat-failure,
+    per-chunk deadlines, lane replacement with a global cap, work
+    stealing, the inline serial->scalar step-down, and flight-recorder
+    merging.  The transport only moves tasks and results.
     """
-    from multiprocessing import shared_memory
-
-    baseline = sweep.bitmask.baseline()
-    line_bytes = _baseline_line_bytes(sweep.n)
-    payload = b"".join(
-        value.to_bytes(line_bytes, "little") for value in baseline
-    )
-    shm = shared_memory.SharedMemory(create=True, size=max(len(payload), 1))
-    shm.buf[: len(payload)] = payload
-    return shm, shm.name, line_bytes
-
-
-def _attach_shared_baseline(engine, shm_name: str, line_bytes: int) -> bool:
-    """Worker side: adopt the parent's baseline from shared memory.
-
-    Returns ``False`` (worker derives its own baseline — correctness
-    unchanged, throughput degraded) only on the narrow attach failures;
-    the supervisor records that as a ``fork+shm -> fork`` degradation.
-    """
-    try:
-        from multiprocessing import shared_memory
-
-        shm = shared_memory.SharedMemory(name=shm_name)
-    except (ImportError, OSError, ValueError):
-        return False
-    try:
-        buf = bytes(shm.buf)
-    finally:
-        shm.close()
-    expected = len(engine.compiled.names) * line_bytes
-    if len(buf) < expected:
-        return False
-    engine.bitmask._baseline = [
-        int.from_bytes(buf[i * line_bytes : (i + 1) * line_bytes], "little")
-        for i in range(len(engine.compiled.names))
-    ]
-    return True
-
-
-# ----------------------------------------------------------------------
-# worker process
-# ----------------------------------------------------------------------
-def _supervised_worker(conn, network, shm_name, line_bytes) -> None:
-    """One fork worker: build an engine, then serve chunk jobs until a
-    ``None`` shutdown sentinel (or the parent disappears)."""
-    from . import NetworkEngine
-
-    engine = NetworkEngine(network)
-    shm_ok = True
-    if shm_name is not None:
-        shm_ok = _attach_shared_baseline(engine, shm_name, line_bytes)
-    while True:
-        try:
-            job = conn.recv()
-        except (EOFError, OSError):  # pragma: no cover - parent vanished
-            break
-        if job is None:
-            break
-        key, faults, backend, attempt = job
-        hook = WORKER_CHUNK_HOOK
-        try:
-            with obs.span("worker.chunk", chunk=key, attempt=attempt):
-                if hook is not None:
-                    hook(key, attempt)
-                statuses = chunk_statuses(engine, faults, backend)
-        except Exception as error:  # reported, retried by the supervisor
-            conn.send(
-                (
-                    "error",
-                    key,
-                    f"{type(error).__name__}: {error}",
-                    shm_ok,
-                    obs.drain_child_events(),
-                )
-            )
-        else:
-            # The drained buffer carries this chunk's spans back to the
-            # parent, which merges them into the flight exactly once.
-            conn.send(("ok", key, statuses, shm_ok, obs.drain_child_events()))
-    conn.close()
-
-
-class _Worker:
-    __slots__ = ("process", "conn", "task", "deadline")
-
-    def __init__(self, process, conn) -> None:
-        self.process = process
-        self.conn = conn
-        self.task: Optional[_Task] = None
-        self.deadline: Optional[float] = None
-
-
-def _spawn_worker(ctx, network, shm_name, line_bytes) -> _Worker:
-    parent_conn, child_conn = ctx.Pipe(duplex=True)
-    process = ctx.Process(
-        target=_supervised_worker,
-        args=(child_conn, network, shm_name, line_bytes),
-        daemon=True,
-    )
-    process.start()
-    child_conn.close()
-    return _Worker(process, parent_conn)
-
-
-def _stop_worker(worker: _Worker) -> None:
-    """Tear one worker down, escalating SIGTERM -> SIGKILL."""
-    try:
-        worker.conn.close()
-    except OSError:  # pragma: no cover
-        pass
-    process = worker.process
-    if process.is_alive():
-        process.terminate()
-        process.join(KILL_GRACE)
-        if process.is_alive():
-            process.kill()
-            process.join(KILL_GRACE)
-    else:
-        process.join(0)
-
-
-# ----------------------------------------------------------------------
-# the supervised fork runtime
-# ----------------------------------------------------------------------
-class _ForkSupervisor:
-    """Drives chunk tasks across replaceable fork workers."""
 
     def __init__(
         self,
         sweep,
-        ctx,
+        transport: Transport,
         chosen: str,
-        processes: int,
         timeout: Optional[float],
         report: CampaignReport,
-        shm_name: Optional[str],
-        line_bytes: int,
         complete: Callable[[_Task, List[str]], None],
     ) -> None:
         self.sweep = sweep
-        self.ctx = ctx
+        self.transport = transport
         self.chosen = chosen
-        self.processes = processes
-        self.timeout = timeout
+        self.timeout = None if transport.in_process else timeout
         self.report = report
-        self.shm_name = shm_name
-        self.line_bytes = line_bytes
         self.complete = complete
-        self.workers: List[_Worker] = []
         self.pending: deque = deque()
+        self.inflight: Dict[int, _Inflight] = {}
         self.replaced = 0
         self._noted_attach_failure = False
 
-    # -- lifecycle -----------------------------------------------------
     def run(self, tasks: List[_Task]) -> None:
+        """Drive ``tasks`` to completion; the transport must already be
+        started and is always shut down on the way out."""
         self.pending = deque(tasks)
         try:
-            for _ in range(min(self.processes, max(len(tasks), 1))):
-                self.workers.append(self._spawn())
             self._loop()
         finally:
-            self._shutdown()
-
-    def _spawn(self) -> _Worker:
-        try:
-            return _spawn_worker(
-                self.ctx, self.sweep.network, self.shm_name, self.line_bytes
-            )
-        except OSError as error:
-            raise _SupervisionFailure(f"cannot spawn fork worker: {error}")
-
-    def _replace(self, worker: _Worker) -> None:
-        _stop_worker(worker)
-        self.replaced += 1
-        self.report.workers_replaced += 1
-        _M_REPLACED.inc()
-        obs.event(
-            "campaign.worker_replaced",
-            worker_pid=worker.process.pid,
-            replacements=self.replaced,
-        )
-        if self.replaced > _max_replacements(self.processes):
-            self.workers.remove(worker)
-            raise _SupervisionFailure(
-                f"{self.replaced} worker replacements exceeded the limit"
-            )
-        index = self.workers.index(worker)
-        self.workers[index] = self._spawn()
-
-    def _shutdown(self) -> None:
-        for worker in self.workers:
-            try:
-                worker.conn.send(None)
-            except (OSError, ValueError):
-                pass
-        for worker in self.workers:
-            _stop_worker(worker)
-        self.workers = []
+            self.transport.shutdown()
 
     # -- supervision loop ----------------------------------------------
     def _loop(self) -> None:
-        from multiprocessing import connection as mp_connection
-
-        while self.pending or any(w.task is not None for w in self.workers):
+        while self.pending or self.inflight:
             now = time.monotonic()
             self._assign(now)
-            busy = [w for w in self.workers if w.task is not None]
-            if not busy:
+            self._maybe_steal(now)
+            if not self.inflight:
                 if self.pending:
                     delay = min(t.not_before for t in self.pending) - now
                     time.sleep(max(delay, 0.005))
                 continue
-            ready = mp_connection.wait(
-                [w.conn for w in busy], timeout=POLL_SECONDS
-            )
-            for conn in ready:
-                worker = next(w for w in busy if w.conn is conn)
-                self._drain(worker)
+            for result in self.transport.poll(POLL_SECONDS):
+                self._handle(result)
             self._enforce_deadlines()
 
     def _assign(self, now: float) -> None:
-        for worker in self.workers:
-            if worker.task is not None or not self.pending:
-                continue
+        while self.pending and self.transport.free_lanes > 0:
             task = self._next_ready(now)
             if task is None:
                 break
             try:
-                worker.conn.send(
-                    (task.key, task.faults, self.chosen, task.attempt)
+                lane = self.transport.submit(
+                    ChunkTask(task.key, task.faults, self.chosen, task.attempt)
                 )
-            except (OSError, ValueError) as error:
+            except SubmitFailed as error:
                 # Worker died while idle: put the task back, replace it.
                 self.pending.appendleft(task)
-                self.report.retry(
-                    task.key,
-                    task.attempt,
-                    f"worker unreachable at assignment: {error}",
-                    "retried",
-                )
-                self._replace(worker)
+                self.report.retry(task.key, task.attempt, str(error), "retried")
+                self._replace_lane(error.lane)
                 continue
-            worker.task = task
-            worker.deadline = (
-                now + self.timeout if self.timeout is not None else None
-            )
+            deadline = now + self.timeout if self.timeout is not None else None
+            self.inflight[lane] = _Inflight(task, deadline, now)
 
     def _next_ready(self, now: float) -> Optional[_Task]:
         for _ in range(len(self.pending)):
@@ -677,51 +550,123 @@ class _ForkSupervisor:
             self.pending.append(task)
         return None
 
-    def _drain(self, worker: _Worker) -> None:
-        try:
-            message = worker.conn.recv()
-        except (EOFError, OSError):
-            self._on_death(worker)
+    def _maybe_steal(self, now: float) -> None:
+        """Re-assign half of the widest long-running chunk to an idle
+        lane.  The victim lane keeps computing its original range; its
+        result is sliced to the surviving half on arrival, so statuses
+        stay byte-identical while the tail stops serializing the sweep.
+        """
+        if (
+            self.transport.in_process
+            or self.pending
+            or self.transport.free_lanes <= 0
+        ):
             return
-        kind, key, payload, shm_ok, worker_events = message
-        if worker_events:
+        victim: Optional[_Inflight] = None
+        for entry in self.inflight.values():
+            if entry.task.stop - entry.task.start < 2:
+                continue
+            if now - entry.started < STEAL_AGE_SECONDS:
+                continue
+            if (
+                victim is None
+                or entry.task.stop - entry.task.start
+                > victim.task.stop - victim.task.start
+            ):
+                victim = entry
+        if victim is None:
+            return
+        task = victim.task
+        mid = (task.start + task.stop) // 2
+        cut = mid - task.start
+        stolen = _Task(mid, task.stop, task.faults[cut:])
+        task.stop = mid
+        task.faults = task.faults[:cut]
+        victim.started = now  # restart the age clock for this victim
+        self.pending.append(stolen)
+        self.report.chunks_total += 1
+        self.report.steals += 1
+        _M_STEALS.inc()
+        obs.event(
+            "campaign.steal",
+            victim=victim.sent_key,
+            chunk=stolen.key,
+            n=len(stolen.faults),
+        )
+
+    def _handle(self, result) -> None:
+        if result.events:
             recorder = obs.get_recorder()
             if recorder is not None:
-                recorder.merge(worker_events)
-        if not shm_ok:
+                recorder.merge(result.events)
+        if not result.shm_ok:
             self._note_attach_failure()
-        task, worker.task, worker.deadline = worker.task, None, None
-        if task is None or key != task.key:  # pragma: no cover - stale
+        entry = self.inflight.get(result.lane)
+        if result.kind == "died":
+            self.inflight.pop(result.lane, None)
+            self._replace_lane(result.lane)
+            if entry is not None:
+                self._requeue(entry.task, "worker died mid-chunk")
             return
-        if kind == "ok" and len(payload) == len(task.faults):
-            self.complete(task, payload)
+        if entry is None or result.key != entry.sent_key:
+            return  # pragma: no cover - stale reply from a replaced lane
+        del self.inflight[result.lane]
+        task = entry.task
+        if result.kind == "ok" and len(result.payload) == entry.sent_len:
+            self.complete(task, list(result.payload[: task.stop - task.start]))
+        elif result.kind == "error" and self.transport.in_process:
+            self._inline_error(task, result)
         else:
             reason = (
-                f"chunk raised: {payload}"
-                if kind == "error"
+                f"chunk raised: {result.payload}"
+                if result.kind == "error"
                 else "malformed chunk result"
             )
             self._requeue(task, reason)
 
-    def _on_death(self, worker: _Worker) -> None:
-        task, worker.task, worker.deadline = worker.task, None, None
-        self._replace(worker)
-        if task is not None:
-            self._requeue(task, "worker died mid-chunk")
+    def _inline_error(self, task: _Task, result) -> None:
+        """The in-process rung has no worker to blame: a block-backend
+        failure steps the whole remainder down to the scalar rung once;
+        the scalar rung itself has nowhere lower to go."""
+        if self.chosen == "bitmask":
+            if result.error is not None:
+                raise result.error
+            raise RuntimeError(str(result.payload))  # pragma: no cover
+        self.report.degrade(
+            "serial",
+            "scalar",
+            f"{self.chosen} block backend failed: {result.payload}",
+        )
+        self.chosen = "bitmask"
+        task.not_before = 0.0
+        self.pending.appendleft(task)
 
     def _enforce_deadlines(self) -> None:
         now = time.monotonic()
-        for worker in self.workers:
-            if worker.task is None:
-                continue
-            if worker.deadline is not None and now >= worker.deadline:
-                task, worker.task, worker.deadline = worker.task, None, None
-                self._replace(worker)
-                self._requeue(
-                    task, f"timeout after {self.timeout:g}s"
-                )
-            elif not worker.process.is_alive():
-                self._on_death(worker)
+        for lane in list(self.inflight):
+            entry = self.inflight[lane]
+            if entry.deadline is not None and now >= entry.deadline:
+                del self.inflight[lane]
+                self._replace_lane(lane)
+                self._requeue(entry.task, f"timeout after {self.timeout:g}s")
+
+    def _replace_lane(self, lane: int) -> None:
+        self.replaced += 1
+        self.report.workers_replaced += 1
+        _M_REPLACED.inc()
+        obs.event(
+            "campaign.worker_replaced",
+            worker_pid=self.transport.lane_pid(lane),
+            replacements=self.replaced,
+        )
+        if self.replaced > _max_replacements(self.transport.lanes):
+            raise _SupervisionFailure(
+                f"{self.replaced} worker replacements exceeded the limit"
+            )
+        try:
+            self.transport.replace(lane)
+        except TransportFailure as error:
+            raise _SupervisionFailure(str(error))
 
     def _note_attach_failure(self) -> None:
         if not self._noted_attach_failure:
@@ -767,23 +712,6 @@ class _ForkSupervisor:
             self.pending.append(task)
 
 
-def _parent_serial_chunk(sweep, faults, chosen, report) -> List[str]:
-    """Classify one chunk in the parent, degrading serial -> scalar on a
-    block-backend failure (recorded, never swallowed)."""
-    try:
-        return chunk_statuses(sweep.engine, faults, chosen)
-    except Exception as error:
-        if chosen == "bitmask":
-            raise
-        report.degrade(
-            "serial",
-            "scalar",
-            f"{chosen} block backend failed: "
-            f"{type(error).__name__}: {error}",
-        )
-        return chunk_statuses(sweep.engine, faults, "bitmask")
-
-
 # ----------------------------------------------------------------------
 # the campaign driver
 # ----------------------------------------------------------------------
@@ -797,14 +725,17 @@ def run_campaign(
     resume: bool = False,
     chunk_faults: Optional[int] = None,
     abort_after_chunks: Optional[int] = None,
+    transport: str = "auto",
 ) -> Tuple[List[str], CampaignReport]:
     """Run one supervised campaign; returns ``(statuses, report)``.
 
     ``chosen`` is a resolved block-backend name (``bitmask`` /
-    ``vectorized`` / ``fallback``).  ``abort_after_chunks`` is the
-    interruption hook used by tests and drills: the campaign raises
-    :class:`CampaignInterrupted` after that many newly simulated chunks,
-    leaving the checkpoint resumable.
+    ``vectorized`` / ``fallback``).  ``transport`` picks the execution
+    fabric: ``auto`` (fork workers when ``processes > 1``, in-process
+    otherwise), ``inline``, ``fork``, ``fork+shm``, or ``socket``.
+    ``abort_after_chunks`` is the interruption hook used by tests and
+    drills: the campaign raises :class:`CampaignInterrupted` after that
+    many newly simulated chunks, leaving the checkpoint resumable.
 
     One :class:`~repro.obs.Stopwatch` times the whole campaign;
     ``report.wall_seconds`` is assigned exactly once from it, and the
@@ -817,6 +748,7 @@ def run_campaign(
         faults=len(universe),
         backend=chosen,
         processes=processes or 0,
+        transport=transport,
     ):
         statuses, report = _run_campaign(
             sweep,
@@ -828,6 +760,7 @@ def run_campaign(
             resume=resume,
             chunk_faults=chunk_faults,
             abort_after_chunks=abort_after_chunks,
+            transport=transport,
         )
     report.wall_seconds = watch.elapsed()
     if _REG.enabled:
@@ -840,6 +773,18 @@ def run_campaign(
     return statuses, report
 
 
+#: Worker-rung ladders by requested transport: each rung is tried in
+#: order, with a recorded degradation between steps; the serial rungs
+#: (always available, in-process) are the implicit floor.
+_LADDERS = {
+    "auto": ("fork+shm",),
+    "fork+shm": ("fork+shm",),
+    "fork": ("fork",),
+    "socket": ("socket", "fork+shm"),
+    "inline": (),
+}
+
+
 def _run_campaign(
     sweep,
     universe: Sequence,
@@ -850,11 +795,26 @@ def _run_campaign(
     resume: bool = False,
     chunk_faults: Optional[int] = None,
     abort_after_chunks: Optional[int] = None,
+    transport: str = "auto",
 ) -> Tuple[List[str], CampaignReport]:
+    if transport not in _LADDERS:
+        raise ValueError(
+            f"unknown transport {transport!r}; "
+            f"expected one of {sorted(_LADDERS)}"
+        )
     n = len(universe)
-    want_fork = bool(processes and processes > 1)
+    lanes = max(processes or 1, 1)
+    want_workers = (
+        transport in ("fork", "fork+shm", "socket")
+        or (transport == "auto" and lanes > 1)
+    )
+    requested_rung = _LADDERS[transport][0] if want_workers else None
     report = CampaignReport(
-        requested=(f"fork+shm:{chosen}" if want_fork else _serial_rung(chosen)),
+        requested=(
+            f"{requested_rung}:{chosen}"
+            if want_workers
+            else _serial_rung(chosen)
+        ),
         block_backend=chosen,
         faults=n,
         checkpoint_path=checkpoint,
@@ -902,48 +862,55 @@ def _run_campaign(
         report.backend = "resumed" if report.chunks_resumed else _serial_rung(chosen)
         return [s for s in statuses], report
 
-    # Degenerate-fan-out guard: never fork more lanes than chunks.
-    use_fork = want_fork and n_remaining >= 4 * processes
-    if want_fork and not use_fork:
+    # Degenerate-fan-out guard: never spawn more lanes than chunks can
+    # amortize.
+    use_workers = want_workers and n_remaining >= 4 * lanes
+    if want_workers and not use_workers:
         report.degrade(
-            "fork+shm",
+            requested_rung,
             "serial" if chosen != "bitmask" else "scalar",
-            f"{n_remaining} remaining faults cannot amortize {processes} "
-            f"fork workers (need >= {4 * processes}); running in-process",
+            f"{n_remaining} remaining faults cannot amortize {lanes} "
+            f"{requested_rung} workers (need >= {4 * lanes}); running "
+            f"in-process",
         )
     chunk = chunk_faults or default_chunk_faults(
-        n_remaining, processes if use_fork else None
+        n_remaining, lanes if use_workers else None
     )
     tasks = _build_tasks(universe, statuses, chunk)
     report.chunks_total += len(tasks)
 
-    forked = False
-    if use_fork:
-        forked = _try_forked(
-            sweep, tasks, chosen, processes, timeout, report, complete
+    served_rung: Optional[str] = None
+    if use_workers:
+        served_rung = _try_worker_rungs(
+            sweep,
+            _LADDERS[transport],
+            chosen,
+            min(lanes, max(len(tasks), 1)),
+            timeout,
+            report,
+            complete,
+            lambda: _build_tasks(universe, statuses, chunk),
+            tasks,
         )
-        if not forked and chosen == "bitmask" and n_remaining >= VECTOR_MIN_FAULTS:
-            # Serve the bulk request on the serial block backend rather
+        n_left = sum(1 for s in statuses if s is None)
+        if (
+            served_rung is None
+            and chosen == "bitmask"
+            and n_left >= VECTOR_MIN_FAULTS
+        ):
+            # Serve the bulk remainder on the serial block backend rather
             # than degrading all the way to the per-fault scalar loop.
             chosen = "vectorized" if HAVE_NUMPY else "fallback"
             report.block_backend = chosen
 
-    if not forked:
+    if served_rung is None:
         chosen = _serial_fill(
-            sweep, universe, statuses, chosen, report, store, complete, chunk
+            sweep, universe, statuses, chosen, report, complete, chunk
         )
         report.block_backend = chosen
         report.backend = _serial_rung(chosen)
     else:
-        rung = (
-            "fork"
-            if any(
-                d.frm == "fork+shm" and d.to == "fork"
-                for d in report.degradations
-            )
-            else "fork+shm"
-        )
-        report.backend = f"{rung}:{chosen}"
+        report.backend = f"{served_rung}:{chosen}"
 
     missing = [i for i, s in enumerate(statuses) if s is None]
     if missing:  # pragma: no cover - defended invariant
@@ -957,79 +924,91 @@ def _serial_rung(chosen: str) -> str:
     return f"scalar:{chosen}" if chosen == "bitmask" else f"serial:{chosen}"
 
 
-def _try_forked(
+def _try_worker_rungs(
     sweep,
-    tasks: List[_Task],
+    rungs: Sequence[str],
     chosen: str,
-    processes: int,
+    lanes: int,
     timeout: Optional[float],
     report: CampaignReport,
     complete: Callable[[_Task, List[str]], None],
-) -> bool:
-    """Attempt the fork rungs; returns False (with the degradation
-    recorded) when the campaign must continue serially."""
-    try:
-        import multiprocessing
-
-        ctx = multiprocessing.get_context("fork")
-    except (ImportError, ValueError) as error:
-        report.degrade(
-            "fork+shm",
-            "serial",
-            f"fork start method unavailable: {error}; serving the batch "
-            f"on the serial block backend",
-        )
-        return False
-
-    shm = None
-    shm_name: Optional[str] = None
-    line_bytes = 8
-    try:
-        shm, shm_name, line_bytes = _create_shared_baseline(sweep)
-    except (ImportError, OSError, ValueError) as error:
-        report.degrade(
-            "fork+shm",
-            "fork",
-            f"shared-memory baseline unavailable: "
-            f"{type(error).__name__}: {error}; workers re-derive it",
-        )
-    supervisor = _ForkSupervisor(
-        sweep,
-        ctx,
-        chosen,
-        processes,
-        timeout,
-        report,
-        shm_name,
-        line_bytes,
-        complete,
-    )
-    try:
-        supervisor.run(tasks)
-        return True
-    except _SupervisionFailure as error:
-        rung = (
-            "fork"
-            if any(
-                d.frm == "fork+shm" and d.to == "fork"
-                for d in report.degradations
+    remaining_tasks: Callable[[], List[_Task]],
+    first_tasks: List[_Task],
+) -> Optional[str]:
+    """Walk the worker rungs of the ladder; returns the rung that served
+    the campaign, or ``None`` (with every degradation recorded) when the
+    remainder must be finished in-process."""
+    tasks = first_tasks
+    for index, rung in enumerate(rungs):
+        if tasks is None:
+            # A previous rung completed some chunks before failing:
+            # re-chunk the uncovered remainder and fix the ledger.
+            tasks = remaining_tasks()
+            report.chunks_total = (
+                report.chunks_completed
+                + report.chunks_resumed
+                + len(tasks)
             )
-            else "fork+shm"
-        )
-        report.degrade(
+            if not tasks:
+                return rung
+        next_rung = rungs[index + 1] if index + 1 < len(rungs) else "serial"
+        fabric = create_transport(
             rung,
-            "serial",
-            f"supervised fork runtime failed: {error}; salvaging "
-            f"completed chunks and finishing serially",
+            sweep,
+            lanes,
+            on_degrade=report.degrade,
+            tracing=obs.get_recorder() is not None,
         )
-        return False
-    finally:
-        if shm is not None:
-            shm.close()
-            try:
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
+        try:
+            fabric.start()
+        except TransportUnavailable as error:
+            if next_rung == "serial":
+                report.degrade(
+                    rung,
+                    "serial",
+                    f"{error}; serving the batch on the serial block "
+                    f"backend",
+                )
+            else:
+                report.degrade(
+                    rung,
+                    next_rung,
+                    f"{error}; stepping down to {next_rung} workers",
+                )
+            continue
+        supervisor = _TransportSupervisor(
+            sweep, fabric, chosen, timeout, report, complete
+        )
+        try:
+            supervisor.run(tasks)
+            return _served_rung(fabric, report)
+        except _SupervisionFailure as error:
+            served = _served_rung(fabric, report)
+            tail = (
+                "finishing serially"
+                if next_rung == "serial"
+                else f"finishing on {next_rung} workers"
+            )
+            report.degrade(
+                served,
+                next_rung,
+                f"supervised {served} runtime failed: {error}; salvaging "
+                f"completed chunks and {tail}",
+            )
+            tasks = None
+    return None
+
+
+def _served_rung(fabric: Transport, report: CampaignReport) -> str:
+    """The ladder rung a worker transport actually served: ``fork+shm``
+    collapses to ``fork`` when any worker fell back to re-deriving the
+    baseline locally."""
+    rung = fabric.rung
+    if rung == "fork+shm" and any(
+        d.frm == "fork+shm" and d.to == "fork" for d in report.degradations
+    ):
+        rung = "fork"
+    return rung
 
 
 def _serial_fill(
@@ -1038,31 +1017,25 @@ def _serial_fill(
     statuses: List[Optional[str]],
     chosen: str,
     report: CampaignReport,
-    store: Optional[CampaignCheckpoint],
     complete: Callable[[_Task, List[str]], None],
     chunk: int,
 ) -> str:
-    """Classify every still-uncovered fault in-process, stepping down to
-    the scalar rung on a block-backend failure.  Returns the backend
-    that finished the job."""
+    """Classify every still-uncovered fault in-process through the
+    inline transport, stepping down to the scalar rung on a
+    block-backend failure.  Returns the backend that finished the job."""
+    from .transport import InlineTransport
+
     tasks = _build_tasks(universe, statuses, chunk)
-    # _build_tasks was already counted for the fork attempt; only count
-    # tasks that re-chunked differently after a partial fork salvage.
+    # _build_tasks was already counted for the worker attempt; only count
+    # tasks that re-chunked differently after a partial salvage.
     already = report.chunks_completed + report.chunks_resumed
     report.chunks_total = already + len(tasks)
-    for task in tasks:
-        try:
-            values = chunk_statuses(sweep.engine, task.faults, chosen)
-        except Exception as error:
-            if chosen == "bitmask":
-                raise
-            report.degrade(
-                "serial",
-                "scalar",
-                f"{chosen} block backend failed: "
-                f"{type(error).__name__}: {error}",
-            )
-            chosen = "bitmask"
-            values = chunk_statuses(sweep.engine, task.faults, chosen)
-        complete(task, values)
-    return chosen
+    if not tasks:
+        return chosen
+    fabric = InlineTransport(sweep.engine)
+    fabric.start()
+    supervisor = _TransportSupervisor(
+        sweep, fabric, chosen, None, report, complete
+    )
+    supervisor.run(tasks)
+    return supervisor.chosen

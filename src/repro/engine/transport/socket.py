@@ -1,0 +1,414 @@
+"""The socket transport: ``python -m repro worker`` lanes over sockets.
+
+The stepping stone from one machine's fork pool to a multi-host fabric:
+the supervisor listens on a Unix socket (or TCP on ``127.0.0.1``),
+spawns ``python -m repro worker --connect <spec>`` subprocesses, and
+drives them with exactly the message shapes the fork transport uses —
+``(key, faults, backend, attempt)`` jobs, ``(kind, key, payload,
+shm_ok, events)`` replies — framed and pickled by
+:class:`multiprocessing.connection.Connection` over the socket.
+
+Workers authenticate with a per-campaign shared secret delivered
+through the ``REPRO_WORKER_TOKEN`` environment variable (never on the
+command line, where it would leak via ``ps``).  A worker that connects
+without the right token is dropped before any netlist is exchanged.
+
+Unlike fork workers, socket workers are *spawned* interpreters: they
+inherit no parent state, so the netlist travels over the connection
+(``("init", network, tracing)``) and chaos sabotage is armed through
+the environment (``REPRO_CHAOS_KIND`` / ``REPRO_CHAOS_ONCE`` — see
+:func:`repro.qa.chaos.sabotage_campaign`) instead of an inherited hook.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import socket as _socket
+import subprocess
+import sys
+import tempfile
+import time
+from typing import List, Optional
+
+from .base import (
+    ChunkResult,
+    ChunkTask,
+    SubmitFailed,
+    Transport,
+    TransportError,
+    TransportFailure,
+    TransportUnavailable,
+)
+from .fork import KILL_GRACE, run_chunk_jobs
+
+#: Seconds a freshly spawned worker gets to connect and say hello
+#: (a cold interpreter importing repro + NumPy needs a moment).
+CONNECT_TIMEOUT = 20.0
+
+#: Environment variable carrying the shared connection secret.
+TOKEN_ENV = "REPRO_WORKER_TOKEN"
+
+#: The worker's live connection, published for the chaos suite
+#: (``socket-dropped`` closes it mid-chunk and leaves the process up).
+CURRENT_CONNECTION = None
+
+
+def _wrap(sock) -> "object":
+    """An accepted/raw socket as a pickling, pollable Connection."""
+    from multiprocessing import connection as mp_connection
+
+    return mp_connection.Connection(sock.detach())
+
+
+class _Lane:
+    __slots__ = ("process", "conn", "busy", "dead")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.busy = False
+        self.dead = False
+
+
+def _stop_lane(lane: _Lane) -> None:
+    if lane.conn is not None:
+        try:
+            lane.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+    process = lane.process
+    if process is not None and process.poll() is None:
+        process.terminate()
+        try:
+            process.wait(KILL_GRACE)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            try:
+                process.wait(KILL_GRACE)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+
+
+class SocketTransport(Transport):
+    """``repro worker`` subprocess lanes over an authenticated socket."""
+
+    name = "socket"
+    in_process = False
+
+    def __init__(self, sweep, lanes: int, address: Optional[str] = None,
+                 tracing: bool = False) -> None:
+        self.sweep = sweep
+        self.lanes = max(lanes, 1)
+        self.address = address
+        self.tracing = tracing
+        self._token = secrets.token_hex(16)
+        self._listener: Optional[_socket.socket] = None
+        self._spec: Optional[str] = None
+        self._tmpdir: Optional[str] = None
+        self._lanes: List[_Lane] = []
+        self._tasks: List[Optional[ChunkTask]] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        try:
+            self._listen()
+        except OSError as error:
+            raise TransportUnavailable(
+                f"socket transport cannot listen: {error}"
+            )
+        try:
+            for _ in range(self.lanes):
+                self._lanes.append(self._spawn())
+                self._tasks.append(None)
+        except TransportError as error:
+            self.shutdown()
+            raise TransportUnavailable(str(error))
+
+    def _listen(self) -> None:
+        if self.address is not None:
+            host, _, port = self.address.partition(":")
+            listener = _socket.socket(_socket.AF_INET)
+            listener.setsockopt(
+                _socket.SOL_SOCKET, _socket.SO_REUSEADDR, 1
+            )
+            listener.bind((host, int(port or 0)))
+            bound = listener.getsockname()
+            self._spec = f"tcp:{bound[0]}:{bound[1]}"
+        elif hasattr(_socket, "AF_UNIX"):
+            self._tmpdir = tempfile.mkdtemp(prefix="repro-transport-")
+            path = os.path.join(self._tmpdir, "campaign.sock")
+            listener = _socket.socket(_socket.AF_UNIX)
+            listener.bind(path)
+            self._spec = f"unix:{path}"
+        else:  # pragma: no cover - non-unix fallback
+            listener = _socket.socket(_socket.AF_INET)
+            listener.bind(("127.0.0.1", 0))
+            bound = listener.getsockname()
+            self._spec = f"tcp:{bound[0]}:{bound[1]}"
+        listener.listen(self.lanes + 2)
+        listener.settimeout(0.25)
+        self._listener = listener
+
+    def _worker_env(self) -> dict:
+        env = dict(os.environ)
+        env[TOKEN_ENV] = self._token
+        # The spawned interpreter must find the repro package even when
+        # the repo runs uninstalled from a source tree.
+        import repro
+
+        src_root = os.path.dirname(os.path.dirname(repro.__file__))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing
+            else src_root + os.pathsep + existing
+        )
+        return env
+
+    def _spawn(self) -> _Lane:
+        try:
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker",
+                 "--connect", self._spec],
+                env=self._worker_env(),
+                stdin=subprocess.DEVNULL,
+            )
+        except OSError as error:
+            raise TransportFailure(f"cannot spawn socket worker: {error}")
+        conn = self._accept(process)
+        try:
+            conn.send(("init", self.sweep.network, self.tracing))
+            if not conn.poll(CONNECT_TIMEOUT):
+                raise TransportFailure("socket worker never became ready")
+            ready = conn.recv()
+        except (OSError, EOFError, ValueError) as error:
+            _stop_lane(_Lane(process, conn))
+            raise TransportFailure(
+                f"socket worker failed during init: {error}"
+            )
+        if not (isinstance(ready, tuple) and ready[:1] == ("ready",)):
+            _stop_lane(_Lane(process, conn))
+            raise TransportFailure(
+                f"socket worker sent a bad ready message: {ready!r}"
+            )
+        return _Lane(process, conn)
+
+    def _accept(self, process):
+        """One authenticated worker connection, or a TransportFailure."""
+        deadline = time.monotonic() + CONNECT_TIMEOUT
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                raise TransportFailure(
+                    f"socket worker exited with code {process.returncode} "
+                    f"before connecting"
+                )
+            try:
+                sock, _peer = self._listener.accept()
+            except _socket.timeout:
+                continue
+            except OSError as error:  # pragma: no cover
+                raise TransportFailure(f"accept failed: {error}")
+            conn = _wrap(sock)
+            try:
+                if not conn.poll(CONNECT_TIMEOUT):
+                    raise EOFError("no hello")
+                hello = conn.recv()
+            except (EOFError, OSError, ValueError):
+                conn.close()
+                continue
+            if (
+                isinstance(hello, tuple)
+                and len(hello) == 2
+                and hello[0] == "hello"
+                and secrets.compare_digest(str(hello[1]), self._token)
+            ):
+                return conn
+            conn.close()  # wrong secret: drop before sharing anything
+        raise TransportFailure(
+            f"socket worker did not connect within {CONNECT_TIMEOUT:g}s"
+        )
+
+    def replace(self, lane: int) -> None:
+        _stop_lane(self._lanes[lane])
+        self._tasks[lane] = None
+        self._lanes[lane] = self._spawn()
+
+    def shutdown(self) -> None:
+        for entry in self._lanes:
+            try:
+                entry.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        for entry in self._lanes:
+            _stop_lane(entry)
+        self._lanes = []
+        self._tasks = []
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._listener = None
+        if self._tmpdir is not None:
+            try:
+                os.unlink(os.path.join(self._tmpdir, "campaign.sock"))
+                os.rmdir(self._tmpdir)
+            except OSError:  # pragma: no cover
+                pass
+            self._tmpdir = None
+
+    # -- task flow -----------------------------------------------------
+    @property
+    def free_lanes(self) -> int:
+        return sum(
+            1 for entry in self._lanes if not entry.busy and not entry.dead
+        )
+
+    def lane_pid(self, lane: int) -> Optional[int]:
+        return self._lanes[lane].process.pid
+
+    def submit(self, task: ChunkTask) -> int:
+        for index, entry in enumerate(self._lanes):
+            if entry.busy or entry.dead:
+                continue
+            try:
+                entry.conn.send(
+                    (task.key, task.faults, task.backend, task.attempt)
+                )
+            except (OSError, ValueError) as error:
+                entry.dead = True
+                raise SubmitFailed(
+                    index, f"worker unreachable at assignment: {error}"
+                )
+            entry.busy = True
+            self._tasks[index] = task
+            return index
+        raise RuntimeError("no free lane")  # pragma: no cover - defended
+
+    def poll(self, timeout: float) -> List[ChunkResult]:
+        from multiprocessing import connection as mp_connection
+
+        busy = [
+            (i, entry)
+            for i, entry in enumerate(self._lanes)
+            if entry.busy and not entry.dead
+        ]
+        if not busy:
+            time.sleep(min(timeout, 0.005))
+            return []
+        ready = mp_connection.wait(
+            [entry.conn for _i, entry in busy], timeout=timeout
+        )
+        results: List[ChunkResult] = []
+        for index, entry in busy:
+            if entry.conn in ready:
+                results.extend(self._drain(index, entry))
+            elif entry.process.poll() is not None:
+                results.append(self._death(index, entry))
+        return results
+
+    def _drain(self, index: int, entry: _Lane) -> List[ChunkResult]:
+        try:
+            message = entry.conn.recv()
+        except (EOFError, OSError):
+            return [self._death(index, entry)]
+        kind, key, payload, shm_ok, events = message
+        entry.busy = False
+        self._tasks[index] = None
+        return [
+            ChunkResult(
+                kind, key, index, payload=payload, shm_ok=shm_ok,
+                events=events,
+            )
+        ]
+
+    def _death(self, index: int, entry: _Lane) -> ChunkResult:
+        entry.dead = True
+        entry.busy = False
+        task, self._tasks[index] = self._tasks[index], None
+        return ChunkResult(
+            "died", task.key if task else None, index,
+            payload="worker died mid-chunk",
+        )
+
+
+# ----------------------------------------------------------------------
+# worker entry point (``python -m repro worker``)
+# ----------------------------------------------------------------------
+def _connect(spec: str):
+    """Dial a ``unix:PATH`` or ``tcp:HOST:PORT`` connection spec."""
+    kind, _, rest = spec.partition(":")
+    if kind == "unix":
+        sock = _socket.socket(_socket.AF_UNIX)
+        sock.connect(rest)
+    elif kind == "tcp":
+        host, _, port = rest.rpartition(":")
+        sock = _socket.socket(_socket.AF_INET)
+        sock.connect((host, int(port)))
+    else:
+        raise ValueError(
+            f"bad --connect spec {spec!r}; use unix:PATH or tcp:HOST:PORT"
+        )
+    return _wrap(sock)
+
+
+def run_worker(spec: str, token: Optional[str] = None) -> int:
+    """Serve campaign chunks to the supervisor at ``spec`` until it
+    hangs up.  The shared secret comes from ``token`` or the
+    ``REPRO_WORKER_TOKEN`` environment variable.
+
+    Returns a process exit code (0 on a clean hangup).
+    """
+    global CURRENT_CONNECTION
+
+    token = token if token is not None else os.environ.get(TOKEN_ENV)
+    if not token:
+        print(
+            f"repro worker: no connection token; set {TOKEN_ENV}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        conn = _connect(spec)
+    except (OSError, ValueError) as error:
+        print(f"repro worker: cannot connect {spec!r}: {error}",
+              file=sys.stderr)
+        return 2
+    CURRENT_CONNECTION = conn
+
+    from ...qa.chaos import install_env_sabotage
+
+    install_env_sabotage()  # spawned workers read chaos arming from env
+
+    try:
+        conn.send(("hello", token))
+        if not conn.poll(CONNECT_TIMEOUT):
+            raise EOFError("no init from supervisor")
+        message = conn.recv()
+    except (EOFError, OSError) as error:
+        print(f"repro worker: handshake failed: {error}", file=sys.stderr)
+        return 2
+    if not (isinstance(message, tuple) and message[:1] == ("init",)):
+        print(f"repro worker: bad init message: {message!r}",
+              file=sys.stderr)
+        return 2
+    _kind, network, tracing = message
+
+    from ... import obs
+    from .. import NetworkEngine
+
+    engine = NetworkEngine(network)
+    drain = obs.drain_child_events
+    if tracing:
+        # A spawned worker inherits no recorder: install a local one and
+        # ship its events back with each chunk result.
+        recorder = obs.MemoryRecorder()
+        obs.set_recorder(recorder)
+
+        def drain() -> list:
+            events, recorder.events = recorder.events, []
+            return events
+
+    conn.send(("ready", os.getpid()))
+    run_chunk_jobs(conn, engine, drain=drain)
+    return 0

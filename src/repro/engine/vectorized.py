@@ -604,8 +604,10 @@ def chunk_statuses(engine, faults: Sequence[FaultLike], backend: str) -> List[st
     """Classify one chunk of faults on a resolved block backend.
 
     This is the single chunk-level entry point shared by the serial
-    campaign driver and the supervised fork workers, so every rung of
-    the degradation ladder classifies through the same code.  ``engine``
+    campaign driver and every execution transport's worker loop
+    (:func:`repro.engine.transport.fork.run_chunk_jobs` resolves it
+    late, so chaos patches land everywhere), which is why every rung of
+    the degradation ladder classifies byte-identically.  ``engine``
     is a :class:`~repro.engine.NetworkEngine`; ``backend`` is a resolved
     name (``vectorized`` / ``fallback`` / ``bitmask``) — ``vectorized``
     quietly serves on the packed fallback when NumPy is absent (the

@@ -23,7 +23,10 @@ Instrumented seams: the engine backends (op/word counters, block
 sizes), :func:`repro.engine.vectorized.chunk_statuses` (the per-chunk
 ``sweep.chunk`` span every ladder rung classifies through),
 :mod:`repro.engine.supervisor` (chunk completions, retries, worker
-replacements, checkpoint writes, the campaign wall-clock stopwatch),
+replacements, work steals, checkpoint writes, the campaign wall-clock
+stopwatch), :mod:`repro.engine.store` (artifact hits/misses/evictions),
+:mod:`repro.server` (request/job/subscriber counters behind
+``GET /metrics``),
 :class:`repro.engine.campaign.FaultSweep` (sweep-level spans), and
 :mod:`repro.qa.runner` (per-property spans and trial verdicts).
 """

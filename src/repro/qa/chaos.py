@@ -16,7 +16,10 @@ and the supervisor tests assert the sweep still completes with
 statuses byte-identical to the serial path, the incident visible in
 the :class:`~repro.engine.supervisor.CampaignReport`.  Worker
 sabotages ride :data:`repro.engine.supervisor.WORKER_CHUNK_HOOK`,
-which fork children inherit from the parent at spawn time; one-shot
+which fork children inherit from the parent at spawn time; *spawned*
+socket workers (fresh interpreters, no inherited state) re-arm the
+same hook from the ``REPRO_CHAOS_KIND`` / ``REPRO_CHAOS_ONCE``
+environment variables via :func:`install_env_sabotage`.  One-shot
 kinds coordinate across processes through an ``O_EXCL`` sentinel file
 so a replacement worker does not re-fire the failure forever.
 """
@@ -30,7 +33,12 @@ from typing import Callable, Dict, Iterator, Optional
 
 from ..engine import backends
 from ..engine import supervisor as _supervisor
+from ..engine.transport import fork as _transport_fork
 from ..logic.gates import GateKind
+
+#: Environment seam arming worker sabotage in spawned (non-fork) workers.
+CHAOS_KIND_ENV = "REPRO_CHAOS_KIND"
+CHAOS_ONCE_ENV = "REPRO_CHAOS_ONCE"
 
 
 def _make_mask_bug(swap_from: GateKind, swap_as: GateKind) -> Callable:
@@ -136,8 +144,25 @@ def _worker_exits() -> None:
     os._exit(3)
 
 
+def _socket_dropped() -> None:
+    # Sever the worker's command connection without killing the
+    # process: the supervisor sees EOF mid-chunk, must treat the lane
+    # as dead, kill this orphan, and replace it.  The sleep keeps the
+    # orphan alive long enough to prove the parent does the killing.
+    from ..engine.transport import socket as _transport_socket
+
+    conn = _transport_socket.CURRENT_CONNECTION
+    if conn is not None:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+    time.sleep(3600)
+
+
 #: Worker-level sabotages delivered through WORKER_CHUNK_HOOK (fork
-#: children inherit the armed hook from the parent).
+#: children inherit the armed hook from the parent; spawned socket
+#: workers re-arm it from the environment).
 WORKER_SABOTAGE: Dict[str, Callable[[], None]] = {
     # The first chunk touched raises inside the worker: the supervisor
     # must retry it (backoff) and the sweep must still complete.
@@ -149,7 +174,24 @@ WORKER_SABOTAGE: Dict[str, Callable[[], None]] = {
     "worker-killed": _worker_killed,
     # A worker exits cleanly but prematurely mid-chunk: same recovery.
     "worker-exits": _worker_exits,
+    # A socket worker's connection drops mid-chunk while the process
+    # lives on: lane death, orphan reaped, replacement, retry.
+    "socket-dropped": _socket_dropped,
 }
+
+
+def install_env_sabotage() -> None:
+    """Arm this process's :data:`WORKER_CHUNK_HOOK` from the chaos
+    environment variables.  Called by the ``repro worker`` entry point:
+    spawned workers inherit no parent Python state, so the sabotage
+    travels as environment instead of an inherited module global."""
+    kind = os.environ.get(CHAOS_KIND_ENV)
+    if not kind or kind not in WORKER_SABOTAGE:
+        return
+    once_path = os.environ.get(CHAOS_ONCE_ENV) or None
+    _supervisor.WORKER_CHUNK_HOOK = _worker_hook(
+        WORKER_SABOTAGE[kind], once_path
+    )
 
 
 def campaign_sabotage_names() -> list:
@@ -176,24 +218,38 @@ def sabotage_campaign(
     """
     if kind in WORKER_SABOTAGE:
         previous = _supervisor.WORKER_CHUNK_HOOK
+        previous_env = {
+            key: os.environ.get(key)
+            for key in (CHAOS_KIND_ENV, CHAOS_ONCE_ENV)
+        }
         _supervisor.WORKER_CHUNK_HOOK = _worker_hook(
             WORKER_SABOTAGE[kind], once_path
         )
+        # Spawned socket workers cannot inherit the hook: arm the
+        # environment too, which they read back at startup.
+        os.environ[CHAOS_KIND_ENV] = kind
+        if once_path is not None:
+            os.environ[CHAOS_ONCE_ENV] = once_path
         try:
             yield
         finally:
             _supervisor.WORKER_CHUNK_HOOK = previous
+            for key, value in previous_env.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:  # pragma: no cover - nested sabotage
+                    os.environ[key] = value
     elif kind == "shm-denied":
-        original = _supervisor._create_shared_baseline
+        original = _transport_fork._create_shared_baseline
 
         def denied(_sweep):
             raise OSError("chaos: shared memory denied")
 
-        _supervisor._create_shared_baseline = denied
+        _transport_fork._create_shared_baseline = denied
         try:
             yield
         finally:
-            _supervisor._create_shared_baseline = original
+            _transport_fork._create_shared_baseline = original
     elif kind == "block-backend-broken":
         original = _supervisor.chunk_statuses
 

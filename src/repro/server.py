@@ -1,0 +1,494 @@
+"""``repro serve`` — a queueing campaign service over the engine.
+
+A deliberately small asyncio front end (stdlib only) that turns the
+supervised campaign runtime into a long-lived service:
+
+* ``POST /campaign`` with a JSON body (``netlist`` text plus the usual
+  sweep knobs) streams campaign progress back as NDJSON over HTTP/1.1
+  chunked transfer — one JSON object per line: an ``accepted`` header,
+  every ``campaign.*`` flight event as it happens, then a ``result``
+  line with the coverage stats and the structured
+  :class:`~repro.engine.supervisor.CampaignReport`.
+* Identical requests are **coalesced**: an in-flight job is keyed by a
+  content fingerprint of the request (netlist text + universe shape +
+  execution knobs), and every later identical submission subscribes to
+  the same execution instead of starting its own.  Completed campaigns
+  additionally land in the process-wide content-addressed
+  :data:`~repro.engine.store.STORE` (kind ``"campaign"``, keyed by
+  compiled-program + universe fingerprints), so repeats after
+  completion replay instantly — the hit rate is visible in
+  ``/metrics``.
+* ``GET /metrics`` serves the Prometheus text exposition of
+  :data:`repro.obs.REGISTRY`; ``GET /healthz`` a JSON liveness probe.
+
+Campaigns execute **strictly serialized** in one worker thread: the
+tracing recorder and metrics registry are process-global, and the
+supervised runtime already fans each campaign out across worker lanes,
+so queueing jobs keeps the telemetry attributable without oversub-
+scribing the machine.  Fairness comes from the dedup: the common
+stampede (many clients, one netlist) is one execution, not a queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import hashlib
+import json
+import socket as socketlib
+from typing import Dict, List, Optional, Tuple
+
+from . import obs
+from .engine.store import STORE, program_fingerprint, text_fingerprint
+from .obs.recorder import MemoryRecorder
+
+#: Request fields a client may set, with their defaults.  Anything else
+#: in the body is rejected — silent typos ("transprot") would otherwise
+#: dedup two requests the client believes are different.
+REQUEST_DEFAULTS = {
+    "backend": "auto",
+    "processes": None,
+    "transport": "auto",
+    "timeout": None,
+    "collapse": True,
+    "statuses": False,
+}
+
+#: Upper bound on request bodies (netlists are text; 8 MiB is generous).
+MAX_BODY_BYTES = 8 << 20
+
+_REG = obs.REGISTRY
+_M_REQUESTS = _REG.counter(
+    "repro_serve_requests_total", "HTTP requests handled, by route"
+)
+_M_JOBS = _REG.counter(
+    "repro_serve_jobs_total",
+    "Campaign submissions, by disposition (executed/coalesced/replayed)",
+)
+_M_ACTIVE = _REG.gauge(
+    "repro_serve_subscribers", "NDJSON subscribers currently connected"
+)
+
+
+class RequestError(ValueError):
+    """A malformed campaign submission (maps to HTTP 400)."""
+
+
+def canonical_request(body: dict) -> dict:
+    """Validate a raw JSON body into the canonical request shape."""
+    if not isinstance(body, dict):
+        raise RequestError("request body must be a JSON object")
+    netlist = body.get("netlist")
+    if not isinstance(netlist, str) or not netlist.strip():
+        raise RequestError("'netlist' must be non-empty .bench text")
+    request = {"netlist": netlist}
+    for key, default in REQUEST_DEFAULTS.items():
+        request[key] = body.get(key, default)
+    unknown = set(body) - set(request)
+    if unknown:
+        raise RequestError(
+            f"unknown request field(s): {', '.join(sorted(unknown))}"
+        )
+    if request["processes"] is not None and (
+        not isinstance(request["processes"], int) or request["processes"] < 1
+    ):
+        raise RequestError("'processes' must be an integer >= 1")
+    return request
+
+
+def request_fingerprint(request: dict) -> str:
+    """Content identity of one submission: the dedup key for in-flight
+    coalescing.  Statuses only depend on the netlist and the universe
+    shape, but the *stream* a client receives also depends on the
+    execution knobs, so all of them participate."""
+    digest = hashlib.sha256()
+    digest.update(text_fingerprint(request["netlist"]).encode())
+    for key in sorted(REQUEST_DEFAULTS):
+        digest.update(f"\x00{key}={request[key]!r}".encode())
+    return digest.hexdigest()
+
+
+class _BridgeRecorder(MemoryRecorder):
+    """A recorder that additionally forwards ``campaign.*`` events from
+    the executing thread into the event loop for live streaming."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, job: "_Job") -> None:
+        super().__init__()
+        self._loop = loop
+        self._job = job
+
+    def emit(self, event: dict) -> None:
+        super().emit(event)
+        name = event.get("name", "")
+        if event.get("k") == "event" and name.startswith("campaign."):
+            line = {"event": name, "t": event.get("t")}
+            line.update(event.get("attrs") or {})
+            self._loop.call_soon_threadsafe(self._job.publish, line)
+
+
+class _Job:
+    """One underlying campaign execution plus its subscriber fan-out."""
+
+    def __init__(self, fingerprint: str, request: dict) -> None:
+        self.fingerprint = fingerprint
+        self.request = request
+        self.subscribers: List[asyncio.Queue] = []
+        self.history: List[dict] = []
+        self.result: Optional[dict] = None
+        self.done = asyncio.Event()
+
+    def subscribe(self) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue()
+        for line in self.history:
+            queue.put_nowait(line)
+        if self.result is None:
+            self.subscribers.append(queue)
+        return queue
+
+    def publish(self, line: dict) -> None:
+        self.history.append(line)
+        for queue in self.subscribers:
+            queue.put_nowait(line)
+
+    def finish(self, result: dict) -> None:
+        self.result = result
+        self.publish(dict(result, event="result"))
+        self.subscribers = []
+        self.done.set()
+
+
+def _execute_campaign(request: dict, recorder) -> dict:
+    """Run one campaign (worker-thread side) and shape the result line.
+
+    Parses are deduped through the store (kind ``"network"`` by text
+    fingerprint) so identical netlists share one ``Network`` instance —
+    and therefore, via ``engine_for``, one compiled program and one
+    cached baseline.  Completed status vectors land under kind
+    ``"campaign"`` keyed purely by content (program + universe
+    fingerprints + universe shape), so a replay does not even need the
+    supervised runtime.
+    """
+    from .core.collapse import collapsed_single_faults
+    from .engine import FaultSweep, universe_fingerprint
+    from .logic.benchfmt import BenchFormatError, parse_bench
+
+    text_fp = text_fingerprint(request["netlist"])
+    network = STORE.get("network", text_fp)
+    if network is None:
+        try:
+            network = parse_bench(request["netlist"], name="serve")
+        except BenchFormatError as error:
+            raise RequestError(f"netlist does not parse: {error}")
+        STORE.put("network", text_fp, value=network)
+    sweep = FaultSweep(network)
+    if request["collapse"]:
+        universe = list(collapsed_single_faults(network))
+    else:
+        universe = sweep.single_fault_universe()
+    program_fp = program_fingerprint(sweep.compiled)
+    universe_fp = universe_fingerprint(universe, sweep.n)
+    shape = f"collapse={request['collapse']}"
+    cached = STORE.get("campaign", program_fp, universe_fp, shape)
+    if cached is not None:
+        statuses, report_dict, backend = cached
+        replayed = True
+    else:
+        with obs.recording(recorder=recorder):
+            pairs = sweep.sweep(
+                universe,
+                processes=request["processes"],
+                backend=request["backend"],
+                timeout=request["timeout"],
+                transport=request["transport"],
+            )
+        statuses = tuple(status for _fault, status in pairs)
+        report_dict = sweep.last_report.to_dict()
+        backend = sweep.last_sweep_backend
+        STORE.put(
+            "campaign",
+            program_fp,
+            universe_fp,
+            shape,
+            value=(statuses, report_dict, backend),
+        )
+        replayed = False
+    counts = {"detected": 0, "silent": 0, "dangerous": 0}
+    for status in statuses:
+        counts[status] += 1
+    total = max(len(statuses), 1)
+    result = {
+        "faults": len(statuses),
+        "detected": counts["detected"] / total,
+        "silent": counts["silent"] / total,
+        "dangerous": counts["dangerous"] / total,
+        "backend": backend,
+        "replayed": replayed,
+        "report": report_dict,
+        "store": STORE.stats(),
+    }
+    if request["statuses"]:
+        result["statuses"] = list(statuses)
+    return result
+
+
+class CampaignServer:
+    """The asyncio HTTP front end.  One instance per process."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8341,
+        processes: Optional[int] = None,
+        transport: str = "auto",
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.default_processes = processes
+        self.default_transport = transport
+        self.jobs: Dict[str, _Job] = {}
+        self.executions = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        # Strictly serialized: the recorder/metrics seams are
+        # process-global, and each campaign already owns its own fan-out.
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        STORE.enabled = True
+        obs.enable_metrics(True)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.port = bound[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # job management
+    # ------------------------------------------------------------------
+    def submit(self, request: dict) -> Tuple[_Job, str]:
+        """The job serving ``request`` and its disposition — a running
+        identical job (``coalesced``) or a fresh one (``executed``)."""
+        fingerprint = request_fingerprint(request)
+        job = self.jobs.get(fingerprint)
+        if job is not None and not job.done.is_set():
+            _M_JOBS.inc(disposition="coalesced")
+            return job, "coalesced"
+        job = _Job(fingerprint, request)
+        self.jobs[fingerprint] = job
+        self.executions += 1
+        _M_JOBS.inc(disposition="executed")
+        loop = asyncio.get_running_loop()
+        recorder = _BridgeRecorder(loop, job)
+
+        def run() -> dict:
+            return _execute_campaign(request, recorder)
+
+        def finish(future: "asyncio.Future") -> None:
+            error = future.exception()
+            if error is not None:
+                job.finish({"error": f"{type(error).__name__}: {error}"})
+            else:
+                result = future.result()
+                if result.get("replayed"):
+                    _M_JOBS.inc(disposition="replayed")
+                job.finish(result)
+
+        task = asyncio.ensure_future(
+            loop.run_in_executor(self._executor, run)
+        )
+        task.add_done_callback(finish)
+        return job, "executed"
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing (deliberately minimal: two routes plus a health probe)
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            try:
+                method, path, _version = (
+                    request_line.decode("latin-1").split(maxsplit=2)
+                )
+            except ValueError:
+                await _respond(writer, 400, {"error": "bad request line"})
+                return
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _sep, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            _M_REQUESTS.inc(route=f"{method} {path}")
+            if method == "GET" and path == "/metrics":
+                await _respond_text(
+                    writer,
+                    200,
+                    _REG.to_prometheus(),
+                    content_type="text/plain; version=0.0.4",
+                )
+            elif method == "GET" and path == "/healthz":
+                await _respond(
+                    writer,
+                    200,
+                    {
+                        "ok": True,
+                        "jobs": len(self.jobs),
+                        "executions": self.executions,
+                        "store": STORE.stats(),
+                    },
+                )
+            elif method == "POST" and path == "/campaign":
+                await self._handle_campaign(reader, writer, headers)
+            else:
+                await _respond(
+                    writer, 404, {"error": f"no route {method} {path}"}
+                )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to salvage
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _handle_campaign(self, reader, writer, headers) -> None:
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            await _respond(writer, 400, {"error": "bad Content-Length"})
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            await _respond(
+                writer,
+                400,
+                {"error": f"Content-Length must be in (0, {MAX_BODY_BYTES}]"},
+            )
+            return
+        body = await reader.readexactly(length)
+        try:
+            request = canonical_request(json.loads(body))
+        except json.JSONDecodeError as error:
+            await _respond(writer, 400, {"error": f"bad JSON: {error}"})
+            return
+        except RequestError as error:
+            await _respond(writer, 400, {"error": str(error)})
+            return
+        if request["processes"] is None:
+            request["processes"] = self.default_processes
+        if request["transport"] == "auto":
+            request["transport"] = self.default_transport
+        job, disposition = self.submit(request)
+        queue = job.subscribe()
+        _M_ACTIVE.inc()
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/x-ndjson\r\n"
+                b"Transfer-Encoding: chunked\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            await _send_chunk(
+                writer,
+                {
+                    "event": "accepted",
+                    "fingerprint": job.fingerprint,
+                    "disposition": disposition,
+                },
+            )
+            while True:
+                line = await queue.get()
+                await _send_chunk(writer, line)
+                if line.get("event") == "result":
+                    break
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            _M_ACTIVE.inc(-1)
+            if queue in job.subscribers:
+                job.subscribers.remove(queue)
+
+
+async def _send_chunk(writer, payload: dict) -> None:
+    data = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    writer.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+    await writer.drain()
+
+
+async def _respond(writer, status: int, payload: dict) -> None:
+    await _respond_text(
+        writer,
+        status,
+        json.dumps(payload, sort_keys=True) + "\n",
+        content_type="application/json",
+    )
+
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found"}
+
+
+async def _respond_text(
+    writer, status: int, text: str, content_type: str
+) -> None:
+    body = text.encode()
+    reason = _REASONS.get(status, "OK")
+    writer.write(
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n".encode() + body
+    )
+    await writer.drain()
+
+
+async def _serve_forever(server: CampaignServer) -> None:
+    await server.start()
+    print(
+        f"repro serve: listening on http://{server.host}:{server.port} "
+        f"(POST /campaign, GET /metrics, GET /healthz)",
+        flush=True,
+    )
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await server.close()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8341,
+    processes: Optional[int] = None,
+    transport: str = "auto",
+) -> int:
+    """Blocking entry point behind ``python -m repro serve``."""
+    # Fail fast (and before asyncio swallows it) if the port is taken.
+    if port:
+        probe = socketlib.socket()
+        try:
+            probe.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_REUSEADDR, 1)
+            probe.bind((host, port))
+        except OSError as error:
+            print(f"repro serve: cannot bind {host}:{port}: {error}")
+            return 2
+        finally:
+            probe.close()
+    server = CampaignServer(
+        host=host, port=port, processes=processes, transport=transport
+    )
+    try:
+        asyncio.run(_serve_forever(server))
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,0 +1,281 @@
+"""The pluggable transport layer: parity, chaos, stealing, the store.
+
+The transports' one hard contract is indistinguishability: a sweep
+fanned out over any execution fabric — inline, forked pipes, fork with
+the shared-memory baseline, or spawned ``repro worker`` processes on a
+socket — must return statuses byte-identical to the undisturbed serial
+scalar path, under health *and* under injected failure.  The chaos
+cases reuse the fuzz harness's sabotage discipline per transport:
+workers killed, the socket connection dropped mid-chunk, shared memory
+denied.  Work stealing and the content-addressed artifact store are
+covered at the same level: observable bookkeeping, identical results.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import (
+    FaultSweep,
+    NetworkEngine,
+    STORE,
+    ArtifactStore,
+    program_fingerprint,
+)
+from repro.engine import supervisor as supervisor_mod
+from repro.engine.transport import WORKER_RUNGS, create_transport
+from repro.logic.benchfmt import load_bench, parse_bench
+from repro.qa.chaos import sabotage_campaign
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "..", "examples", "data")
+
+#: Transports a test process can always exercise (socket needs spawn,
+#: which every supported platform has; fork rungs need os.fork).
+ALL_TRANSPORTS = ("inline", "fork", "fork+shm", "socket")
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return load_bench(os.path.join(DATA_DIR, "adder4.bench"))
+
+
+@pytest.fixture(scope="module")
+def adder_reference(adder):
+    """Serial scalar statuses — the byte-identical yardstick."""
+    sweep = FaultSweep(adder)
+    universe = sweep.single_fault_universe()
+    statuses = [
+        s for _f, s in sweep.sweep(universe, backend="bitmask")
+    ]
+    return universe, statuses
+
+
+def fresh_sweep(network):
+    return FaultSweep(network, engine=NetworkEngine(network))
+
+
+def _statuses(pairs):
+    return [status for _fault, status in pairs]
+
+
+class TestTransportParity:
+    @pytest.mark.parametrize("transport", ALL_TRANSPORTS)
+    def test_statuses_byte_identical(
+        self, adder, adder_reference, transport
+    ):
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        result = sweep.sweep(universe, processes=2, transport=transport)
+        assert _statuses(result) == reference
+        report = sweep.last_report
+        assert report.chunks_completed == report.chunks_total
+        if transport == "inline":
+            # Inline is the serial rung made explicit: in-process, no
+            # fan-out, no degradation to report.
+            assert report.backend.startswith(("serial:", "scalar:"))
+        else:
+            assert report.backend.startswith(transport)
+            assert report.degradations == []
+
+    @pytest.mark.parametrize("transport", ("fork", "socket"))
+    def test_scalar_block_backend_parity(
+        self, adder, adder_reference, transport
+    ):
+        """The worker rungs stay honest on the scalar bitmask backend
+        too, not just the fault-batched block backends."""
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        result = sweep.sweep(
+            universe, processes=2, backend="bitmask", transport=transport
+        )
+        assert _statuses(result) == reference
+        assert sweep.last_report.block_backend == "bitmask"
+
+    def test_explicit_transport_overrides_lane_heuristic(
+        self, adder, adder_reference
+    ):
+        """An explicit worker transport fans out even at processes=1."""
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        result = sweep.sweep(universe, processes=1, transport="fork")
+        assert _statuses(result) == reference
+        assert sweep.last_report.backend.startswith("fork")
+
+    def test_unknown_transport_rejected(self, adder):
+        sweep = fresh_sweep(adder)
+        with pytest.raises(ValueError, match="transport"):
+            sweep.sweep(
+                sweep.single_fault_universe()[:4], transport="carrier-pigeon"
+            )
+
+    def test_create_transport_registry(self, adder):
+        sweep = fresh_sweep(adder)
+        for rung in WORKER_RUNGS + ("inline",):
+            fabric = create_transport(rung, sweep, lanes=1)
+            assert fabric.rung in (rung, "fork")  # fork+shm may present fork
+        with pytest.raises(ValueError, match="carrier-pigeon"):
+            create_transport("carrier-pigeon", sweep, lanes=1)
+
+
+class TestTransportChaos:
+    """Per-transport injected failure: recovery plus byte-identity."""
+
+    @pytest.mark.parametrize("transport", ("fork", "fork+shm", "socket"))
+    def test_worker_killed_is_replaced(
+        self, adder, adder_reference, transport, tmp_path
+    ):
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        with sabotage_campaign(
+            "worker-killed", once_path=str(tmp_path / "once")
+        ):
+            result = sweep.sweep(
+                universe, processes=2, transport=transport
+            )
+        assert _statuses(result) == reference
+        report = sweep.last_report
+        assert report.workers_replaced >= 1
+        assert any("worker died" in r.reason for r in report.retries)
+        assert report.backend.startswith(transport)
+
+    def test_socket_dropped_mid_chunk(
+        self, adder, adder_reference, tmp_path
+    ):
+        """A worker's connection drops while the process lives on: the
+        lane is declared dead, the orphan reaped, the chunk retried."""
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        with sabotage_campaign(
+            "socket-dropped", once_path=str(tmp_path / "once")
+        ):
+            result = sweep.sweep(
+                universe, processes=2, transport="socket"
+            )
+        assert _statuses(result) == reference
+        report = sweep.last_report
+        assert report.workers_replaced >= 1
+        assert any("worker died" in r.reason for r in report.retries)
+        assert report.backend.startswith("socket")
+
+    def test_shm_denied_steps_socket_ladder_to_fork(
+        self, adder, adder_reference
+    ):
+        """The fork+shm rung below socket degrades to plain fork when
+        shared memory is denied — mid-ladder, not just from the top."""
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        with sabotage_campaign("shm-denied"):
+            result = sweep.sweep(
+                universe, processes=2, transport="fork+shm"
+            )
+        assert _statuses(result) == reference
+        report = sweep.last_report
+        assert any(
+            d.frm == "fork+shm" and d.to == "fork"
+            for d in report.degradations
+        )
+        assert report.backend.startswith("fork:")
+
+
+class TestWorkStealing:
+    def test_idle_lane_steals_tail_of_slow_chunk(
+        self, adder, adder_reference, monkeypatch
+    ):
+        """One lane dawdles on a wide chunk while the other drains the
+        queue; the idle lane must steal the tail, and the sliced victim
+        result plus the stolen tail must reassemble byte-identically."""
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        monkeypatch.setattr(supervisor_mod, "STEAL_AGE_SECONDS", 0.0)
+
+        def slow_first_chunk(chunk_key, _attempt):
+            if chunk_key.startswith("0:"):
+                time.sleep(1.0)
+
+        monkeypatch.setattr(
+            supervisor_mod, "WORKER_CHUNK_HOOK", slow_first_chunk
+        )
+        result = sweep.sweep(
+            universe,
+            processes=2,
+            transport="fork",
+            chunk_faults=max(len(universe) // 3, 2),
+        )
+        assert _statuses(result) == reference
+        report = sweep.last_report
+        assert report.steals >= 1
+        assert report.chunks_completed == report.chunks_total
+        assert report.to_dict()["steals"] == report.steals
+
+    def test_inline_transport_never_steals(self, adder, monkeypatch):
+        monkeypatch.setattr(supervisor_mod, "STEAL_AGE_SECONDS", 0.0)
+        sweep = fresh_sweep(adder)
+        universe = sweep.single_fault_universe()
+        sweep.sweep(universe, transport="inline")
+        assert sweep.last_report.steals == 0
+
+
+class TestArtifactStore:
+    def test_disabled_store_is_inert(self):
+        store = ArtifactStore(enabled=False)
+        store.put("baseline", "fp", value=(1, 2))
+        assert store.get("baseline", "fp") is None
+        assert len(store) == 0
+
+    def test_roundtrip_and_lru_eviction(self):
+        store = ArtifactStore(max_entries=2, enabled=True)
+        store.put("k", "a", value=1)
+        store.put("k", "b", value=2)
+        assert store.get("k", "a") == 1  # refresh a
+        store.put("k", "c", value=3)  # evicts b
+        assert store.get("k", "b") is None
+        assert store.get("k", "a") == 1
+        assert store.get("k", "c") == 3
+        stats = store.stats()
+        assert stats["hits"] == 3 and stats["misses"] == 1
+
+    def test_program_fingerprint_is_content_addressed(self):
+        text = "INPUT(a)\nINPUT(b)\ng = NAND(a, b)\nOUTPUT(g)\n"
+        one = NetworkEngine(parse_bench(text, name="one"))
+        two = NetworkEngine(parse_bench(text, name="two"))
+        assert program_fingerprint(one.compiled) == program_fingerprint(
+            two.compiled
+        )
+        other = NetworkEngine(
+            parse_bench(
+                "INPUT(a)\nINPUT(b)\ng = NOR(a, b)\nOUTPUT(g)\n", name="three"
+            )
+        )
+        assert program_fingerprint(other.compiled) != program_fingerprint(
+            one.compiled
+        )
+
+    def test_enabled_store_shares_baseline_derivation(self):
+        text = "INPUT(a)\nINPUT(b)\ng = AND(a, b)\nOUTPUT(g)\n"
+        one = NetworkEngine(parse_bench(text, name="one"))
+        two = NetworkEngine(parse_bench(text, name="two"))
+        previous = STORE.enabled
+        STORE.enabled = True
+        try:
+            first = one.bitmask.baseline()
+            second = two.bitmask.baseline()
+        finally:
+            STORE.enabled = previous
+            STORE.clear()
+        assert second is first  # same tuple object: one derivation
+
+
+class TestBaselineIsolation:
+    def test_baseline_is_immutable(self, adder):
+        engine = NetworkEngine(adder)
+        baseline = engine.bitmask.baseline()
+        assert isinstance(baseline, tuple)
+        with pytest.raises(TypeError):
+            baseline[0] = 12345
+
+    def test_line_bits_returns_fresh_list(self, adder):
+        engine = NetworkEngine(adder)
+        bits = engine.bitmask.line_bits()
+        bits[0] ^= 0xFF  # a hostile caller scribbles on the result
+        assert engine.bitmask.line_bits()[0] == engine.bitmask.baseline()[0]
