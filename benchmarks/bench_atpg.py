@@ -1,26 +1,66 @@
-"""E-ATPG — structural vs exhaustive test generation (extension).
+"""E-ATPG — engine-accelerated fault-dropping PODEM vs scalar PODEM.
 
-The Theorem 3.2 machinery is exact but exponential; Section 3.6 itself
-notes "for larger networks considerable calculation can be saved by
-using the analytic approach".  This bench validates the structural PODEM
-route against the exhaustive one on small networks (same
-testable/untestable classification, all generated tests verified by
-simulation), then shows it scaling to a 16-input ripple adder where the
-2^16-point truth tables would already be the slow path.
+Two records.  ``atpg_podem`` validates the scalar structural route
+against the exhaustive Theorem 3.2 classification on small networks
+(Section 3.6's "analytic approach" saving), unchanged from the earlier
+bench.  ``atpg`` is the regression gate for the fault-dropping driver
+(:func:`repro.engine.atpg.run_atpg`): over the committed workload — the
+seed circuits, ripple adders, and the committed random-logic batch
+(``examples/data/array*.bench``, random iterative arrays) — it requires
+
+* classification parity: wherever scalar per-collapsed-fault
+  ``Podem.generate_test_ex`` completes, the dropping driver's
+  detected/redundant verdict is byte-identical — and any fault the
+  scalar loop *aborts* on (backtrack budget) must be rescued as
+  ``detected`` by an earlier dropped pattern, never lost;
+* full coverage: every fault the block backend can distinguish from the
+  good circuit (``output_bits(fault) != output_bits(None)``) is
+  detected, and nothing aborts.  The exhaustive sweep is exponential in
+  input count, so this independent cross-check runs on circuits up to
+  ``SWEEP_MAX_INPUTS`` inputs (wider ones are covered by parity: a
+  completed PODEM verdict is already exact);
+* speed: the dropping driver beats the scalar loop by at least
+  ``MIN_ATPG_SPEEDUP`` overall (NumPy runs only — the packed fallback
+  is a correctness rung, not a performance claim).
+
+The count metrics land in ``BENCH_atpg.json`` where ``--check`` compares
+them exactly; the ``*_seconds``/``*_speedup`` keys ride along as
+informational timing.
 """
 
+import os
 import random
+import time
 
-from _harness import record
+from _harness import benchmark_elapsed, record
 
-from repro.core.atpg import Podem, structural_test_summary
+from repro.core.atpg import Podem
+from repro.core.collapse import collapse_stem_faults
+from repro.engine import engine_for
+from repro.engine.atpg import run_atpg
+from repro.engine.vectorized import HAVE_NUMPY
+from repro.logic.benchfmt import load_bench
 from repro.logic.evaluate import line_tables, outputs_with_fault
 from repro.logic.faults import StuckAt, enumerate_stem_faults
 from repro.modules.adder import ripple_adder_network
+from repro.workloads.benchcircuits import fig62_nand_network
+from repro.workloads.fig34 import fig34_network, fig37_fixed_network
 from repro.workloads.randomlogic import random_mixed_network
 
+DATA_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples", "data"
+)
 
-def atpg_report():
+#: The acceptance bar: the dropping driver must beat per-fault scalar
+#: PODEM by at least this factor over the whole committed workload.
+MIN_ATPG_SPEEDUP = 5.0
+
+#: Widest circuit the exhaustive detectability cross-check sweeps
+#: (2^n points per line; 25-input circuits already cost ~40s).
+SWEEP_MAX_INPUTS = 23
+
+
+def atpg_podem_report():
     rnd = random.Random(131)
     total = agreed = verified = 0
     for _ in range(8):
@@ -71,7 +111,138 @@ def atpg_report():
     return "\n".join(lines), ok
 
 
-def test_atpg(benchmark):
-    text, ok = benchmark.pedantic(atpg_report, rounds=3, iterations=1)
+def test_atpg_podem(benchmark):
+    text, ok = benchmark.pedantic(atpg_podem_report, rounds=3, iterations=1)
     assert ok
-    record("atpg", text)
+    record("atpg_podem", text)
+
+
+# ----------------------------------------------------------------------
+# the engine-accelerated driver
+# ----------------------------------------------------------------------
+def _workload():
+    """(label, network) pairs: seed circuits, ripple adders, and the
+    committed random iterative-array batch."""
+    circuits = [
+        ("fig34", fig34_network()),
+        ("fig37", fig37_fixed_network()),
+        ("fig62", fig62_nand_network()),
+        ("adder4", load_bench(os.path.join(DATA_DIR, "adder4.bench"))),
+        ("adder8", ripple_adder_network(8)),
+        ("adder10", ripple_adder_network(10)),
+        ("adder12", ripple_adder_network(12)),
+        ("array10", load_bench(os.path.join(DATA_DIR, "array10.bench"))),
+        ("array11", load_bench(os.path.join(DATA_DIR, "array11.bench"))),
+    ]
+    return circuits
+
+
+def _detectable_count(network, universe):
+    """Faults the block backend distinguishes from the fault-free
+    circuit on some input point — the sweep-level coverage ceiling."""
+    packed = engine_for(network).packed
+    baseline = packed.output_bits(None)
+    return sum(
+        1 for fault in universe if packed.output_bits(fault) != baseline
+    )
+
+
+def engine_atpg_report():
+    rows = []
+    totals = {
+        "circuits": 0,
+        "faults_total": 0,
+        "detected_total": 0,
+        "redundant_total": 0,
+        "aborted_total": 0,
+        "scalar_aborted_total": 0,
+        "patterns_kept_total": 0,
+        "detectable_total": 0,
+        "sweep_checked_circuits": 0,
+    }
+    scalar_wall = engine_wall = 0.0
+    ok = True
+    for label, network in _workload():
+        universe = sorted(
+            collapse_stem_faults(network), key=lambda f: (f.line, f.value)
+        )
+        start = time.perf_counter()
+        podem = Podem(network)
+        scalar = {}
+        for fault in universe:
+            result = podem.generate_test_ex(fault)
+            scalar[fault.describe()] = (
+                "detected" if result.status == "test" else result.status
+            )
+        scalar_wall += time.perf_counter() - start
+
+        start = time.perf_counter()
+        report = run_atpg(network, faults=universe)
+        engine_wall += time.perf_counter() - start
+
+        # Parity where scalar completed; scalar aborts must be rescued.
+        rescued = 0
+        for name, verdict in scalar.items():
+            if verdict == "aborted":
+                rescued += 1
+                ok = ok and report.classifications[name] == "detected"
+            else:
+                ok = ok and report.classifications[name] == verdict
+        ok = ok and report.aborted == 0
+
+        swept = len(network.inputs) <= SWEEP_MAX_INPUTS
+        if swept:
+            detectable = _detectable_count(network, universe)
+            ok = ok and report.detected == detectable
+            totals["detectable_total"] += detectable
+            totals["sweep_checked_circuits"] += 1
+
+        totals["circuits"] += 1
+        totals["faults_total"] += report.requested
+        totals["detected_total"] += report.detected
+        totals["redundant_total"] += report.redundant
+        totals["aborted_total"] += report.aborted
+        totals["scalar_aborted_total"] += rescued
+        totals["patterns_kept_total"] += report.patterns_kept
+        rows.append(
+            f"  {label:8s} {report.requested:4d} faults  "
+            f"{report.detected:4d} detected  {report.redundant:2d} "
+            f"redundant  {report.targets:3d} PODEM searches  "
+            f"{report.patterns_kept:3d} patterns"
+            + ("" if swept else "  [sweep skipped: "
+               f"{len(network.inputs)} inputs]")
+            + (f"  [{rescued} scalar aborts rescued]" if rescued else "")
+        )
+
+    speedup = scalar_wall / engine_wall if engine_wall else float("inf")
+    lines = [
+        "Fault-dropping ATPG (run_atpg) vs per-fault scalar PODEM",
+        f"  workload: {totals['circuits']} circuits, "
+        f"{totals['faults_total']} collapsed faults "
+        f"({totals['detectable_total']} detectable on the "
+        f"{totals['sweep_checked_circuits']} sweep-checked circuits)",
+    ]
+    lines.extend(rows)
+    lines.append(
+        f"  scalar {scalar_wall:.3f}s  engine {engine_wall:.3f}s  "
+        f"-> {speedup:.1f}x"
+        + ("" if HAVE_NUMPY else "  (packed fallback, ungated)")
+    )
+    metrics = dict(totals)
+    metrics["scalar_seconds"] = round(scalar_wall, 4)
+    metrics["engine_seconds"] = round(engine_wall, 4)
+    metrics["atpg_speedup"] = round(speedup, 2)
+    return "\n".join(lines), metrics, ok, speedup
+
+
+def test_atpg(benchmark):
+    text, metrics, ok, speedup = benchmark.pedantic(
+        engine_atpg_report, rounds=1, iterations=1
+    )
+    assert ok, text
+    if HAVE_NUMPY:
+        assert speedup >= MIN_ATPG_SPEEDUP, (
+            f"fault-dropping ATPG speedup {speedup:.2f}x fell below the "
+            f"{MIN_ATPG_SPEEDUP:.0f}x acceptance bar\n{text}"
+        )
+    record("atpg", text, metrics, benchmark_elapsed(benchmark))

@@ -13,6 +13,10 @@ Point the thesis's machinery at any ``.bench`` netlist:
   backend-selection heuristic (bitmask / vectorized / fallback) under
   the supervised runtime (``--timeout``, ``--checkpoint``/``--resume``,
   ``--report``);
+* ``atpg``      — fault-dropping PODEM campaign: guided search per
+  target, batched candidate completions simulated against the whole
+  remaining fault universe, reverse-greedy compaction
+  (``--no-collapse``/``--no-drop``/``--no-compact``/``--report``);
 * ``fuzz``      — seeded differential/metamorphic fuzz campaign with
   counterexample shrinking (see ``repro.qa``);
 * ``stats``     — render a flight recorded with ``--trace-out``: time
@@ -23,7 +27,7 @@ Point the thesis's machinery at any ``.bench`` netlist:
 * ``worker``    — one socket-transport worker lane (normally spawned by
   the supervisor, never by hand).
 
-``campaign`` and ``fuzz`` accept ``--metrics-out FILE`` (Prometheus
+``campaign``, ``atpg``, and ``fuzz`` accept ``--metrics-out FILE`` (Prometheus
 text, or JSON when the name ends ``.json``) and ``--trace-out FILE``
 (the JSONL flight ``stats`` reads); both are off by default, leaving
 the telemetry layer at its zero-overhead disabled state.
@@ -263,6 +267,59 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if stats["dangerous"] == 0 else 1
 
 
+def cmd_atpg(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine.atpg import run_atpg
+
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit(
+            f"--timeout must be a positive number of seconds, "
+            f"got {args.timeout:g}"
+        )
+    if args.candidates < 1:
+        raise SystemExit(
+            f"--candidates must be >= 1, got {args.candidates}"
+        )
+    network = _load(args.netlist)
+    with _telemetry(args):
+        report = run_atpg(
+            network,
+            collapse=not args.no_collapse,
+            drop=not args.no_drop,
+            compact=not args.no_compact,
+            candidates=args.candidates,
+            pairs=args.pairs,
+            backend=args.backend,
+            target_timeout=args.timeout,
+            max_backtracks=args.max_backtracks,
+            seed=args.seed,
+        )
+    if args.json:
+        data = report.to_dict()
+        if not args.report:
+            data.pop("classifications")
+            data.pop("detected_by")
+        print(json.dumps(data, sort_keys=True))
+    else:
+        print(report.summary())
+        if args.report:
+            names = list(network.inputs)
+            width = len(names)
+            for index, point in enumerate(report.patterns):
+                bits = "".join(str((point >> i) & 1) for i in range(width))
+                covered = sorted(
+                    name
+                    for name, j in report.detected_by.items()
+                    if j == index
+                )
+                print(f"  pattern {index}: {bits}  covers {', '.join(covered)}")
+            for name, status in sorted(report.classifications.items()):
+                if status != "detected":
+                    print(f"  {status}: {name}")
+    return 0 if report.aborted == 0 else 1
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .qa import fuzz, property_names
     from .qa.chaos import bug_names
@@ -416,6 +473,51 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record the campaign flight (JSONL) here; "
                    "render it with 'repro stats FILE'")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "atpg",
+        help="fault-dropping PODEM campaign (compacted test sets)",
+    )
+    p.add_argument("netlist")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "vectorized", "fallback", "pointwise"],
+                   help="pattern-simulation rung (default: auto; failures "
+                   "degrade vectorized -> fallback -> pointwise)")
+    p.add_argument("--candidates", type=int, default=8,
+                   help="PODEM completion candidates simulated per "
+                   "target (default 8)")
+    p.add_argument("--pairs", action="store_true",
+                   help="generate alternating SCAL pairs (X, X̄) instead "
+                   "of single vectors")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-target PODEM deadline; overruns are "
+                   "classified aborted (default: none)")
+    p.add_argument("--max-backtracks", type=int, default=2000,
+                   help="PODEM backtrack budget per target (default 2000)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="candidate-completion seed (default 0)")
+    p.add_argument("--no-collapse", action="store_true",
+                   help="target the raw stem-fault universe (no "
+                   "equivalence collapsing)")
+    p.add_argument("--no-drop", action="store_true",
+                   help="disable fault dropping: one PODEM search per "
+                   "fault (the scalar-parity reference mode)")
+    p.add_argument("--no-compact", action="store_true",
+                   help="keep every generated pattern (skip the "
+                   "reverse-greedy compaction pass)")
+    p.add_argument("--report", action="store_true",
+                   help="also print the pattern set with per-pattern "
+                   "coverage and the undetected classifications")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as one JSON object (full "
+                   "classifications with --report)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the metrics snapshot here (Prometheus "
+                   "text, or JSON when FILE ends in .json)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record the ATPG flight (JSONL) here; render "
+                   "it with 'repro stats FILE'")
+    p.set_defaults(func=cmd_atpg)
 
     p = sub.add_parser(
         "fuzz",

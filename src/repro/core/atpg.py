@@ -6,6 +6,22 @@ the classical structural alternative: **PODEM** (path-oriented decision
 making) over five-valued logic — every line carries a (good, faulty)
 value pair from {0, 1, X}, a *D* being (1, 0) and a *D̄* being (0, 1).
 
+The search is **guided** rather than first-come: a one-pass SCOAP-style
+testability analysis (0/1-controllability per line, observability per
+line) is computed once per network, the D-frontier gate closest to an
+output (lowest observability) is propagated first, and backtrace picks
+the *easiest* input when any input suffices for the objective value but
+the *hardest* when all inputs are needed (fail fast).  A dynamic X-path
+check prunes branches whose fault effect can no longer reach any output
+through still-undecided lines — sound because ternary simulation is
+monotone: a concrete composite value never changes as X's are refined.
+
+:meth:`Podem.generate_test_ex` distinguishes the three search outcomes
+(``test`` / ``redundant`` / ``aborted``) and accepts a wall-clock
+deadline, which is what the fault-dropping campaign driver in
+:mod:`repro.engine.atpg` builds on; :meth:`Podem.generate_test` keeps
+the legacy ``assignment | None`` surface.
+
 On top of the classic single-vector test, :func:`generate_alternating_test`
 produces SCAL test *pairs*: a vector X such that the fault flips the
 output at X but not at X̄ — then the pair (X, X̄) yields a nonalternating
@@ -20,6 +36,7 @@ network in the test suite.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..logic.faults import Fault, PinStuckAt, StuckAt
@@ -30,6 +47,10 @@ X = None  # the unknown value in three-valued simulation
 
 Value = Optional[int]
 Composite = Tuple[Value, Value]  # (good circuit, faulty circuit)
+
+#: Cost ceiling for the SCOAP-style measures (uncontrollable /
+#: unobservable lines saturate here instead of overflowing).
+UNREACHABLE_COST = 1 << 20
 
 
 def _eval3(kind: GateKind, values: Sequence[Value]) -> Value:
@@ -91,6 +112,23 @@ class _State:
         return self.values[line][1]
 
 
+@dataclasses.dataclass(frozen=True)
+class PodemResult:
+    """Outcome of one budgeted PODEM search.
+
+    ``status`` is ``"test"`` (``test`` holds a full detecting input
+    assignment, ``assignment`` just the decided primary inputs — the
+    free ones are completion candidates), ``"redundant"`` (the decision
+    tree was exhausted: no single-vector test exists), or ``"aborted"``
+    (backtrack budget or deadline hit — testability undecided).
+    """
+
+    status: str
+    test: Optional[Dict[str, int]] = None
+    assignment: Optional[Dict[str, int]] = None
+    backtracks: int = 0
+
+
 class Podem:
     """PODEM test generator for one combinational network."""
 
@@ -104,6 +142,86 @@ class Podem:
         for out in network.outputs:
             reachable |= network.cone(out)
         self._reachable = frozenset(reachable)
+        self._cc = self._controllability()
+        self._co = self._observability()
+
+    # ------------------------------------------------------------------
+    # SCOAP-style testability measures (one pass per network)
+    # ------------------------------------------------------------------
+    def _controllability(self) -> Dict[str, Tuple[int, int]]:
+        """(cost of forcing 0, cost of forcing 1) per line; primary
+        inputs cost 1, each gate adds 1 plus its inputs' costs."""
+        cap = UNREACHABLE_COST
+        cc: Dict[str, Tuple[int, int]] = {
+            name: (1, 1) for name in self.network.inputs
+        }
+        for gate in self._topo:
+            ins = [cc[src] for src in gate.inputs]
+            kind = gate.kind
+            if kind is GateKind.CONST0:
+                pair = (1, cap)
+            elif kind is GateKind.CONST1:
+                pair = (cap, 1)
+            elif kind is GateKind.BUF:
+                pair = (ins[0][0] + 1, ins[0][1] + 1)
+            elif kind is GateKind.NOT:
+                pair = (ins[0][1] + 1, ins[0][0] + 1)
+            elif kind in (GateKind.AND, GateKind.NAND):
+                hi = sum(c1 for _c0, c1 in ins) + 1  # all inputs 1
+                lo = min(c0 for c0, _c1 in ins) + 1  # any input 0
+                pair = (lo, hi) if kind is GateKind.AND else (hi, lo)
+            elif kind in (GateKind.OR, GateKind.NOR):
+                lo = sum(c0 for c0, _c1 in ins) + 1
+                hi = min(c1 for _c0, c1 in ins) + 1
+                pair = (lo, hi) if kind is GateKind.OR else (hi, lo)
+            elif kind in (GateKind.XOR, GateKind.XNOR):
+                even, odd = 0, cap  # parity DP over the fan-in
+                for c0, c1 in ins:
+                    even, odd = (
+                        min(even + c0, odd + c1),
+                        min(even + c1, odd + c0),
+                    )
+                pair = (
+                    (even + 1, odd + 1)
+                    if kind is GateKind.XOR
+                    else (odd + 1, even + 1)
+                )
+            elif kind in (GateKind.MAJ, GateKind.MIN):
+                need = len(ins) // 2 + 1  # votes to decide either way
+                hi = sum(sorted(c1 for _c0, c1 in ins)[:need]) + 1
+                lo = sum(sorted(c0 for c0, _c1 in ins)[:need]) + 1
+                pair = (lo, hi) if kind is GateKind.MAJ else (hi, lo)
+            else:  # pragma: no cover - exhaustive over GateKind
+                pair = (1, 1)
+            cc[gate.name] = (min(pair[0], cap), min(pair[1], cap))
+        return cc
+
+    def _observability(self) -> Dict[str, int]:
+        """Cost of propagating a value difference from each line to some
+        primary output (0 at the outputs themselves)."""
+        cap = UNREACHABLE_COST
+        co: Dict[str, int] = {name: cap for name in self._cc}
+        for out in self.network.outputs:
+            co[out] = 0
+        for gate in reversed(self._topo):
+            out_co = co.get(gate.name, cap)
+            kind = gate.kind
+            for pin, src in enumerate(gate.inputs):
+                others = [
+                    s for j, s in enumerate(gate.inputs) if j != pin
+                ]
+                if kind in (GateKind.AND, GateKind.NAND):
+                    extra = sum(self._cc[o][1] for o in others)
+                elif kind in (GateKind.OR, GateKind.NOR):
+                    extra = sum(self._cc[o][0] for o in others)
+                elif kind in (GateKind.NOT, GateKind.BUF):
+                    extra = 0
+                else:  # XOR/XNOR/MAJ/MIN: side inputs pinned either way
+                    extra = sum(min(self._cc[o]) for o in others)
+                cand = min(out_co + extra + 1, cap)
+                if cand < co.get(src, cap):
+                    co[src] = cand
+        return co
 
     # ------------------------------------------------------------------
     # simulation
@@ -144,8 +262,10 @@ class Podem:
         site_good, site_faulty = self._site_values(state, fault)
         if site_good is not X and site_faulty is not X and site_good == site_faulty:
             return False  # fault not activated and can no longer be
-        # D-frontier: some line with a fault effect or an undecided value
-        # must still reach an output.
+        # Open lines: an undecided composite value or a live fault effect.
+        # Ternary simulation is monotone (a concrete composite value never
+        # changes as X's refine), so a detecting refinement can only flip
+        # outputs that are open now, through lines that are open now.
         frontier = {
             line
             for line, (g, f) in state.values.items()
@@ -153,7 +273,20 @@ class Podem:
         }
         if not frontier:
             return False
-        return bool(frontier & self._reachable)
+        # Dynamic X-path check: walk backwards from the open outputs
+        # through open lines; the fault site must still be on such a path.
+        live = {out for out in self.network.outputs if out in frontier}
+        if not live:
+            return False
+        for gate in reversed(self._topo):
+            if gate.name in live:
+                for src in gate.inputs:
+                    if src in frontier:
+                        live.add(src)
+        site_line = (
+            fault.line if isinstance(fault, StuckAt) else fault.gate
+        )
+        return site_line in live
 
     def _site_values(self, state: _State, fault: Fault) -> Composite:
         if isinstance(fault, StuckAt):
@@ -176,8 +309,11 @@ class Podem:
         )
         if site_good is X:
             return (site_line, 1 - stuck)  # activate the fault
-        # Propagate: find a gate whose output is X but has a fault effect
-        # on some input — set another X input to the non-controlling value.
+        # Propagate: among the D-frontier gates (output still open, some
+        # input carrying a definite fault effect, some input still X),
+        # drive the one closest to an output — lowest observability —
+        # and feed it its cheapest non-controlling side input.
+        best: Optional[Tuple[int, "object", List[str]]] = None
         for gate in self._topo:
             out_g, out_f = state.values[gate.name]
             if out_g is not X and out_f is not X:
@@ -190,12 +326,23 @@ class Podem:
             )
             if not has_effect:
                 continue
-            for src in gate.inputs:
-                if state.values[src][0] is X:
-                    noncontrolling = 1
-                    if gate.kind in DOMINANT_VALUE:
-                        noncontrolling = 1 - DOMINANT_VALUE[gate.kind][0]
-                    return (src, noncontrolling)
+            x_inputs = [
+                src for src in gate.inputs if state.values[src][0] is X
+            ]
+            if not x_inputs:
+                continue
+            rank = self._co.get(gate.name, UNREACHABLE_COST)
+            if best is None or rank < best[0]:
+                best = (rank, gate, x_inputs)
+        if best is not None:
+            _rank, gate, x_inputs = best
+            noncontrolling = 1
+            if gate.kind in DOMINANT_VALUE:
+                noncontrolling = 1 - DOMINANT_VALUE[gate.kind][0]
+            src = min(
+                x_inputs, key=lambda s: self._cc[s][noncontrolling]
+            )
+            return (src, noncontrolling)
         # Fall back: any X line feeding an X output cone.
         for line in self.network.inputs:
             if state.values[line][0] is X:
@@ -203,7 +350,10 @@ class Podem:
         return None
 
     def _backtrace(self, state: _State, line: str, value: int) -> Tuple[str, int]:
-        """Walk an X-path from the objective back to a primary input."""
+        """Walk an X-path from the objective back to a primary input,
+        choosing fan-ins by controllability: the *hardest* input when the
+        objective needs all of them (fail fast), the *easiest* when any
+        one suffices."""
         current, target = line, value
         guard = 0
         while not self.network.is_input(current):
@@ -218,38 +368,74 @@ class Podem:
             ]
             if not x_inputs:
                 x_inputs = list(gate.inputs)
-            current = x_inputs[0]
+            current = self._pick_backtrace_input(gate.kind, x_inputs, target)
         return current, target
+
+    def _pick_backtrace_input(
+        self, kind: GateKind, x_inputs: List[str], target: int
+    ) -> str:
+        if len(x_inputs) == 1:
+            return x_inputs[0]
+        # ``target`` already refers to the non-inverted core (the caller
+        # flipped it for NAND/NOR/NOT/MIN), so AND-like cores need every
+        # input at 1 and OR-like cores every input at 0.
+        if kind in (GateKind.AND, GateKind.NAND):
+            all_needed = target == 1
+        elif kind in (GateKind.OR, GateKind.NOR):
+            all_needed = target == 0
+        else:
+            return min(x_inputs, key=lambda s: min(self._cc[s]))
+        chooser = max if all_needed else min
+        return chooser(x_inputs, key=lambda s: self._cc[s][target])
 
     # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
-    def generate_test(self, fault: Fault) -> Optional[Dict[str, int]]:
-        """A primary-input assignment detecting ``fault`` (single-vector
-        sense), or ``None`` when the budgeted search finds no test."""
+    def generate_test_ex(
+        self, fault: Fault, deadline: Optional[float] = None
+    ) -> PodemResult:
+        """Run the budgeted search and report *why* it stopped.
+
+        ``deadline`` is an absolute :func:`time.monotonic` instant; a
+        search still running past it returns ``aborted`` (the campaign
+        driver's per-target timeout).  An exhausted decision tree is
+        ``redundant`` — on these combinational networks PODEM is
+        complete, so exhaustion is a proof of untestability.
+        """
         assignment: Dict[str, Value] = {}
         decisions: List[Tuple[str, int, bool]] = []  # (pi, value, tried_both)
         backtracks = 0
+        aborted = False
 
         def backtrack() -> bool:
             """Flip the most recent untried decision; False = exhausted."""
-            nonlocal backtracks
+            nonlocal backtracks, aborted
             while decisions:
                 pi, value, tried_both = decisions.pop()
                 del assignment[pi]
                 if not tried_both:
                     backtracks += 1
                     if backtracks > self.max_backtracks:
+                        aborted = True
                         return False
                     assignment[pi] = 1 - value
                     decisions.append((pi, 1 - value, True))
                     return True
             return False
 
+        def stopped() -> PodemResult:
+            return PodemResult(
+                status="aborted" if aborted else "redundant",
+                backtracks=backtracks,
+            )
+
         while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                aborted = True
+                return stopped()
             state = self._simulate(assignment, fault)
             if self._detected(state):
-                return {
+                test = {
                     name: (
                         assignment[name]
                         if assignment.get(name) is not X
@@ -257,25 +443,38 @@ class Podem:
                     )
                     for name in self.network.inputs
                 }
+                return PodemResult(
+                    status="test",
+                    test=test,
+                    assignment={
+                        pi: value for pi, value, _both in decisions
+                    },
+                    backtracks=backtracks,
+                )
             if not self._possible(state, fault):
                 if not backtrack():
-                    return None
+                    return stopped()
                 continue
             objective = self._objective(state, fault)
             if objective is None:
                 # Fully assigned (or masked) without detection: this
                 # branch of the decision tree is a dead end.
                 if not backtrack():
-                    return None
+                    return stopped()
                 continue
             pi, value = self._backtrace(state, *objective)
             if pi in assignment:
                 # Backtrace could not reach a fresh input: dead end.
                 if not backtrack():
-                    return None
+                    return stopped()
                 continue
             assignment[pi] = value
             decisions.append((pi, value, False))
+
+    def generate_test(self, fault: Fault) -> Optional[Dict[str, int]]:
+        """A primary-input assignment detecting ``fault`` (single-vector
+        sense), or ``None`` when the budgeted search finds no test."""
+        return self.generate_test_ex(fault).test
 
     def generate_alternating_test(
         self, fault: Fault, attempts: int = 8
@@ -313,21 +512,43 @@ class Podem:
 
 
 def structural_test_summary(
-    network: Network, faults: Optional[Sequence[Fault]] = None
+    network: Network,
+    faults: Optional[Sequence[Fault]] = None,
+    collapse: bool = False,
 ) -> Dict[str, int]:
-    """Batch PODEM over a fault list; counts tested/untested faults."""
+    """Batch PODEM over a fault list; counts tested/untested faults.
+
+    With ``collapse=True`` the universe is one representative stem fault
+    per structural equivalence class, sorted by ``(line, value)`` — the
+    counts are then independent of enumeration order and representative
+    choice (equivalent faults are equi-testable).  ``untested`` splits
+    into ``redundant`` (proved untestable) and ``aborted`` (budget hit).
+    """
     from ..logic.faults import enumerate_stem_faults
+    from .collapse import collapse_stem_faults
 
     podem = Podem(network)
-    universe = (
-        list(faults)
-        if faults is not None
-        else list(enumerate_stem_faults(network))
-    )
-    tested = untested = 0
+    if faults is not None:
+        universe: List[Fault] = list(faults)
+    elif collapse:
+        universe = sorted(
+            collapse_stem_faults(network), key=lambda f: (f.line, f.value)
+        )
+    else:
+        universe = list(enumerate_stem_faults(network))
+    tested = redundant = aborted = 0
     for fault in universe:
-        if podem.generate_test(fault) is not None:
+        result = podem.generate_test_ex(fault)
+        if result.status == "test":
             tested += 1
+        elif result.status == "redundant":
+            redundant += 1
         else:
-            untested += 1
-    return {"faults": len(universe), "tested": tested, "untested": untested}
+            aborted += 1
+    return {
+        "faults": len(universe),
+        "tested": tested,
+        "untested": redundant + aborted,
+        "redundant": redundant,
+        "aborted": aborted,
+    }

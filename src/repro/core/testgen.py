@@ -28,6 +28,7 @@ from ..logic.evaluate import line_tables
 from ..logic.faults import StuckAt
 from ..logic.network import Network
 from ..logic.truthtable import TruthTable
+from .collapse import equivalence_collapse
 from .simulate import canonical_pairs
 
 
@@ -136,7 +137,9 @@ def all_test_pairs(
 
 
 def greedy_test_schedule(
-    network: Network, output: Optional[str] = None
+    network: Network,
+    output: Optional[str] = None,
+    collapse: bool = True,
 ) -> List[Tuple[int, int]]:
     """A small set of input pairs covering every testable stuck-at fault.
 
@@ -144,21 +147,44 @@ def greedy_test_schedule(
     out exhaustive application of all pairs suffices ("assuming all inputs
     are applied at some time"), but a compact schedule is what a real
     tester would apply.
+
+    With ``collapse=True`` (the default) structurally equivalent faults
+    are merged into one cover obligation before the greedy pass —
+    equivalent faults have identical faulty functions, hence identical
+    test-pair lists, so collapsing never loses coverage but does stop
+    the schedule length from depending on how many aliases a class has.
+    The selection is deterministic: candidate pairs are scanned in
+    sorted order and ties break toward the smallest pair, so the result
+    is independent of set/dict iteration order.
     """
     plans = all_test_pairs(network, output)
-    uncovered = {key for key, tests in plans.items() if tests}
-    schedule: List[Tuple[int, int]] = []
+    rep: Dict[Tuple[str, int], Tuple[str, int]] = {}
+    if collapse:
+        for members in equivalence_collapse(network).values():
+            stems = sorted(
+                (m.line, m.value) for m in members if isinstance(m, StuckAt)
+            )
+            for key in stems:
+                rep[key] = stems[0]
+    uncovered = set()
     pair_covers: Dict[Tuple[int, int], set] = {}
-    for key, tests in plans.items():
+    for key in sorted(plans):
+        tests = plans[key]
+        if not tests:
+            continue
+        obligation = rep.get(key, key)
+        uncovered.add(obligation)
         for pair in tests:
-            pair_covers.setdefault(pair, set()).add(key)
+            pair_covers.setdefault(pair, set()).add(obligation)
+    schedule: List[Tuple[int, int]] = []
+    candidates = sorted(pair_covers)
     while uncovered:
-        best_pair, best_gain = None, -1
-        for pair, covers in pair_covers.items():
-            gain = len(covers & uncovered)
+        best_pair, best_gain = None, 0
+        for pair in candidates:
+            gain = len(pair_covers[pair] & uncovered)
             if gain > best_gain:
                 best_pair, best_gain = pair, gain
-        if best_pair is None or best_gain <= 0:
+        if best_pair is None:
             break
         schedule.append(best_pair)
         uncovered -= pair_covers[best_pair]

@@ -125,8 +125,23 @@ def engine_for(network: Network) -> NetworkEngine:
     return engine
 
 
+from .vectorized import chunk_pattern_bits  # noqa: E402
+
+
+def __getattr__(name: str):
+    # Lazy re-export: engine.atpg pulls in core.atpg, which imports the
+    # logic package, which imports this package — resolving it at first
+    # attribute access instead of import time keeps the cycle open.
+    if name in ("AtpgReport", "run_atpg"):
+        from . import atpg
+
+        return getattr(atpg, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ArtifactStore",
+    "AtpgReport",
     "BitmaskBackend",
     "CampaignCheckpoint",
     "CampaignInterrupted",
@@ -153,11 +168,13 @@ __all__ = [
     "TransportFailure",
     "TransportUnavailable",
     "VectorizedBackend",
+    "chunk_pattern_bits",
     "compile_network",
     "create_transport",
     "engine_for",
     "program_fingerprint",
     "reflect_bits",
+    "run_atpg",
     "run_campaign",
     "select_backend",
     "universe_fingerprint",

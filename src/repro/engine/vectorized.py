@@ -241,6 +241,58 @@ class PackedFallbackBackend:
             for _aff, det, vio in (self.response_triple(f) for f in faults)
         ]
 
+    def pattern_bits(
+        self,
+        patterns: Sequence[int],
+        faults: Optional[Sequence[FaultLike]] = None,
+    ):
+        """Output masks over an explicit pattern list (pure-int path).
+
+        ``patterns`` is a sequence of point encodings (bit ``i`` = value
+        of input ``i``, the repo-wide convention); bit ``j`` of each
+        returned output mask is that output's value under pattern ``j``.
+        Returns the fault-free tuple when ``faults`` is ``None``, else a
+        list with one tuple per fault (stem forcing wins over pin
+        overrides, exactly as the truth-table plans resolve it).
+        """
+        from . import backends as _backends
+
+        comp = self.compiled
+        n_patterns = len(patterns)
+        full = (1 << n_patterns) - 1 if n_patterns else 0
+        var = pack_pattern_masks(patterns, comp.n_inputs)
+        if _REG.enabled:
+            words = max(1, (n_patterns + 63) >> 6)
+            runs = 1 if faults is None else len(faults)
+            _M_OPS.inc(len(comp.ops) * runs, backend="fallback")
+            _M_WORDS.inc(len(comp.ops) * words * runs, backend="fallback")
+
+        def run(plan) -> Tuple[int, ...]:
+            values: List[Optional[int]] = [None] * len(comp.names)
+            stems = dict(plan.stems) if plan is not None else {}
+            for i in range(comp.n_inputs):
+                forced = stems.get(i)
+                values[i] = (
+                    var[i] if forced is None else (full if forced else 0)
+                )
+            pins = plan.pins if plan is not None else {}
+            for pos, op in enumerate(comp.ops):
+                forced = stems.get(op.out)
+                if forced is not None:
+                    values[op.out] = full if forced else 0
+                    continue
+                masks = [values[s] for s in op.srcs]
+                for slot, value in pins.get(pos, ()):
+                    masks[slot] = full if value else 0
+                values[op.out] = _backends.evaluate_mask(
+                    op.kind, masks, full
+                )
+            return tuple(values[i] for i in comp.out_idx)
+
+        if faults is None:
+            return run(None)
+        return [run(comp.fault_plan(fault)) for fault in faults]
+
 
 class VectorizedBackend:
     """NumPy PPSFP executor over ``(faults, words)`` ``uint64`` arrays."""
@@ -321,7 +373,7 @@ class VectorizedBackend:
     # ------------------------------------------------------------------
     # fault-block evaluation
     # ------------------------------------------------------------------
-    def _block_outputs(self, plans, w0: int, w1: int, base):
+    def _block_outputs(self, plans, w0: int, w1: int, base, full=None):
         """Faulty packed values over words ``[w0, w1)`` for a block.
 
         Returns ``get(line) -> ndarray`` where rows are faults.  Lines
@@ -330,11 +382,17 @@ class VectorizedBackend:
         evaluated once, vectorized over the fault axis (re-evaluating an
         op for rows whose fault does not reach it reproduces the
         baseline, so the union schedule is exact).
+
+        ``full`` is the valid-bit word for forcing and complements; it
+        defaults to the truth-table word but pattern-space callers
+        (:meth:`pattern_bits`) pass all 64 bits — their word axis packs
+        an explicit pattern list, not the ``2**n`` point space.
         """
         np = _np
         block = len(plans)
         k = w1 - w0
-        full = self.full_word
+        if full is None:
+            full = self.full_word
         comp = self.compiled
         stem_rows: dict = {}
         pin_rows: dict = {}
@@ -501,6 +559,96 @@ class VectorizedBackend:
             )
         return statuses
 
+    def pattern_bits(
+        self,
+        patterns: Sequence[int],
+        faults: Optional[Sequence[FaultLike]] = None,
+    ):
+        """Output masks over an explicit pattern list (NumPy path).
+
+        Same contract as :meth:`PackedFallbackBackend.pattern_bits`,
+        but the pattern list is packed onto the ``uint64`` word axis and
+        whole fault blocks ride one :meth:`_block_outputs` pass — this
+        is the word axis the fault-dropping ATPG driver batches its
+        candidate patterns along.  Because the word axis holds patterns
+        (possibly more than ``2**n`` of them), forcing uses all 64 bits
+        per word, not the truth-table ``full_word``.
+        """
+        np = _np
+        comp = self.compiled
+        n_patterns = len(patterns)
+        n_words = max(1, (n_patterns + 63) >> 6)
+        valid = (1 << n_patterns) - 1 if n_patterns else 0
+        full64 = np.uint64(_FULL64)
+        bits = np.zeros((comp.n_inputs, n_words * 64), dtype=np.uint8)
+        for j, point in enumerate(patterns):
+            p = int(point)
+            i = 0
+            while p and i < comp.n_inputs:
+                if p & 1:
+                    bits[i, j] = 1
+                p >>= 1
+                i += 1
+        base: List = [None] * len(comp.names)
+        for i in range(comp.n_inputs):
+            packed = np.packbits(bits[i], bitorder="little")
+            base[i] = np.frombuffer(packed.tobytes(), dtype="<u8").astype(
+                np.uint64
+            )
+        for op in comp.ops:
+            base[op.out] = _eval_words(
+                op.kind, [base[s] for s in op.srcs], full64
+            )
+        base = [
+            np.broadcast_to(np.asarray(v, dtype=np.uint64), (n_words,))
+            for v in base
+        ]
+        if _REG.enabled:
+            _M_OPS.inc(len(comp.ops), backend="vectorized")
+            _M_WORDS.inc(len(comp.ops) * n_words, backend="vectorized")
+
+        def row_ints(get, row: Optional[int] = None) -> Tuple[int, ...]:
+            out: List[int] = []
+            for idx in comp.out_idx:
+                arr = np.asarray(get(idx), dtype=np.uint64)
+                if row is not None and arr.ndim == 2:
+                    arr = arr[row]
+                arr = np.broadcast_to(arr, (n_words,))
+                out.append(_words_to_int(arr) & valid)
+            return tuple(out)
+
+        if faults is None:
+            return row_ints(lambda idx: base[idx])
+        results: List[Tuple[int, ...]] = []
+        for start in range(0, len(faults), self.block_faults):
+            chunk = faults[start : start + self.block_faults]
+            plans = [comp.fault_plan(fault) for fault in chunk]
+            get = self._block_outputs(plans, 0, n_words, base, full=full64)
+            # One bulk numpy->python conversion per output column beats
+            # a per-(row, output) broadcast + int round trip — this is
+            # the driver's hot loop (every target simulates candidates
+            # against the whole remaining universe).
+            cols = []
+            for idx in comp.out_idx:
+                arr = np.asarray(get(idx), dtype=np.uint64)
+                if arr.ndim == 1:
+                    arr = np.broadcast_to(arr, (len(plans), n_words))
+                cols.append(arr)
+            if n_words == 1:
+                col_lists = [col[:, 0].tolist() for col in cols]
+                for row in range(len(plans)):
+                    results.append(
+                        tuple(cl[row] & valid for cl in col_lists)
+                    )
+            else:
+                for row in range(len(plans)):
+                    results.append(
+                        tuple(
+                            _words_to_int(col[row]) & valid for col in cols
+                        )
+                    )
+        return results
+
     # ------------------------------------------------------------------
     # chunked (wide-input) path: mirror chunk pairs bound memory
     # ------------------------------------------------------------------
@@ -637,6 +785,86 @@ def chunk_statuses(engine, faults: Sequence[FaultLike], backend: str) -> List[st
     if _REG.enabled:
         _M_CHUNKS.inc(len(universe), backend=backend)
     return statuses
+
+
+def pack_pattern_masks(
+    patterns: Sequence[int], n_inputs: int
+) -> List[int]:
+    """Per-input big-int masks of an explicit pattern list.
+
+    Bit ``j`` of mask ``i`` is input ``i``'s value under pattern ``j``
+    (patterns are point encodings: bit ``i`` = input ``i``) — the
+    pattern-space analogue of the truth-table variable masks.
+    """
+    masks = [0] * n_inputs
+    for j, point in enumerate(patterns):
+        p = int(point)
+        bit = 1 << j
+        i = 0
+        while p and i < n_inputs:
+            if p & 1:
+                masks[i] |= bit
+            p >>= 1
+            i += 1
+    return masks
+
+
+def _pointwise_pattern_bits(engine, patterns, faults):
+    """Scalar rung of :func:`chunk_pattern_bits`: one cone-pruned point
+    evaluation per (pattern, fault) through the pointwise backend."""
+    comp = engine.compiled
+    n = comp.n_inputs
+    points = [
+        tuple((int(p) >> i) & 1 for i in range(n)) for p in patterns
+    ]
+
+    def run(fault):
+        masks = [0] * len(comp.out_idx)
+        for j, point in enumerate(points):
+            values = engine.pointwise.output_values(point, fault)
+            for pos, value in enumerate(values):
+                if value:
+                    masks[pos] |= 1 << j
+        return tuple(masks)
+
+    if faults is None:
+        return run(None)
+    return [run(fault) for fault in faults]
+
+
+def chunk_pattern_bits(
+    engine,
+    patterns: Sequence[int],
+    faults: Optional[Sequence[FaultLike]],
+    backend: str,
+):
+    """Output masks over an explicit pattern list on a resolved backend.
+
+    The pattern-space analogue of :func:`chunk_statuses` — the single
+    chunk-level entry the fault-dropping ATPG driver (and its QA
+    properties) use, so every rung of its degradation ladder evaluates
+    patterns identically.  ``patterns`` is a list of point encodings;
+    ``faults`` is a fault sequence (one output-mask tuple per fault,
+    bit ``j`` = the output value under pattern ``j``) or ``None`` for
+    the fault-free baseline tuple.  ``backend`` is a resolved name
+    (``vectorized`` / ``fallback`` / ``pointwise``); ``vectorized``
+    quietly serves on the packed fallback when NumPy is absent.
+    """
+    if backend == "vectorized" and engine.vectorized is None:
+        backend = "fallback"
+    if backend not in ("vectorized", "fallback", "pointwise"):
+        raise ValueError(f"unknown pattern backend {backend!r}")
+    with obs.span(
+        "atpg.chunk",
+        patterns=len(patterns),
+        faults=0 if faults is None else len(faults),
+        backend=backend,
+    ):
+        if backend == "vectorized":
+            return engine.vectorized.pattern_bits(patterns, faults)
+        if backend == "fallback":
+            return engine.packed.pattern_bits(patterns, faults)
+        return _pointwise_pattern_bits(engine, patterns, faults)
 
 
 def vectorized_backend_for(

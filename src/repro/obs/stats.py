@@ -11,7 +11,11 @@ questions an operator actually asks after a campaign:
   ``campaign.report`` event, whose ``wall_seconds`` is the same number
   the :class:`~repro.engine.supervisor.CampaignReport` carries);
 * how did the QA properties fare (``qa.property`` spans: trials,
-  counterexamples, pass rate).
+  counterexamples, pass rate);
+* how an ATPG campaign spent its time (``atpg.target`` PODEM spans,
+  ``atpg.chunk`` pattern-simulation spans per rung, the closing
+  ``atpg.report`` event with drop counts and faults/sec, and any
+  ``atpg.degradation`` ladder steps).
 
 :func:`summarize` returns a plain dict (the ``--json`` output);
 :func:`render` formats it for humans.
@@ -29,6 +33,9 @@ def summarize(events: Iterable[dict]) -> dict:
     chunk_spans_ok = 0
     chunk_spans_failed = 0
     qa: "OrderedDict[str, dict]" = OrderedDict()
+    atpg_chunks: "OrderedDict[str, dict]" = OrderedDict()
+    atpg_targets = {"targets": 0, "wall": 0.0}
+    atpg_reports: List[dict] = []
     degradations: List[dict] = []
     retries: Dict[str, int] = {}
     reports: List[dict] = []
@@ -69,7 +76,25 @@ def summarize(events: Iterable[dict]) -> dict:
             entry["trials"] += int(attrs.get("trials", 0))
             entry["counterexamples"] += int(attrs.get("counterexamples", 0))
             entry["wall"] += float(event.get("wall", 0.0))
-        elif kind == "event" and name == "campaign.degradation":
+        elif kind == "span" and name == "atpg.chunk":
+            backend = str(attrs.get("backend", "?"))
+            entry = atpg_chunks.setdefault(
+                backend,
+                {"chunks": 0, "patterns": 0, "faults": 0, "wall": 0.0},
+            )
+            entry["chunks"] += 1
+            entry["patterns"] += int(attrs.get("patterns", 0))
+            entry["faults"] += int(attrs.get("faults", 0))
+            entry["wall"] += float(event.get("wall", 0.0))
+        elif kind == "span" and name == "atpg.target":
+            atpg_targets["targets"] += 1
+            atpg_targets["wall"] += float(event.get("wall", 0.0))
+        elif kind == "event" and name == "atpg.report":
+            atpg_reports.append(attrs)
+        elif kind == "event" and name in (
+            "campaign.degradation",
+            "atpg.degradation",
+        ):
             degradations.append(attrs)
         elif kind == "event" and name == "campaign.retry":
             action = str(attrs.get("action", "?"))
@@ -105,10 +130,23 @@ def summarize(events: Iterable[dict]) -> dict:
                 faults_per_second=(faults / wall if wall > 0 else None),
             )
         )
+    atpg_runs = []
+    for report in atpg_reports:
+        wall = report.get("wall_seconds") or 0.0
+        faults = report.get("faults") or 0
+        atpg_runs.append(
+            dict(
+                report,
+                faults_per_second=(faults / wall if wall > 0 else None),
+            )
+        )
     return {
         "events": total_events,
         "processes": len(pids),
         "campaigns": campaigns,
+        "atpg_runs": atpg_runs,
+        "atpg_targets": atpg_targets,
+        "atpg_chunks": dict(atpg_chunks),
         "chunk_spans": {"ok": chunk_spans_ok, "failed": chunk_spans_failed},
         "chunk_backends": dict(chunk_backends),
         "degradations": degradations,
@@ -144,6 +182,32 @@ def render(summary: dict) -> str:
             f"{report.get('chunks_resumed', 0)} resumed of "
             f"{report.get('chunks_total', 0)}"
         )
+    for report in summary.get("atpg_runs", ()):
+        lines.append(
+            f"atpg: {report.get('circuit', '?')}: "
+            f"{report.get('detected', 0)}/{report.get('faults', 0)} detected "
+            f"via {report.get('backend', '?')}, "
+            f"{report.get('redundant', 0)} redundant, "
+            f"{report.get('aborted', 0)} aborted, "
+            f"{report.get('dropped', 0)} dropped, "
+            f"{report.get('patterns_kept', 0)} patterns in "
+            f"{report.get('wall_seconds', 0.0):.3f}s "
+            f"({_rate(report.get('faults_per_second'))})"
+        )
+    targets = summary.get("atpg_targets") or {}
+    if targets.get("targets"):
+        lines.append(
+            f"atpg targets: {targets['targets']} PODEM searches, "
+            f"{targets['wall']:.3f}s wall"
+        )
+    if summary.get("atpg_chunks"):
+        lines.append("atpg pattern-simulation time:")
+        for backend, entry in summary["atpg_chunks"].items():
+            lines.append(
+                f"  {backend}: {entry['chunks']} chunks, "
+                f"{entry['patterns']} patterns x {entry['faults']} faults, "
+                f"{entry['wall']:.3f}s wall"
+            )
     spans = summary["chunk_spans"]
     if spans["ok"] or spans["failed"]:
         lines.append(

@@ -33,6 +33,14 @@ around.  The registered invariants:
   of verdicts, across fresh backends and across the sweep's serial vs
   fork-worker paths; the supervised campaign report's chunk ledger must
   balance (completed + resumed = total) so no work is silently lost.
+* ``atpg-drop-soundness`` — every fault the fault-dropping ATPG driver
+  classifies as detected is confirmed detected by the block backend
+  (and the naive reference interpreter) for the single pattern the
+  report credits it to; classification counts must tile the universe.
+* ``atpg-compaction-conservation`` — the compacted test set detects
+  exactly the faults the full per-fault (no-drop, no-compact) set
+  detects, both by the reports' own claims and by re-simulating each
+  pattern set against the whole collapsed universe.
 """
 
 from __future__ import annotations
@@ -43,7 +51,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.analysis import analyze_network
 from ..core.atpg import Podem
-from ..core.collapse import equivalence_collapse
+from ..core.collapse import collapse_stem_faults, equivalence_collapse
 from ..core.simulate import ScalSimulator
 from ..engine import FaultSweep, NetworkEngine
 from ..engine.vectorized import (
@@ -490,6 +498,157 @@ sampled_determinism = register(
     "backends and across serial vs fork-worker sweeps, with a balanced "
     "campaign-report chunk ledger",
 )((_gen_sampled, _check_sampled_determinism))
+
+
+# ----------------------------------------------------------------------
+# atpg-drop-soundness / atpg-compaction-conservation
+# ----------------------------------------------------------------------
+def _gen_atpg_engine(rng: random.Random) -> Case:
+    # Small enough that 200 tier-1 trials stay cheap: each checker runs
+    # whole ATPG campaigns plus per-pattern reference simulations.
+    n = rng.randint(2, 3)
+    gates = rng.randint(2, 8)
+    if rng.random() < 0.5:
+        net = random_nand_network(rng, n, gates, n_outputs=rng.randint(1, 2))
+    else:
+        net = random_mixed_network(rng, n, gates, n_outputs=rng.randint(1, 2))
+    return Case(network=net)
+
+
+def _atpg_universe(net: Network):
+    """The driver's default target list, reproduced independently."""
+    return sorted(collapse_stem_faults(net), key=lambda f: (f.line, f.value))
+
+
+def _check_atpg_drop_soundness(case: Case) -> Optional[str]:
+    from ..engine.atpg import run_atpg
+
+    net = case.network
+    if net is None:
+        return None
+    n = len(net.inputs)
+    universe = _atpg_universe(net)
+    engine = NetworkEngine(net)  # fresh — never trust another run's cache
+    report = run_atpg(net, engine=engine)
+    if report.detected + report.redundant + report.aborted != report.requested:
+        return (
+            f"classification counts do not tile the universe: "
+            f"{report.detected} + {report.redundant} + {report.aborted} "
+            f"!= {report.requested}"
+        )
+    by_name = {fault.describe(): fault for fault in universe}
+    by_pattern: Dict[int, List[str]] = {}
+    for name, status in report.classifications.items():
+        if status != "detected":
+            continue
+        if name not in report.detected_by:
+            return f"detected fault {name} has no crediting pattern"
+        index = report.detected_by[name]
+        if not 0 <= index < len(report.patterns):
+            return f"fault {name} credits out-of-range pattern {index}"
+        by_pattern.setdefault(index, []).append(name)
+    # One block-backend pass per credited pattern (not per fault).
+    for index, names in sorted(by_pattern.items()):
+        pattern = report.patterns[index]
+        base = engine.packed.pattern_bits([pattern], None)
+        rows = engine.packed.pattern_bits(
+            [pattern], [by_name[name] for name in names]
+        )
+        point = point_tuple(n, pattern)
+        reference_good = reference_outputs(net, point)
+        for name, row in zip(names, rows):
+            if not any((b ^ r) & 1 for b, r in zip(base, row)):
+                return (
+                    f"dropped fault {name} is not detected by its "
+                    f"credited pattern {pattern} per the block backend"
+                )
+            if reference_outputs(net, point, by_name[name]) == (
+                reference_good
+            ):
+                return (
+                    f"dropped fault {name} is not detected by pattern "
+                    f"{pattern} per the reference interpreter"
+                )
+    return None
+
+
+atpg_drop_soundness = register(
+    "atpg-drop-soundness",
+    "every fault the dropping ATPG driver marks detected is confirmed "
+    "by the block backend and the reference interpreter on the single "
+    "pattern credited in the report",
+)((_gen_atpg_engine, _check_atpg_drop_soundness))
+
+
+def _detected_set(engine: NetworkEngine, patterns, universe) -> frozenset:
+    """Names of the universe faults some pattern in ``patterns`` detects."""
+    if not patterns:
+        return frozenset()
+    pats = list(patterns)
+    base = engine.packed.pattern_bits(pats, None)
+    rows = engine.packed.pattern_bits(pats, universe)
+    detected = set()
+    for fault, row in zip(universe, rows):
+        if any(b ^ r for b, r in zip(base, row)):
+            detected.add(fault.describe())
+    return frozenset(detected)
+
+
+def _check_atpg_compaction(case: Case) -> Optional[str]:
+    from ..engine.atpg import run_atpg
+
+    net = case.network
+    if net is None:
+        return None
+    universe = _atpg_universe(net)
+    engine = NetworkEngine(net)
+    compacted = run_atpg(net, engine=engine)
+    full = run_atpg(net, engine=engine, drop=False, compact=False)
+    claimed_c = {
+        name
+        for name, status in compacted.classifications.items()
+        if status == "detected"
+    }
+    claimed_f = {
+        name
+        for name, status in full.classifications.items()
+        if status == "detected"
+    }
+    if claimed_c != claimed_f:
+        return (
+            f"compacted run claims a different detected set than the "
+            f"per-fault run: only-compacted={sorted(claimed_c - claimed_f)}, "
+            f"only-full={sorted(claimed_f - claimed_c)}"
+        )
+    simulated_c = _detected_set(engine, compacted.patterns, universe)
+    simulated_f = _detected_set(engine, full.patterns, universe)
+    if simulated_c != simulated_f:
+        return (
+            f"compacted pattern set detects a different fault set than "
+            f"the full set: only-compacted="
+            f"{sorted(simulated_c - simulated_f)}, "
+            f"only-full={sorted(simulated_f - simulated_c)}"
+        )
+    if simulated_c != claimed_c:
+        return (
+            f"report claims differ from simulation: claimed-only="
+            f"{sorted(claimed_c - simulated_c)}, simulated-only="
+            f"{sorted(simulated_c - claimed_c)}"
+        )
+    if compacted.patterns_kept > full.patterns_kept:
+        return (
+            f"compaction kept more patterns ({compacted.patterns_kept}) "
+            f"than the uncompacted per-fault run ({full.patterns_kept})"
+        )
+    return None
+
+
+atpg_compaction = register(
+    "atpg-compaction-conservation",
+    "the compacted ATPG test set detects exactly the faults the full "
+    "per-fault set detects, by report claims and by re-simulating both "
+    "pattern sets against the collapsed universe",
+)((_gen_atpg_engine, _check_atpg_compaction))
 
 
 def property_names() -> List[str]:

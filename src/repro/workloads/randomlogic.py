@@ -101,6 +101,50 @@ def random_mixed_network(
     return builder.build(outputs)
 
 
+def random_array_network(
+    rng: random.Random,
+    stages: int,
+    name: str = "random_array",
+) -> Network:
+    """A random *iterative logic array*: a chain of randomly drawn
+    two-input cells, each mixing the running carry with two fresh
+    inputs and tapping a per-stage XOR sum output (so internal faults
+    stay observable).  The deep reconvergent carry chain makes these
+    the random counterpart of the ripple adders — nearly irredundant,
+    with expensive per-fault PODEM searches, which is exactly the
+    regime where fault dropping pays (cf. the constant-size test sets
+    of AND-EXOR iterative arrays in the related work)."""
+    kinds = [
+        GateKind.AND,
+        GateKind.OR,
+        GateKind.NAND,
+        GateKind.NOR,
+        GateKind.XOR,
+    ]
+    inputs = ["c0"] + [f"{p}{i}" for i in range(stages) for p in "ab"]
+    builder = NetworkBuilder(inputs, name=name)
+    carry = "c0"
+    outputs: List[str] = []
+    counter = 0
+
+    def add(kind: GateKind, sources: Sequence[str]) -> str:
+        nonlocal counter
+        line = builder.add(f"g{counter}", kind, sources)
+        counter += 1
+        return line
+
+    for stage in range(stages):
+        a, b = f"a{stage}", f"b{stage}"
+        t1 = add(rng.choice(kinds), [a, b])
+        t2 = add(rng.choice(kinds), [t1, carry])
+        t3 = add(rng.choice(kinds), [a, carry])
+        carry = add(rng.choice(kinds), [t2, t3])
+        sum_sources = [t1, carry] if rng.random() < 0.5 else [t2, t3]
+        outputs.append(add(GateKind.XOR, sum_sources))
+    outputs.append(carry)
+    return builder.build(outputs)
+
+
 def random_alternating_network(
     rng: random.Random,
     n_inputs: int,
