@@ -10,9 +10,9 @@ Point the thesis's machinery at any ``.bench`` netlist:
 * ``dot``       — Graphviz export with the failing lines highlighted;
 * ``faulttable``— a Figure 3.6-style fault table for chosen lines;
 * ``campaign``  — a bulk single-fault coverage sweep through the
-  backend-selection heuristic (bitmask / vectorized / fallback) under
-  the supervised runtime (``--timeout``, ``--checkpoint``/``--resume``,
-  ``--report``);
+  backend-selection heuristic (bitmask / vectorized / fallback /
+  kernel) under the supervised runtime (``--timeout``,
+  ``--checkpoint``/``--resume``, ``--report``);
 * ``atpg``      — fault-dropping PODEM campaign: guided search per
   target, batched candidate completions simulated against the whole
   remaining fault universe, reverse-greedy compaction
@@ -441,8 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("netlist")
     p.add_argument("--backend", default="auto",
-                   choices=["auto", "bitmask", "vectorized", "fallback"],
-                   help="sweep backend (default: auto heuristic)")
+                   choices=["auto", "bitmask", "vectorized", "fallback",
+                            "kernel"],
+                   help="sweep backend (default: auto heuristic; kernel "
+                   "= codegen'd specialized sweep kernels, degrades to "
+                   "vectorized/fallback when unavailable)")
     p.add_argument("--processes", type=int, default=None,
                    help="fan out across this many supervised worker lanes")
     p.add_argument("--transport", default="auto",

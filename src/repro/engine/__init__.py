@@ -69,6 +69,7 @@ from .transport import (
 )
 from .vectorized import (
     HAVE_NUMPY,
+    KERNEL_MAX_INPUTS,
     PackedFallbackBackend,
     VectorizedBackend,
     select_backend,
@@ -78,18 +79,37 @@ from .vectorized import (
 class NetworkEngine:
     """One network's compiled form plus its shared backends.
 
-    The three scalar backends are always built; the fault-batched block
-    backends (:attr:`packed`, :attr:`vectorized`) are constructed lazily
-    on first use so engines for small one-off queries pay nothing.
+    The pointwise/sampled scalar backends are always built; the
+    exhaustive :attr:`bitmask` backend and the fault-batched block
+    backends (:attr:`packed`, :attr:`vectorized`, :attr:`kernel`) are
+    constructed lazily on first use — so engines for small one-off
+    queries pay nothing, and engines for circuits beyond the
+    :data:`~repro.engine.backends.MAX_BITMASK_INPUTS` exhaustive
+    ceiling can still serve the sampled/vectorized paths (touching
+    ``.bitmask`` there raises ``ValueError`` instead of attempting the
+    2^n-bit allocation).
     """
 
     def __init__(self, network: Network) -> None:
         self.compiled = compile_network(network)
-        self.bitmask = BitmaskBackend(self.compiled)
         self.pointwise = PointwiseBackend(self.compiled)
         self.sampled = SampledBackend(self.pointwise)
+        self._bitmask: Optional[BitmaskBackend] = None
         self._packed: Optional[PackedFallbackBackend] = None
         self._vectorized: Optional[VectorizedBackend] = None
+        self._kernel: Optional["KernelBackend"] = None
+
+    @property
+    def bitmask(self) -> BitmaskBackend:
+        """The exhaustive big-int truth-table backend.
+
+        Raises ``ValueError`` for circuits wider than
+        :data:`~repro.engine.backends.MAX_BITMASK_INPUTS` inputs (the
+        eager 2^n-bit mask would be an OOM attempt, not a slow path).
+        """
+        if self._bitmask is None:
+            self._bitmask = BitmaskBackend(self.compiled)
+        return self._bitmask
 
     @property
     def packed(self) -> PackedFallbackBackend:
@@ -105,6 +125,20 @@ class NetworkEngine:
         if self._vectorized is None and HAVE_NUMPY:
             self._vectorized = VectorizedBackend(self.compiled)
         return self._vectorized
+
+    @property
+    def kernel(self) -> Optional["KernelBackend"]:
+        """The codegen'd specialized-kernel tier, or ``None`` when NumPy
+        is absent or the circuit exceeds its full-table input ceiling
+        (:data:`~repro.engine.vectorized.KERNEL_MAX_INPUTS`)."""
+        if self._kernel is None and HAVE_NUMPY:
+            from .kernels import KernelBackend
+
+            if self.compiled.n_inputs <= KERNEL_MAX_INPUTS:
+                self._kernel = KernelBackend(
+                    self.compiled, vectorized=self.vectorized
+                )
+        return self._kernel
 
 
 _engine_cache: "weakref.WeakKeyDictionary[Network, NetworkEngine]" = (
@@ -136,6 +170,10 @@ def __getattr__(name: str):
         from . import atpg
 
         return getattr(atpg, name)
+    if name in ("KernelBackend", "HAVE_NUMBA"):
+        from . import kernels
+
+        return getattr(kernels, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -152,8 +190,11 @@ __all__ = [
     "FaultPlan",
     "FaultSweep",
     "ForkTransport",
+    "HAVE_NUMBA",
     "HAVE_NUMPY",
     "InlineTransport",
+    "KERNEL_MAX_INPUTS",
+    "KernelBackend",
     "NetworkEngine",
     "Op",
     "PackedFallbackBackend",

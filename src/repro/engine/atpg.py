@@ -70,8 +70,12 @@ _RUNGS = ("vectorized", "fallback", "pointwise")
 
 #: Below this many targets, ``backend="auto"`` starts on the packed
 #: fallback: NumPy's fixed per-call overhead beats its fault-axis
-#: throughput on small universes (measured crossover ~30-86 faults).
-AUTO_FALLBACK_MAX_FAULTS = 48
+#: throughput on small universes.  Re-measured against the PR-8 engine
+#: (the kernel tier made baseline derivation and block set-up cheaper):
+#: the crossover on candidate-batch pattern simulation is now ~8-16
+#: targets at 10-14 inputs, so the old 48 cutoff kept mid-sized
+#: universes on the slow rung.
+AUTO_FALLBACK_MAX_FAULTS = 16
 
 
 @dataclasses.dataclass(frozen=True)
@@ -102,6 +106,10 @@ class AtpgReport:
     classifications: Dict[str, str]
     detected_by: Dict[str, int]
     degradations: Tuple[Degradation, ...] = ()
+    #: The resolved simulation rung ``backend="auto"`` chose to *start*
+    #: on (``"vectorized"`` / ``"fallback"``); for explicit backends,
+    #: the requested rung after availability resolution.
+    auto_rung: str = ""
 
     def coverage(self) -> float:
         """Detected fraction of the requested fault universe."""
@@ -123,7 +131,13 @@ class AtpgReport:
             f"{self.targets} PODEM targets, {self.dropped} dropped "
             f"without a search, "
             f"{self.candidates_evaluated} candidates simulated",
-            f"  backend {self.backend}, {self.wall_seconds:.3f}s",
+            f"  backend {self.backend}"
+            + (
+                f" (auto started on {self.auto_rung})"
+                if self.auto_rung and self.auto_rung != self.backend
+                else ""
+            )
+            + f", {self.wall_seconds:.3f}s",
         ]
         for d in self.degradations:
             lines.append(f"  degraded {d.frm} -> {d.to}: {d.reason}")
@@ -432,6 +446,7 @@ def run_atpg(
             if f in pattern_of
         },
         degradations=tuple(degradations),
+        auto_rung=start,
     )
     obs.event(
         "atpg.report",

@@ -35,6 +35,14 @@ from .compiled import CompiledNetwork, FaultLike
 #: input points (2**16 — larger spaces should use the sampled backend).
 POINT_CACHE_LIMIT = 1 << 16
 
+#: Exhaustive big-int masks are ``2**n`` bits *per line*; beyond this
+#: many inputs even the all-ones ``full`` mask is a multi-gigabyte
+#: allocation, so :class:`BitmaskBackend` refuses with ``ValueError``
+#: instead of attempting the OOM.  Wider circuits use the sampled /
+#: vectorized (chunked) paths, which never materialize ``2**n`` bits
+#: at once.
+MAX_BITMASK_INPUTS = 25
+
 # Telemetry: per-backend work counters.  Hot paths hoist the enabled
 # check (`_REG.enabled`) so a disabled registry costs one branch per
 # query, not one call per op.
@@ -51,6 +59,13 @@ class BitmaskBackend:
     """Word-parallel evaluation: one integer mask per line."""
 
     def __init__(self, compiled: CompiledNetwork) -> None:
+        if compiled.n_inputs > MAX_BITMASK_INPUTS:
+            raise ValueError(
+                f"BitmaskBackend: {compiled.n_inputs} inputs exceeds the "
+                f"{MAX_BITMASK_INPUTS}-input exhaustive ceiling (a "
+                f"2**{compiled.n_inputs}-bit mask per line); use the "
+                "sampled or vectorized backends for wide circuits"
+            )
         self.compiled = compiled
         self.full = (1 << (1 << compiled.n_inputs)) - 1
         self._baseline: Optional[Tuple[int, ...]] = None

@@ -62,7 +62,7 @@ class ResponseBits:
 
 
 #: Backend names accepted by :meth:`FaultSweep.sweep`.
-SWEEP_BACKENDS = ("auto", "bitmask", "vectorized", "fallback")
+SWEEP_BACKENDS = ("auto", "bitmask", "vectorized", "fallback", "kernel")
 
 
 class FaultSweep:
@@ -81,15 +81,26 @@ class FaultSweep:
         self.network = network
         self.engine = engine if engine is not None else engine_for(network)
         self.compiled = self.engine.compiled
-        self.bitmask = self.engine.bitmask
         self.n = self.compiled.n_inputs
-        self.full = self.bitmask.full
         #: Name of the backend the most recent :meth:`sweep` ran on
         #: (``"fork:<name>"`` when fanned out across workers).
         self.last_sweep_backend: Optional[str] = None
         #: Structured :class:`CampaignReport` of the most recent
         #: :meth:`sweep` — backend, degradations, retries, wall time.
         self.last_report: Optional[CampaignReport] = None
+
+    @property
+    def bitmask(self):
+        """The engine's exhaustive backend, built lazily — wide-input
+        sweeps (sampled/vectorized paths) never pay or risk the 2^n-bit
+        allocation, and touching this on a >MAX_BITMASK_INPUTS circuit
+        raises the backend's clear ``ValueError``."""
+        return self.engine.bitmask
+
+    @property
+    def full(self) -> int:
+        """The all-ones 2^n-bit input-space mask (lazy, exhaustive-only)."""
+        return self.bitmask.full
 
     def response_bits(self, fault: FaultLike) -> ResponseBits:
         """The pair-level response masks for one fault."""
@@ -128,6 +139,8 @@ class FaultSweep:
             )
         if backend == "auto":
             backend = select_backend(self.n, n_faults)
+        if backend == "kernel" and self.engine.kernel is None:
+            backend = "vectorized"
         if backend == "vectorized" and not HAVE_NUMPY:
             backend = "fallback"
         return backend
@@ -154,8 +167,11 @@ class FaultSweep:
 
         ``backend`` is ``auto`` (the :func:`select_backend` heuristic),
         ``bitmask`` (scalar big-int masks), ``vectorized`` (NumPy
-        fault-batched; degrades to ``fallback`` without NumPy), or
-        ``fallback`` (pure-Python packed words).  ``transport`` picks the
+        fault-batched; degrades to ``fallback`` without NumPy),
+        ``kernel`` (codegen'd specialized sweep kernels; degrades to
+        ``vectorized``/``fallback`` when NumPy is absent or the circuit
+        exceeds the kernel input ceiling), or ``fallback`` (pure-Python
+        packed words).  ``transport`` picks the
         execution fabric (``auto`` / ``inline`` / ``fork`` / ``fork+shm``
         / ``socket`` — see :mod:`repro.engine.transport`).  With
         ``processes > 1`` (or an explicit worker transport) the universe

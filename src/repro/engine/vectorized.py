@@ -91,6 +91,18 @@ DEFAULT_CHUNK_WORDS = 256
 #: the heuristic recommends sampling instead of exhaustion.
 EXHAUSTIVE_INPUT_LIMIT = 16
 
+#: Word counts of 128+ (``n_inputs > 12``) are where the codegen kernel
+#: tier beats the vectorized interpreter even cold, compile time
+#: included (see BENCH_kernels.json); below that it only wins once its
+#: per-signature kernels are warm, so auto keeps the vectorized rung.
+KERNEL_AUTO_MIN_INPUTS = 12
+
+#: Input counts beyond this would materialize full-table baselines too
+#: large for the kernel form (:class:`~repro.engine.kernels.KernelBackend`
+#: refuses them); auto routes wider circuits to the chunked vectorized
+#: path.
+KERNEL_MAX_INPUTS = 20
+
 _FULL64 = 0xFFFFFFFFFFFFFFFF
 
 #: Packed-word pattern of input variable ``i`` (i < 6) inside one word:
@@ -125,12 +137,16 @@ def select_backend(
     ==================  =============  =========================================
     explicit points     —              ``pointwise`` (one) / ``sampled`` (many)
     ``n ≤ 16``          ``< 8``        ``bitmask`` (big-int masks, per fault)
-    ``n ≤ 16``          ``≥ 8``        ``vectorized`` (NumPy) or ``fallback``
-    ``n > 16``          any            ``vectorized`` (chunked) or ``fallback``
+    ``n ≤ 12``          ``≥ 8``        ``vectorized`` (NumPy) or ``fallback``
+    ``12 < n ≤ 20``     ``≥ 8``        ``kernel`` (codegen) or ``fallback``
+    ``n > 20``          any            ``vectorized`` (chunked) or ``fallback``
     ==================  =============  =========================================
 
     ``fallback`` is the pure-Python packed-word path — selected
-    automatically whenever NumPy is absent.
+    automatically whenever NumPy is absent.  The ``kernel`` rung only
+    engages where its codegen cost wins even on a cold one-shot sweep
+    (``n_inputs > KERNEL_AUTO_MIN_INPUTS``); narrower circuits still
+    reach it explicitly via ``backend="kernel"``.
     """
     if numpy_available is None:
         numpy_available = HAVE_NUMPY
@@ -138,7 +154,11 @@ def select_backend(
         return "pointwise" if n_points == 1 else "sampled"
     if n_inputs <= EXHAUSTIVE_INPUT_LIMIT and n_faults < VECTOR_MIN_FAULTS:
         return "bitmask"
-    return "vectorized" if numpy_available else "fallback"
+    if not numpy_available:
+        return "fallback"
+    if KERNEL_AUTO_MIN_INPUTS < n_inputs <= KERNEL_MAX_INPUTS:
+        return "kernel"
+    return "vectorized"
 
 
 def classify_status(detected: int, violations: int) -> str:
@@ -757,19 +777,24 @@ def chunk_statuses(engine, faults: Sequence[FaultLike], backend: str) -> List[st
     late, so chaos patches land everywhere), which is why every rung of
     the degradation ladder classifies byte-identically.  ``engine``
     is a :class:`~repro.engine.NetworkEngine`; ``backend`` is a resolved
-    name (``vectorized`` / ``fallback`` / ``bitmask``) — ``vectorized``
-    quietly serves on the packed fallback when NumPy is absent (the
+    name (``kernel`` / ``vectorized`` / ``fallback`` / ``bitmask``) —
+    ``kernel`` and ``vectorized`` quietly degrade down the ladder when
+    NumPy is absent or the circuit exceeds the kernel ceiling (the
     selection already happened upstream).
     """
     universe = list(faults)
+    if backend == "kernel" and getattr(engine, "kernel", None) is None:
+        backend = "vectorized"
     if backend == "vectorized" and engine.vectorized is None:
         backend = "fallback"
-    if backend not in ("vectorized", "fallback", "bitmask"):
+    if backend not in ("kernel", "vectorized", "fallback", "bitmask"):
         raise ValueError(f"unknown chunk backend {backend!r}")
     # Every rung classifies through this span: the flight's count of
     # successful "sweep.chunk" spans equals the report's chunk ledger.
     with obs.span("sweep.chunk", faults=len(universe), backend=backend):
-        if backend == "vectorized":
+        if backend == "kernel":
+            statuses = engine.kernel.sweep_statuses(universe)
+        elif backend == "vectorized":
             statuses = engine.vectorized.sweep_statuses(universe)
         elif backend == "fallback":
             statuses = engine.packed.sweep_statuses(universe)

@@ -198,13 +198,32 @@ def _check_backend_agreement(case: Case) -> Optional[str]:
                 "vectorized statuses diverge from scalar bitmask: "
                 f"{vec_statuses} != {scalar}"
             )
+        # The codegen kernel tier re-derives the classification a third
+        # way (specialized straight-line source, folded seeds, fused
+        # pair check) — exercise single-threaded and tiled/threaded
+        # variants, fresh each time so no kernel cache is trusted.
+        from ..engine.kernels import KernelBackend
+
+        for label, kwargs in (
+            ("kernel", {}),
+            ("kernel[tiled,threads=2]", {"tile_words": 1, "threads": 2}),
+        ):
+            kern = KernelBackend(
+                engine.compiled, vectorized=vectorized, **kwargs
+            )
+            kern_statuses = kern.sweep_statuses(faults)
+            if kern_statuses != scalar:
+                return (
+                    f"{label} statuses diverge from scalar bitmask: "
+                    f"{kern_statuses} != {scalar}"
+                )
     return None
 
 
 backend_agreement = register(
     "backend-agreement",
-    "bitmask/pointwise/sampled/packed/vectorized backends match the "
-    "naive interpreter bit-for-bit under every single fault, with "
+    "bitmask/pointwise/sampled/packed/vectorized/kernel backends match "
+    "the naive interpreter bit-for-bit under every single fault, with "
     "identical sweep statuses",
 )((_gen_mixed, _check_backend_agreement))
 

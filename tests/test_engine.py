@@ -174,6 +174,7 @@ class TestVectorizedEquivalence:
         assert sweep.sweep(universe, backend="bitmask") == reference
         assert sweep.sweep(universe, backend="fallback") == reference
         assert sweep.sweep(universe, backend="vectorized") == reference
+        assert sweep.sweep(universe, backend="kernel") == reference
         assert sweep.sweep(universe, backend="auto") == reference
 
     @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
@@ -211,14 +212,64 @@ class TestBackendSelection:
         assert select_backend(4, 200, numpy_available=True) == "vectorized"
         assert select_backend(4, 200, numpy_available=False) == "fallback"
 
-    def test_wide_inputs_vectorize_even_for_few_faults(self):
-        assert select_backend(20, 2, numpy_available=True) == "vectorized"
+    def test_wide_inputs_block_even_for_few_faults(self):
+        # Beyond the exhaustive limit the scalar bitmask rung never
+        # engages: 17-20 inputs land on the kernel tier, wider circuits
+        # on the chunked vectorized path.
+        assert select_backend(20, 2, numpy_available=True) == "kernel"
         assert select_backend(20, 2, numpy_available=False) == "fallback"
+        assert select_backend(24, 2, numpy_available=True) == "vectorized"
+        assert select_backend(24, 2, numpy_available=False) == "fallback"
+
+    def test_kernel_rung_engages_above_cold_crossover(self):
+        # n > 12 is where codegen wins even cold (BENCH_kernels.json);
+        # at or below it auto stays vectorized and the kernel tier is
+        # explicit-only.
+        assert select_backend(12, 200, numpy_available=True) == "vectorized"
+        assert select_backend(13, 200, numpy_available=True) == "kernel"
+        assert select_backend(13, 200, numpy_available=False) == "fallback"
 
     def test_unknown_backend_name_rejected(self):
         sweep = FaultSweep(fig34_network())
         with pytest.raises(ValueError):
             sweep.sweep(sweep.single_fault_universe(), backend="gpu")
+
+
+class TestWideInputGuard:
+    """Circuits beyond the 25-input exhaustive ceiling must get a clear
+    ``ValueError`` from the bitmask backend instead of an OOM attempt,
+    while the sampled/vectorized paths keep working (regression for the
+    eager 2^n-bit ``full`` mask allocation)."""
+
+    def _wide_net(self, n_inputs=30):
+        from repro.workloads.randomlogic import random_mixed_network
+
+        return random_mixed_network(
+            random.Random(0x71DE),
+            n_inputs=n_inputs,
+            n_gates=40,
+            n_outputs=3,
+        )
+
+    def test_engine_builds_but_bitmask_raises(self):
+        net = self._wide_net()
+        engine = engine_for(net)  # must not allocate 2^30-bit masks
+        with pytest.raises(ValueError, match="exhaustive ceiling"):
+            engine.bitmask
+        # pointwise/sampled still serve
+        point = tuple([0, 1] * 15)
+        assert engine.pointwise.output_values(point) is not None
+
+    def test_fault_sweep_builds_lazily(self):
+        net = self._wide_net()
+        sweep = FaultSweep(net)  # previously touched .bitmask eagerly
+        with pytest.raises(ValueError, match="exhaustive ceiling"):
+            sweep.full
+
+    def test_selection_never_picks_bitmask_wide(self):
+        for n in (26, 30, 40):
+            for faults in (1, 4, 100):
+                assert select_backend(n, faults) != "bitmask"
 
 
 class TestSweepDrivers:
