@@ -20,7 +20,10 @@ Submitting the same netlist twice concurrently demonstrates the
 service's coalescing: both clients receive the full stream, but only
 one campaign executes (``disposition: coalesced`` on the second).
 ``--smoke URL`` runs exactly that as a self-checking scenario — the CI
-serve-smoke job's driver.
+serve-smoke job's driver.  ``--recover-drill`` exercises the service's
+crash tolerance end to end: it SIGKILLs a serving subprocess
+mid-campaign, restarts it with ``--recover``, and checks the journaled
+request completes byte-identically — the CI serve-chaos job's driver.
 
 Uses only the standard library: the NDJSON stream is plain HTTP/1.1,
 so ``urllib`` consumes it line by line.
@@ -45,10 +48,23 @@ OUTPUT(cout)
 """
 
 
-def submit(base_url, netlist, processes=2, transport="auto", quiet=False):
-    """POST one campaign and yield each NDJSON event as a dict."""
+def submit(
+    base_url, netlist, processes=2, transport="auto", quiet=False, **fields
+):
+    """POST one campaign and yield each NDJSON event as a dict.
+
+    Extra keyword ``fields`` go into the request body verbatim —
+    ``statuses=True`` for per-fault statuses, ``deadline_s=5.0`` for a
+    server-enforced deadline, and so on."""
     body = json.dumps(
-        {"netlist": netlist, "processes": processes, "transport": transport}
+        dict(
+            {
+                "netlist": netlist,
+                "processes": processes,
+                "transport": transport,
+            },
+            **fields,
+        )
     ).encode()
     request = Request(
         base_url.rstrip("/") + "/campaign",
@@ -99,6 +115,109 @@ def run_smoke(base_url):
     )
 
 
+def _spawn_serve(args, env):
+    """Start a real ``repro serve`` subprocess; return (proc, base URL)."""
+    import re
+    import subprocess
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"] + args,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    for line in proc.stdout:
+        match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+        if match:
+            return proc, match.group(1)
+    proc.kill()
+    raise RuntimeError("serve subprocess never reported its address")
+
+
+def run_recover_drill():
+    """SIGKILL a serving process mid-campaign, restart it with
+    ``--recover``, and check the journaled request completes with
+    statuses byte-identical to an uninterrupted run — the CI
+    serve-chaos job's end-to-end driver."""
+    import os
+    import shutil
+    import signal
+    import tempfile
+    import time
+
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    request = {"processes": None, "transport": "inline", "statuses": True}
+    workdir = tempfile.mkdtemp(prefix="repro-recover-drill-")
+    procs = []
+    try:
+        # 1. The uninterrupted yardstick.
+        proc, url = _spawn_serve(
+            ["--state-dir", os.path.join(workdir, "ref")], env
+        )
+        procs.append(proc)
+        expected = None
+        for event in submit(url, SMOKE_BENCH, quiet=True, **request):
+            expected = event
+        assert expected["event"] == "result", expected
+        assert "error" not in expected, expected
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=20)
+
+        # 2. A chaos-slowed server, SIGKILLed mid-campaign: the WAL has
+        # the accepted record, the checkpoint has the finished chunks.
+        state = os.path.join(workdir, "state")
+        chaos_env = dict(
+            env, REPRO_CHAOS_SERVE="campaign-slow", REPRO_CHAOS_SLOW_S="0.3"
+        )
+        proc, url = _spawn_serve(["--state-dir", state], chaos_env)
+        procs.append(proc)
+        for event in submit(url, SMOKE_BENCH, quiet=True, **request):
+            if event["event"] == "campaign.chunk":
+                proc.send_signal(signal.SIGKILL)
+                break
+        proc.wait(timeout=20)
+
+        # 3. Recovery replays the journaled request from its checkpoint.
+        proc, url = _spawn_serve(["--state-dir", state, "--recover"], env)
+        procs.append(proc)
+        deadline = time.time() + 60
+        while True:
+            with urlopen(url + "/healthz") as response:
+                health = json.loads(response.read())
+            if health["recovered"] >= 1 and health["replaying"] == 0:
+                break
+            assert time.time() < deadline, health
+            time.sleep(0.1)
+        final = None
+        for event in submit(url, SMOKE_BENCH, quiet=True, **request):
+            final = event
+        assert final["event"] == "result", final
+        assert final["replayed"] is True, final
+        assert final["statuses"] == expected["statuses"], (
+            "recovered statuses diverged from the uninterrupted run"
+        )
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=20)
+        print(
+            f"recover drill OK: SIGKILL mid-campaign, --recover replayed "
+            f"{health['recovered']} request(s), {len(final['statuses'])} "
+            f"statuses byte-identical"
+        )
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+            proc.stdout.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def run_local_demo():
     """No URL given: start a service in-process on an ephemeral port
     and run the coalescing scenario against it — the self-contained
@@ -144,6 +263,8 @@ def main(argv):
     if len(argv) >= 2 and argv[1] == "--smoke":
         run_smoke(argv[2] if len(argv) > 2 else "http://127.0.0.1:8341")
         return 0
+    if len(argv) >= 2 and argv[1] == "--recover-drill":
+        return run_recover_drill()
     if len(argv) >= 3 and argv[1].startswith("http"):
         with open(argv[2]) as handle:
             netlist = handle.read()

@@ -21,9 +21,12 @@ Point the thesis's machinery at any ``.bench`` netlist:
   counterexample shrinking (see ``repro.qa``);
 * ``stats``     — render a flight recorded with ``--trace-out``: time
   per backend, degradations, retries, faults/sec, QA pass rates;
-* ``serve``     — stdlib asyncio campaign service: queues requests,
-  deduplicates identical campaigns by content fingerprint, streams
-  NDJSON progress, exposes Prometheus metrics at ``/metrics``;
+* ``serve``     — stdlib asyncio campaign service: queues requests on a
+  bounded worker pool (shedding overload with 429), deduplicates
+  identical campaigns by content fingerprint, streams NDJSON progress,
+  enforces per-request deadlines with cooperative cancellation, drains
+  gracefully on SIGTERM, journals accepted work for ``--recover``, and
+  exposes Prometheus metrics at ``/metrics``;
 * ``worker``    — one socket-transport worker lane (normally spawned by
   the supervisor, never by hand).
 
@@ -367,6 +370,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         processes=args.processes,
         transport=args.transport,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        deadline_s=args.deadline_s,
+        drain_timeout=args.drain_timeout,
+        state_dir=args.state_dir,
+        recover=args.recover,
+        max_jobs=args.max_jobs,
+        read_timeout=args.read_timeout,
     )
 
 
@@ -571,6 +582,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transport", default="auto",
                    choices=["auto", "inline", "fork", "fork+shm", "socket"],
                    help="execution transport for served campaigns")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent campaign worker threads (default 2)")
+    p.add_argument("--queue", type=int, default=8, dest="queue_limit",
+                   help="accepted jobs allowed to wait beyond the worker "
+                        "pool before shedding 429 (default 8)")
+    p.add_argument("--deadline", type=float, default=None, dest="deadline_s",
+                   metavar="SECONDS",
+                   help="default per-campaign deadline; requests may set "
+                        "their own deadline_s (default: none)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="grace for in-flight campaigns on SIGTERM/SIGINT "
+                        "before they are cancelled (default 10)")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="journal accepted requests (fsync'd JSONL WAL) and "
+                        "campaign checkpoints under DIR")
+    p.add_argument("--recover", action="store_true",
+                   help="on startup, replay journaled requests that never "
+                        "finished, resuming from their checkpoints "
+                        "(requires --state-dir)")
+    p.add_argument("--max-jobs", type=int, default=64,
+                   help="finished-job LRU size; older results still replay "
+                        "from the content-addressed store (default 64)")
+    p.add_argument("--read-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="per-connection header/body read timeout; slower "
+                        "clients get 408 (default 10)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

@@ -40,9 +40,11 @@ from ..logic.network import Network
 from .backends import BitmaskBackend, PointwiseBackend, SampledBackend
 from .campaign import FaultSweep, ResponseBits
 from .supervisor import (
+    CampaignCancelled,
     CampaignCheckpoint,
     CampaignInterrupted,
     CampaignReport,
+    CancelToken,
     CheckpointError,
     Degradation,
     RetryEvent,
@@ -181,9 +183,11 @@ __all__ = [
     "ArtifactStore",
     "AtpgReport",
     "BitmaskBackend",
+    "CampaignCancelled",
     "CampaignCheckpoint",
     "CampaignInterrupted",
     "CampaignReport",
+    "CancelToken",
     "CheckpointError",
     "CompiledNetwork",
     "Degradation",

@@ -38,7 +38,7 @@ from .. import obs
 from ..logic.faults import enumerate_single_faults
 from ..logic.network import Network
 from .compiled import FaultLike
-from .supervisor import CampaignReport, run_campaign
+from .supervisor import CampaignReport, CancelToken, run_campaign
 from .vectorized import HAVE_NUMPY, chunk_statuses, select_backend
 
 
@@ -162,6 +162,7 @@ class FaultSweep:
         chunk_faults: Optional[int] = None,
         abort_after_chunks: Optional[int] = None,
         transport: str = "auto",
+        cancel: Optional[CancelToken] = None,
     ) -> List[Tuple[FaultLike, str]]:
         """Classify every fault under the supervised campaign runtime.
 
@@ -185,7 +186,12 @@ class FaultSweep:
         remainder (statuses are byte-identical either way).  Every
         fallback taken is recorded in :attr:`last_report`;
         ``abort_after_chunks`` is the deliberate-interruption hook used
-        by tests and resume drills.
+        by tests and resume drills.  ``cancel`` threads a
+        :class:`~repro.engine.supervisor.CancelToken` into the
+        supervision loop: a fired token (explicit cancel or blown
+        deadline) raises
+        :class:`~repro.engine.supervisor.CampaignCancelled` within one
+        poll interval, with completed chunks already checkpointed.
         """
         universe = list(faults)
         chosen = self._resolve_backend(backend, len(universe))
@@ -207,6 +213,7 @@ class FaultSweep:
                 chunk_faults=chunk_faults,
                 abort_after_chunks=abort_after_chunks,
                 transport=transport,
+                cancel=cancel,
             )
         self.last_report = report
         self.last_sweep_backend = _legacy_backend_name(report)

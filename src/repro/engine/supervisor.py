@@ -89,6 +89,10 @@ _M_FAULTS = _REG.counter(
 _M_STEALS = _REG.counter(
     "repro_campaign_steals_total", "Chunk halves stolen by idle lanes"
 )
+_M_CANCELLED = _REG.counter(
+    "repro_campaign_cancelled_total",
+    "Campaigns cancelled cooperatively, by reason kind",
+)
 _M_WALL = _REG.histogram(
     "repro_campaign_wall_seconds", "End-to-end campaign wall time"
 )
@@ -134,6 +138,62 @@ class CampaignInterrupted(RuntimeError):
     """Raised when a campaign stops early on purpose (the
     ``abort_after_chunks`` hook); the checkpoint holds every chunk
     completed so far and ``--resume`` picks up from it."""
+
+
+class CampaignCancelled(RuntimeError):
+    """Raised when a campaign's :class:`CancelToken` fires — an explicit
+    cancel (client gone, server draining) or a blown deadline.  Like
+    :class:`CampaignInterrupted`, every chunk completed before the
+    cancellation is already in the checkpoint, so a later run resumes
+    byte-identically."""
+
+
+class CancelToken:
+    """Cooperative cancellation threaded from a caller (the ``repro
+    serve`` HTTP layer) into :func:`run_campaign`'s supervision loop.
+
+    The token fires when :meth:`cancel` is called from any thread, or —
+    with ``deadline_s`` set — once the deadline has elapsed.  The
+    supervision loop checks it once per poll interval, so a running
+    campaign stops and frees its transport lanes within roughly
+    :data:`POLL_SECONDS` plus the cost of the chunk currently in flight.
+    Reads and writes are simple attribute operations (atomic under the
+    GIL); no lock is needed.
+    """
+
+    __slots__ = ("_cancelled", "_reason", "_deadline", "deadline_s")
+
+    def __init__(self, deadline_s: Optional[float] = None) -> None:
+        self._cancelled = False
+        self._reason = "cancelled"
+        self.deadline_s = deadline_s
+        self._deadline = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Fire the token (idempotent; the first reason wins)."""
+        if not self._cancelled:
+            self._reason = reason
+            self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        if self._cancelled:
+            return True
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            self.cancel(f"deadline exceeded after {self.deadline_s:g}s")
+            return True
+        return False
+
+    @property
+    def reason(self) -> str:
+        return self._reason
+
+    def check(self) -> None:
+        """Raise :class:`CampaignCancelled` if the token has fired."""
+        if self.cancelled:
+            raise CampaignCancelled(self._reason)
 
 
 class _SupervisionFailure(RuntimeError):
@@ -488,6 +548,7 @@ class _TransportSupervisor:
         timeout: Optional[float],
         report: CampaignReport,
         complete: Callable[[_Task, List[str]], None],
+        cancel: Optional[CancelToken] = None,
     ) -> None:
         self.sweep = sweep
         self.transport = transport
@@ -495,6 +556,7 @@ class _TransportSupervisor:
         self.timeout = None if transport.in_process else timeout
         self.report = report
         self.complete = complete
+        self.cancel = cancel
         self.pending: deque = deque()
         self.inflight: Dict[int, _Inflight] = {}
         self.replaced = 0
@@ -512,6 +574,8 @@ class _TransportSupervisor:
     # -- supervision loop ----------------------------------------------
     def _loop(self) -> None:
         while self.pending or self.inflight:
+            if self.cancel is not None:
+                self.cancel.check()
             now = time.monotonic()
             self._assign(now)
             self._maybe_steal(now)
@@ -726,6 +790,7 @@ def run_campaign(
     chunk_faults: Optional[int] = None,
     abort_after_chunks: Optional[int] = None,
     transport: str = "auto",
+    cancel: Optional[CancelToken] = None,
 ) -> Tuple[List[str], CampaignReport]:
     """Run one supervised campaign; returns ``(statuses, report)``.
 
@@ -736,6 +801,11 @@ def run_campaign(
     ``abort_after_chunks`` is the interruption hook used by tests and
     drills: the campaign raises :class:`CampaignInterrupted` after that
     many newly simulated chunks, leaving the checkpoint resumable.
+    ``cancel`` is a :class:`CancelToken` checked once per supervision
+    poll interval; when it fires the campaign raises
+    :class:`CampaignCancelled` (after shutting its transport down and
+    recording a ``campaign.cancelled`` flight event), with every
+    completed chunk already checkpointed.
 
     One :class:`~repro.obs.Stopwatch` times the whole campaign;
     ``report.wall_seconds`` is assigned exactly once from it, and the
@@ -750,18 +820,33 @@ def run_campaign(
         processes=processes or 0,
         transport=transport,
     ):
-        statuses, report = _run_campaign(
-            sweep,
-            universe,
-            chosen,
-            processes=processes,
-            timeout=timeout,
-            checkpoint=checkpoint,
-            resume=resume,
-            chunk_faults=chunk_faults,
-            abort_after_chunks=abort_after_chunks,
-            transport=transport,
-        )
+        try:
+            statuses, report = _run_campaign(
+                sweep,
+                universe,
+                chosen,
+                processes=processes,
+                timeout=timeout,
+                checkpoint=checkpoint,
+                resume=resume,
+                chunk_faults=chunk_faults,
+                abort_after_chunks=abort_after_chunks,
+                transport=transport,
+                cancel=cancel,
+            )
+        except CampaignCancelled as error:
+            kind = (
+                "deadline"
+                if str(error).startswith("deadline exceeded")
+                else "explicit"
+            )
+            _M_CANCELLED.inc(kind=kind)
+            obs.event(
+                "campaign.cancelled",
+                reason=str(error),
+                wall_seconds=watch.elapsed(),
+            )
+            raise
     report.wall_seconds = watch.elapsed()
     if _REG.enabled:
         _M_WALL.observe(report.wall_seconds)
@@ -796,7 +881,10 @@ def _run_campaign(
     chunk_faults: Optional[int] = None,
     abort_after_chunks: Optional[int] = None,
     transport: str = "auto",
+    cancel: Optional[CancelToken] = None,
 ) -> Tuple[List[str], CampaignReport]:
+    if cancel is not None:
+        cancel.check()
     if transport not in _LADDERS:
         raise ValueError(
             f"unknown transport {transport!r}; "
@@ -891,6 +979,7 @@ def _run_campaign(
             complete,
             lambda: _build_tasks(universe, statuses, chunk),
             tasks,
+            cancel,
         )
         n_left = sum(1 for s in statuses if s is None)
         if (
@@ -905,7 +994,7 @@ def _run_campaign(
 
     if served_rung is None:
         chosen = _serial_fill(
-            sweep, universe, statuses, chosen, report, complete, chunk
+            sweep, universe, statuses, chosen, report, complete, chunk, cancel
         )
         report.block_backend = chosen
         report.backend = _serial_rung(chosen)
@@ -934,6 +1023,7 @@ def _try_worker_rungs(
     complete: Callable[[_Task, List[str]], None],
     remaining_tasks: Callable[[], List[_Task]],
     first_tasks: List[_Task],
+    cancel: Optional[CancelToken] = None,
 ) -> Optional[str]:
     """Walk the worker rungs of the ladder; returns the rung that served
     the campaign, or ``None`` (with every degradation recorded) when the
@@ -977,7 +1067,7 @@ def _try_worker_rungs(
                 )
             continue
         supervisor = _TransportSupervisor(
-            sweep, fabric, chosen, timeout, report, complete
+            sweep, fabric, chosen, timeout, report, complete, cancel
         )
         try:
             supervisor.run(tasks)
@@ -1019,6 +1109,7 @@ def _serial_fill(
     report: CampaignReport,
     complete: Callable[[_Task, List[str]], None],
     chunk: int,
+    cancel: Optional[CancelToken] = None,
 ) -> str:
     """Classify every still-uncovered fault in-process through the
     inline transport, stepping down to the scalar rung on a
@@ -1035,7 +1126,7 @@ def _serial_fill(
     fabric = InlineTransport(sweep.engine)
     fabric.start()
     supervisor = _TransportSupervisor(
-        sweep, fabric, chosen, None, report, complete
+        sweep, fabric, chosen, None, report, complete, cancel
     )
     supervisor.run(tasks)
     return supervisor.chosen

@@ -22,14 +22,25 @@ same hook from the ``REPRO_CHAOS_KIND`` / ``REPRO_CHAOS_ONCE``
 environment variables via :func:`install_env_sabotage`.  One-shot
 kinds coordinate across processes through an ``O_EXCL`` sentinel file
 so a replacement worker does not re-fire the failure forever.
+
+The third tier sabotages the *service*: :func:`sabotage_service` makes
+campaigns deterministically slow or hung (so deadlines, disconnect
+cancellation, drain, and SIGKILL recovery each have a wide window to
+land in — spawned ``repro serve`` processes arm the same modes from the
+:data:`SERVE_CHAOS_ENV` environment), and the misbehaving-client
+drivers (:func:`slowloris_probe`, :func:`disconnecting_subscriber`)
+attack the HTTP layer itself.
 """
 
 from __future__ import annotations
 
+import asyncio
 import contextlib
+import json
 import os
+import threading
 import time
-from typing import Callable, Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..engine import backends
 from ..engine import supervisor as _supervisor
@@ -268,3 +279,149 @@ def sabotage_campaign(
         raise KeyError(
             f"unknown campaign sabotage {kind!r}; known: {known}"
         )
+
+
+# ----------------------------------------------------------------------
+# service sabotage (`repro serve` chaos)
+# ----------------------------------------------------------------------
+#: Environment seam arming service sabotage in a spawned `repro serve`
+#: process (read back by :func:`repro.server.serve` at startup).
+SERVE_CHAOS_ENV = "REPRO_CHAOS_SERVE"
+SERVE_CHAOS_SLOW_ENV = "REPRO_CHAOS_SLOW_S"
+
+#: Kinds accepted by :func:`sabotage_service`.
+SERVICE_SABOTAGE: Tuple[str, ...] = ("campaign-slow", "campaign-hangs")
+
+# Hung campaigns park on this event instead of a bare sleep so an
+# in-process test can release the stuck worker thread at teardown
+# (ThreadPoolExecutor joins its threads at interpreter exit).
+_SERVICE_HANG = threading.Event()
+
+
+def release_service_hangs() -> None:
+    """Unstick every ``campaign-hangs`` chunk currently parked."""
+    _SERVICE_HANG.set()
+
+
+def _service_chunk_statuses(kind: str, slow_s: float) -> Callable:
+    original = _supervisor.chunk_statuses
+
+    def sabotaged(engine, faults, backend):
+        if kind == "campaign-slow":
+            time.sleep(slow_s)
+        else:  # campaign-hangs
+            _SERVICE_HANG.wait(3600)
+        return original(engine, faults, backend)
+
+    return sabotaged
+
+
+@contextlib.contextmanager
+def sabotage_service(kind: str, slow_s: float = 0.2) -> Iterator[None]:
+    """Arm one `repro serve` failure mode for the duration of the context.
+
+    Both kinds stretch the campaign itself (every chunk classification
+    pays a delay), which is what the service-resilience tests need: a
+    campaign that is deterministically *slow* spans many supervision
+    poll intervals, giving deadlines, subscriber-disconnect
+    cancellation, drain, and SIGKILL each a wide window to land in.
+
+    * ``campaign-slow`` — every chunk sleeps ``slow_s`` before
+      classifying (the serial rung runs ~8 chunks, so a default sweep
+      takes ~8×``slow_s``);
+    * ``campaign-hangs`` — every chunk parks until
+      :func:`release_service_hangs` (or 3600 s): the campaign never
+      finishes on its own, so only cancellation bounded by the drain
+      grace period gets the server out.
+
+    The sabotage patches :func:`repro.engine.vectorized.chunk_statuses`
+    through the :mod:`~repro.engine.supervisor` module attribute — the
+    same seam ``block-backend-broken`` uses — so it bites every
+    transport, including the inline/serial path ``repro serve`` runs
+    small requests on.
+    """
+    if kind not in SERVICE_SABOTAGE:
+        known = ", ".join(SERVICE_SABOTAGE)
+        raise KeyError(f"unknown service sabotage {kind!r}; known: {known}")
+    original = _supervisor.chunk_statuses
+    _SERVICE_HANG.clear()
+    _supervisor.chunk_statuses = _service_chunk_statuses(kind, slow_s)
+    try:
+        yield
+    finally:
+        _SERVICE_HANG.set()
+        _supervisor.chunk_statuses = original
+
+
+def install_serve_env_sabotage() -> None:
+    """Arm service sabotage from the environment, permanently for this
+    process.  Called by :func:`repro.server.serve` at startup when
+    :data:`SERVE_CHAOS_ENV` is set: the SIGKILL+``--recover`` chaos test
+    spawns real server subprocesses, so the sabotage travels as
+    environment, exactly like worker sabotage does for spawned workers.
+    """
+    kind = os.environ.get(SERVE_CHAOS_ENV)
+    if not kind or kind not in SERVICE_SABOTAGE:
+        return
+    slow_s = float(os.environ.get(SERVE_CHAOS_SLOW_ENV) or 0.2)
+    _supervisor.chunk_statuses = _service_chunk_statuses(kind, slow_s)
+
+
+# ----------------------------------------------------------------------
+# misbehaving-client drivers (the other half of service chaos)
+# ----------------------------------------------------------------------
+async def slowloris_probe(host: str, port: int, pause_s: float = 60.0) -> int:
+    """Open a connection, send half a request head, then stall.
+
+    Returns the HTTP status the server answers with (408 when the
+    slow-client guard works).  ``pause_s`` only bounds the stall — the
+    server's read timeout is expected to fire first.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(b"POST /campaign HTTP/1.1\r\nContent-")
+        await writer.drain()
+        try:
+            status_line = await asyncio.wait_for(
+                reader.readline(), timeout=pause_s
+            )
+        except asyncio.TimeoutError:
+            return 0
+        return int(status_line.split()[1])
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+
+async def disconnecting_subscriber(
+    host: str, port: int, body: dict, after_lines: int = 1
+) -> List[dict]:
+    """POST a campaign, read ``after_lines`` NDJSON lines, then vanish
+    mid-stream (no clean HTTP shutdown).  Returns the lines read — the
+    server is expected to notice the EOF and cancel the orphaned
+    campaign once its last subscriber is gone."""
+    payload = json.dumps(body).encode()
+    reader, writer = await asyncio.open_connection(host, port)
+    lines: List[dict] = []
+    try:
+        writer.write(
+            f"POST /campaign HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Content-Type: application/json\r\n\r\n".encode() + payload
+        )
+        await writer.drain()
+        while True:
+            line = await reader.readline()  # headers, then chunk frames
+            if not line:
+                break
+            text = line.strip().decode("latin-1", "replace")
+            if text.startswith("{"):
+                lines.append(json.loads(text))
+                if len(lines) >= after_lines:
+                    break
+        return lines
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()

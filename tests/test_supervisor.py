@@ -16,14 +16,20 @@ import os
 import pytest
 
 from repro.engine import (
+    CampaignCancelled,
     CampaignInterrupted,
+    CancelToken,
     CheckpointError,
     FaultSweep,
     universe_fingerprint,
 )
 from repro.engine import supervisor as supervisor_mod
 from repro.logic.benchfmt import load_bench
-from repro.qa.chaos import campaign_sabotage_names, sabotage_campaign
+from repro.qa.chaos import (
+    campaign_sabotage_names,
+    sabotage_campaign,
+    sabotage_service,
+)
 from repro.workloads.fig34 import fig37_fixed_network
 
 DATA_DIR = os.path.join(os.path.dirname(__file__), "..", "examples", "data")
@@ -385,3 +391,62 @@ class TestCampaignReport:
         backward = universe_fingerprint(list(reversed(universe)), 9)
         assert forward != backward
         assert forward != universe_fingerprint(universe, 8)
+
+
+class TestCancellation:
+    """CancelToken threaded through the supervision poll loop: a fired
+    token stops the sweep within one poll interval, completed chunks
+    stay checkpointed, and a later resume is byte-identical."""
+
+    def test_pre_cancelled_token_raises_immediately(self, adder):
+        token = CancelToken()
+        token.cancel("caller gave up")
+        sweep = fresh_sweep(adder)
+        with pytest.raises(CampaignCancelled, match="caller gave up"):
+            sweep.sweep(sweep.single_fault_universe(), cancel=token)
+
+    def test_unfired_deadline_does_not_disturb_the_sweep(
+        self, adder, adder_reference
+    ):
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        pairs = sweep.sweep(universe, cancel=CancelToken(deadline_s=600))
+        assert _statuses(pairs) == reference
+
+    def test_deadline_cancels_then_resume_is_byte_identical(
+        self, adder, adder_reference, tmp_path
+    ):
+        universe, reference = adder_reference
+        sweep = fresh_sweep(adder)
+        ckpt = str(tmp_path / "cancelled.json")
+        with sabotage_service("campaign-slow", slow_s=0.05):
+            with pytest.raises(CampaignCancelled, match="deadline exceeded"):
+                sweep.sweep(
+                    universe,
+                    checkpoint=ckpt,
+                    cancel=CancelToken(deadline_s=0.12),
+                )
+        # The chunks completed before the deadline are already durable,
+        # and resuming without the token finishes the exact remainder.
+        assert os.path.exists(ckpt)
+        resumed = sweep.sweep(universe, checkpoint=ckpt, resume=True)
+        assert _statuses(resumed) == reference
+
+    def test_explicit_cancel_frees_the_sweep_promptly(self, adder):
+        import threading
+        import time as _time
+
+        sweep = fresh_sweep(adder)
+        token = CancelToken()
+        timer = threading.Timer(0.15, token.cancel, args=("client gone",))
+        timer.start()
+        started = _time.monotonic()
+        try:
+            with sabotage_service("campaign-slow", slow_s=0.1):
+                with pytest.raises(CampaignCancelled, match="client gone"):
+                    sweep.sweep(sweep.single_fault_universe(), cancel=token)
+        finally:
+            timer.cancel()
+        # Cancellation lands between chunks: well before the ~0.8s the
+        # sabotaged sweep would otherwise take.
+        assert _time.monotonic() - started < 0.6
