@@ -17,6 +17,11 @@ Point the thesis's machinery at any ``.bench`` netlist:
   target, batched candidate completions simulated against the whole
   remaining fault universe, reverse-greedy compaction
   (``--no-collapse``/``--no-drop``/``--no-compact``/``--report``);
+* ``synth``     — population-based synthesis/repair campaign evolving a
+  gate network toward self-duality + self-checking (``--spec NAME`` or
+  ``--repair NETLIST``), generations batched through the supervised
+  transport ladder with ``--checkpoint``/``--resume`` deterministic
+  continuations and an area-vs-coverage Pareto report;
 * ``fuzz``      — seeded differential/metamorphic fuzz campaign with
   counterexample shrinking (see ``repro.qa``);
 * ``stats``     — render a flight recorded with ``--trace-out``: time
@@ -323,6 +328,90 @@ def cmd_atpg(args: argparse.Namespace) -> int:
     return 0 if report.aborted == 0 else 1
 
 
+def cmd_synth(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine import CampaignCancelled, CheckpointError
+    from .synth import SPECS, SynthCampaign, SynthInterrupted, repair_campaign
+
+    if (args.spec is None) == (args.repair is None):
+        raise SystemExit("exactly one of --spec NAME or --repair NETLIST")
+    if args.processes is not None and args.processes < 1:
+        raise SystemExit(f"--processes must be >= 1, got {args.processes}")
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit(
+            f"--timeout must be a positive number of seconds, "
+            f"got {args.timeout:g}"
+        )
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("--resume requires --checkpoint PATH")
+    if args.population < 2:
+        raise SystemExit(f"--population must be >= 2, got {args.population}")
+    if args.generations < 1:
+        raise SystemExit(
+            f"--generations must be >= 1, got {args.generations}"
+        )
+    common = dict(
+        seed=args.seed,
+        population=args.population,
+        generations=args.generations,
+        budget=args.budget,
+        max_gates=args.max_gates,
+        processes=args.processes,
+        timeout=args.timeout,
+        transport=args.transport,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        abort_after_generations=args.abort_after_generations,
+    )
+    try:
+        if args.repair is not None:
+            campaign = repair_campaign(
+                _load(args.repair), damage=args.damage, **common
+            )
+        else:
+            spec = SPECS.get(args.spec)
+            if spec is None:
+                raise SystemExit(
+                    f"unknown spec {args.spec!r}; known: "
+                    + ", ".join(sorted(SPECS))
+                )
+            campaign = SynthCampaign(spec, **common)
+        with _telemetry(args):
+            report = campaign.run()
+    except (CheckpointError, ValueError) as error:
+        raise SystemExit(str(error))
+    except SynthInterrupted as error:
+        raise SystemExit(str(error))
+    except CampaignCancelled as error:
+        raise SystemExit(f"cancelled: {error}")
+    if args.json:
+        data = report.to_dict()
+        if not args.report:
+            data.pop("history")
+        print(json.dumps(data, sort_keys=True))
+    else:
+        print(report.summary())
+        if args.report:
+            for row in report.history:
+                print(
+                    f"  gen {row['generation']:>3}: "
+                    f"best={row['best_score']:.4f} "
+                    f"gen_best={row['gen_best_score']:.4f} "
+                    f"mean={row['mean_score']:.4f} "
+                    f"pareto={row['pareto']}"
+                )
+    if args.out and report.best_record.perfect:
+        from .synth import Genome
+
+        winner = Genome.from_json(report.best_genome).to_network(
+            campaign.spec.input_names, name=f"synth_{report.spec}"
+        )
+        save_bench(winner, args.out, header="synthesized by repro synth")
+        print(f"wrote {args.out}")
+    return 0 if report.best_record.perfect else 1
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .qa import fuzz, property_names
     from .qa.chaos import bug_names
@@ -532,6 +621,64 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record the ATPG flight (JSONL) here; render "
                    "it with 'repro stats FILE'")
     p.set_defaults(func=cmd_atpg)
+
+    p = sub.add_parser(
+        "synth",
+        help="evolve/repair a network toward self-duality + self-checking",
+    )
+    p.add_argument("--spec", default=None, metavar="NAME",
+                   help="synthesize a built-in seed-circuit spec from "
+                   "scratch (and2, or2, xor2, maj3)")
+    p.add_argument("--repair", default=None, metavar="NETLIST",
+                   help="repair mode: damage this .bench network with "
+                   "--damage seeded mutations, then evolve it back to "
+                   "self-checking against its own tables")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    p.add_argument("--population", type=int, default=24,
+                   help="population size (default 24)")
+    p.add_argument("--generations", type=int, default=60,
+                   help="generation cap (default 60)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="cap on total fitness evaluations (default: none)")
+    p.add_argument("--max-gates", type=int, default=16,
+                   help="genome size bound (default 16)")
+    p.add_argument("--damage", type=int, default=3,
+                   help="seeded mutations injected in --repair mode "
+                   "(default 3)")
+    p.add_argument("--processes", type=int, default=None,
+                   help="fan generation batches across this many "
+                   "supervised worker lanes")
+    p.add_argument("--transport", default="auto",
+                   choices=["auto", "inline", "fork", "fork+shm", "socket"],
+                   help="execution transport for generation batches")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-chunk timeout for generation batches")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write the full population state here after "
+                   "every generation")
+    p.add_argument("--resume", action="store_true",
+                   help="reload --checkpoint and continue the search "
+                   "deterministically")
+    p.add_argument("--abort-after-generations", type=int, default=None,
+                   metavar="N",
+                   help="interrupt after N generations, leaving the "
+                   "checkpoint resumable (determinism drills)")
+    p.add_argument("--report", action="store_true",
+                   help="also print (or, with --json, embed) the "
+                   "per-generation fitness trajectory")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as one JSON object")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the winning network as .bench when the "
+                   "search converges")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the metrics snapshot here (Prometheus "
+                   "text, or JSON when FILE ends in .json)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record the synthesis flight (JSONL) here; "
+                   "render it with 'repro stats FILE'")
+    p.set_defaults(func=cmd_synth)
 
     p = sub.add_parser(
         "fuzz",

@@ -49,6 +49,7 @@ from .supervisor import (
     Degradation,
     RetryEvent,
     run_campaign,
+    run_generation_batch,
     universe_fingerprint,
 )
 from .compiled import (
@@ -221,6 +222,7 @@ __all__ = [
     "reflect_bits",
     "run_atpg",
     "run_campaign",
+    "run_generation_batch",
     "select_backend",
     "universe_fingerprint",
 ]

@@ -499,7 +499,9 @@ def _parent_serial_chunk(sweep, faults, chosen, report) -> List[str]:
     try:
         return chunk_statuses(sweep.engine, faults, chosen)
     except Exception as error:
-        if chosen == "bitmask":
+        if chosen in ("bitmask", "synth"):
+            # bitmask has nowhere lower to go; synth chunks are not
+            # fault sweeps and must never degrade onto the scalar path.
             raise
         report.degrade(
             "serial",
@@ -691,8 +693,9 @@ class _TransportSupervisor:
     def _inline_error(self, task: _Task, result) -> None:
         """The in-process rung has no worker to blame: a block-backend
         failure steps the whole remainder down to the scalar rung once;
-        the scalar rung itself has nowhere lower to go."""
-        if self.chosen == "bitmask":
+        the scalar rung itself has nowhere lower to go (and synth
+        fitness chunks, which are not fault sweeps, never step down)."""
+        if self.chosen in ("bitmask", "synth"):
             if result.error is not None:
                 raise result.error
             raise RuntimeError(str(result.payload))  # pragma: no cover
@@ -1130,3 +1133,56 @@ def _serial_fill(
     )
     supervisor.run(tasks)
     return supervisor.chosen
+
+
+# ----------------------------------------------------------------------
+# the generation-batch seam (synthesis campaigns)
+# ----------------------------------------------------------------------
+def run_generation_batch(
+    sweep,
+    tasks: Sequence,
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
+    transport: str = "auto",
+    cancel: Optional[CancelToken] = None,
+    chunk_tasks: Optional[int] = None,
+) -> Tuple[List[str], CampaignReport]:
+    """Evaluate one generation of synthesis candidates as a supervised
+    campaign; returns ``(payloads, report)``.
+
+    ``tasks`` are candidate-evaluation dicts (see
+    :func:`repro.synth.fitness.evaluate_chunk`) and each returned payload
+    is the matching JSON-encoded fitness record, in order.  The batch
+    rides the exact same supervision machinery as fault campaigns — the
+    transport ladder, per-chunk timeouts, retries with splitting, work
+    stealing, dead-worker replacement — under the reserved ``synth``
+    chunk backend, which never degrades to the scalar fault path.
+    ``sweep`` hosts the transport (its network seeds fork/socket
+    workers) but takes no part in scoring: every candidate compiles its
+    own engine inside the worker.
+
+    Unlike :func:`run_campaign` this emits a ``synth.batch`` span rather
+    than a ``campaign.report`` flight event — a synthesis run makes one
+    call per generation, and the campaign-level story is told by the
+    ``synth.*`` events the driver emits instead.
+    """
+    watch = obs.Stopwatch()
+    batch = list(tasks)
+    with obs.span(
+        "synth.batch",
+        candidates=len(batch),
+        processes=processes or 0,
+        transport=transport,
+    ):
+        payloads, report = _run_campaign(
+            sweep,
+            batch,
+            "synth",
+            processes=processes,
+            timeout=timeout,
+            chunk_faults=chunk_tasks,
+            transport=transport,
+            cancel=cancel,
+        )
+    report.wall_seconds = watch.elapsed()
+    return payloads, report

@@ -783,6 +783,20 @@ def chunk_statuses(engine, faults: Sequence[FaultLike], backend: str) -> List[st
     selection already happened upstream).
     """
     universe = list(faults)
+    if backend == "synth":
+        # Synthesis fitness chunks ride the same transport plumbing: each
+        # "fault" is a candidate-evaluation task dict and each "status" a
+        # JSON-encoded fitness record.  The host engine is deliberately
+        # ignored — every candidate compiles its own engine, so fork and
+        # socket workers (which pin the host network at spawn) still
+        # evaluate the right circuits.
+        from ..synth.fitness import evaluate_chunk
+
+        with obs.span("sweep.chunk", faults=len(universe), backend=backend):
+            payloads = evaluate_chunk(universe)
+        if _REG.enabled:
+            _M_CHUNKS.inc(len(universe), backend=backend)
+        return payloads
     if backend == "kernel" and getattr(engine, "kernel", None) is None:
         backend = "vectorized"
     if backend == "vectorized" and engine.vectorized is None:

@@ -15,7 +15,11 @@ questions an operator actually asks after a campaign:
 * how an ATPG campaign spent its time (``atpg.target`` PODEM spans,
   ``atpg.chunk`` pattern-simulation spans per rung, the closing
   ``atpg.report`` event with drop counts and faults/sec, and any
-  ``atpg.degradation`` ladder steps).
+  ``atpg.degradation`` ladder steps);
+* how a synthesis search progressed (``synth.generation`` per-generation
+  best/mean fitness trajectory, ``synth.improved`` best-so-far
+  replacements, ``synth.batch`` generation-batch spans, and the closing
+  ``synth.report`` with convergence and Pareto-front size).
 
 :func:`summarize` returns a plain dict (the ``--json`` output);
 :func:`render` formats it for humans.
@@ -36,6 +40,10 @@ def summarize(events: Iterable[dict]) -> dict:
     atpg_chunks: "OrderedDict[str, dict]" = OrderedDict()
     atpg_targets = {"targets": 0, "wall": 0.0}
     atpg_reports: List[dict] = []
+    synth_batches = {"batches": 0, "candidates": 0, "wall": 0.0}
+    synth_generations: List[dict] = []
+    synth_improvements: List[dict] = []
+    synth_reports: List[dict] = []
     degradations: List[dict] = []
     retries: Dict[str, int] = {}
     reports: List[dict] = []
@@ -91,6 +99,16 @@ def summarize(events: Iterable[dict]) -> dict:
             atpg_targets["wall"] += float(event.get("wall", 0.0))
         elif kind == "event" and name == "atpg.report":
             atpg_reports.append(attrs)
+        elif kind == "span" and name == "synth.batch":
+            synth_batches["batches"] += 1
+            synth_batches["candidates"] += int(attrs.get("candidates", 0))
+            synth_batches["wall"] += float(event.get("wall", 0.0))
+        elif kind == "event" and name == "synth.generation":
+            synth_generations.append(attrs)
+        elif kind == "event" and name == "synth.improved":
+            synth_improvements.append(attrs)
+        elif kind == "event" and name == "synth.report":
+            synth_reports.append(attrs)
         elif kind == "event" and name in (
             "campaign.degradation",
             "atpg.degradation",
@@ -140,11 +158,27 @@ def summarize(events: Iterable[dict]) -> dict:
                 faults_per_second=(faults / wall if wall > 0 else None),
             )
         )
+    synth_runs = []
+    for report in synth_reports:
+        wall = report.get("wall_seconds") or 0.0
+        evaluations = report.get("evaluations") or 0
+        synth_runs.append(
+            dict(
+                report,
+                evaluations_per_second=(
+                    evaluations / wall if wall > 0 else None
+                ),
+            )
+        )
     return {
         "events": total_events,
         "processes": len(pids),
         "campaigns": campaigns,
         "atpg_runs": atpg_runs,
+        "synth_runs": synth_runs,
+        "synth_batches": synth_batches,
+        "synth_generations": synth_generations,
+        "synth_improvements": synth_improvements,
         "atpg_targets": atpg_targets,
         "atpg_chunks": dict(atpg_chunks),
         "chunk_spans": {"ok": chunk_spans_ok, "failed": chunk_spans_failed},
@@ -193,6 +227,45 @@ def render(summary: dict) -> str:
             f"{report.get('patterns_kept', 0)} patterns in "
             f"{report.get('wall_seconds', 0.0):.3f}s "
             f"({_rate(report.get('faults_per_second'))})"
+        )
+    for report in summary.get("synth_runs", ()):
+        rate = report.get("evaluations_per_second")
+        lines.append(
+            f"synth: {report.get('mode', 'synth')} spec="
+            f"{report.get('spec', '?')} seed={report.get('seed', '?')}: "
+            f"{report.get('generations', 0)} generations, "
+            f"{report.get('evaluations', 0)} evaluations, "
+            f"best={report.get('best_score', 0.0):.4f} "
+            f"converged={'yes' if report.get('converged') else 'no'}, "
+            f"{report.get('pareto', 0)} pareto point(s) in "
+            f"{report.get('wall_seconds', 0.0):.3f}s"
+            + (f" ({rate:,.0f} evals/s)" if rate else "")
+        )
+    generations = summary.get("synth_generations") or []
+    if generations:
+        first = generations[0]
+        last = generations[-1]
+        lines.append(
+            f"synth trajectory: {len(generations)} generation(s), "
+            f"best {first.get('best_score', 0.0):.4f} -> "
+            f"{last.get('best_score', 0.0):.4f}, "
+            f"{len(summary.get('synth_improvements') or [])} improvement(s)"
+        )
+        for improved in summary.get("synth_improvements") or []:
+            lines.append(
+                f"  gen {improved.get('generation', '?')}: "
+                f"score={improved.get('score', 0.0):.4f} "
+                f"gates={improved.get('gates', '?')} "
+                f"cost={improved.get('cost', 0.0):g} "
+                f"dangerous={improved.get('dangerous', '?')} "
+                f"[{str(improved.get('fingerprint', ''))[:12]}]"
+            )
+    batches = summary.get("synth_batches") or {}
+    if batches.get("batches"):
+        lines.append(
+            f"synth batches: {batches['batches']} generation batch(es), "
+            f"{batches['candidates']} candidates, "
+            f"{batches['wall']:.3f}s wall"
         )
     targets = summary.get("atpg_targets") or {}
     if targets.get("targets"):

@@ -41,6 +41,15 @@ around.  The registered invariants:
   exactly the faults the full per-fault (no-drop, no-compact) set
   detects, both by the reports' own claims and by re-simulating each
   pattern set against the whole collapsed universe.
+* ``synth-determinism`` — a synthesis campaign is a pure function of
+  its seed: two fresh runs are byte-identical, and an interrupted run
+  resumed from its checkpoint produces the same winner, history, and
+  evaluation count as the uninterrupted one.
+* ``synth-soundness`` — the batched fitness record the search trusted
+  matches the scalar evaluator field-for-field, and a claimed-perfect
+  winner re-verifies from first principles: reference-interpreter
+  tables equal the spec, every output self-dual, and the exhaustive
+  Definition-2.4 oracle finds no fault-insecure line.
 """
 
 from __future__ import annotations
@@ -668,6 +677,156 @@ atpg_compaction = register(
     "per-fault set detects, by report claims and by re-simulating both "
     "pattern sets against the collapsed universe",
 )((_gen_atpg_engine, _check_atpg_compaction))
+
+
+# ----------------------------------------------------------------------
+# synth-determinism / synth-soundness
+# ----------------------------------------------------------------------
+#: Spec rotation for synth trials; the checker derives the spec from
+#: the case seed so the whole trial shrinks along one integer.
+_SYNTH_SPECS = ("and2", "or2", "maj3", "xor2")
+
+
+def _gen_synth(rng: random.Random) -> Case:
+    return Case(seed=rng.randint(0, 2**31 - 1))
+
+
+def _micro_synth(
+    spec_name: str,
+    seed: int,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    abort_after: Optional[int] = None,
+):
+    """A deliberately tiny campaign — determinism and soundness do not
+    need convergence, so trials stay cheap enough for the fuzz budget."""
+    from ..synth import SPECS, SynthCampaign
+
+    return SynthCampaign(
+        SPECS[spec_name],
+        seed=seed,
+        population=8,
+        generations=4,
+        max_gates=8,
+        checkpoint=checkpoint,
+        resume=resume,
+        abort_after_generations=abort_after,
+    )
+
+
+def _synth_identity(report) -> Tuple:
+    """The replay-comparable slice of a SynthReport (timing, transport
+    accounting, and checkpoint paths legitimately vary)."""
+    return (
+        report.best_genome,
+        report.best_fingerprint,
+        report.best_generation,
+        dataclasses.replace(report.best_record, backend=""),
+        report.generations_run,
+        report.evaluations,
+        report.improvements,
+        report.converged,
+        tuple(tuple(sorted(h.items())) for h in report.history),
+        tuple(tuple(sorted(p.items())) for p in report.pareto),
+    )
+
+
+def _check_synth_determinism(case: Case) -> Optional[str]:
+    import os
+    import tempfile
+
+    from ..synth import SynthInterrupted
+
+    if case.seed is None:
+        return None
+    spec_name = _SYNTH_SPECS[case.seed % len(_SYNTH_SPECS)]
+    straight = _synth_identity(_micro_synth(spec_name, case.seed).run())
+    repeat = _synth_identity(_micro_synth(spec_name, case.seed).run())
+    if repeat != straight:
+        return (
+            f"two fresh runs of spec {spec_name!r} seed {case.seed} "
+            f"diverge: {repeat} != {straight}"
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = os.path.join(tmp, "synth.ckpt.json")
+        try:
+            _micro_synth(
+                spec_name, case.seed, checkpoint=ckpt, abort_after=2
+            ).run()
+        except SynthInterrupted:
+            pass  # expected unless the search converged within 2 generations
+        resumed = _synth_identity(
+            _micro_synth(spec_name, case.seed, checkpoint=ckpt, resume=True)
+            .run()
+        )
+    if resumed != straight:
+        return (
+            f"checkpoint-resumed run of spec {spec_name!r} seed "
+            f"{case.seed} diverges from the uninterrupted one: "
+            f"{resumed} != {straight}"
+        )
+    return None
+
+
+synth_determinism = register(
+    "synth-determinism",
+    "a synthesis campaign is a pure function of its seed: fresh reruns "
+    "and checkpoint-resumed continuations are byte-identical",
+)((_gen_synth, _check_synth_determinism))
+
+
+def _check_synth_soundness(case: Case) -> Optional[str]:
+    from ..synth import SPECS, Genome
+    from ..synth.fitness import evaluate_task, make_task
+
+    if case.seed is None:
+        return None
+    spec = SPECS[_SYNTH_SPECS[case.seed % len(_SYNTH_SPECS)]]
+    report = _micro_synth(spec.name, case.seed).run()
+    genome = Genome.from_json(report.best_genome)
+    claimed = dataclasses.replace(report.best_record, backend="")
+    scalar = dataclasses.replace(
+        evaluate_task(make_task(genome, spec, mode="scalar")), backend=""
+    )
+    if scalar != claimed:
+        return (
+            f"the batched fitness record the search trusted diverges "
+            f"from the scalar evaluator for the winner of spec "
+            f"{spec.name!r} seed {case.seed}: {scalar} != {claimed}"
+        )
+    if not report.converged:
+        return None
+    # A claimed-perfect winner must re-verify from first principles.
+    net = genome.to_network(spec.input_names)
+    bits = reference_output_bits(net)
+    if tuple(bits) != tuple(spec.tables):
+        return (
+            f"claimed-perfect winner's reference tables {tuple(bits)} "
+            f"do not match spec {spec.name!r} tables {tuple(spec.tables)}"
+        )
+    n = len(spec.input_names)
+    for out, out_bits in zip(net.outputs, bits):
+        if not reference_is_self_dual(out_bits, n):
+            return (
+                f"claimed-perfect winner output {out!r} is not self-dual "
+                f"per the reference interpreter"
+            )
+    verdict = ScalSimulator(net).verdict(include_pins=False)
+    if verdict.insecure:
+        lines = sorted(resp.fault.line for resp in verdict.insecure)
+        return (
+            f"claimed-perfect winner has fault-insecure lines per the "
+            f"exhaustive Definition-2.4 oracle: {lines}"
+        )
+    return None
+
+
+synth_soundness = register(
+    "synth-soundness",
+    "batched fitness records match the scalar evaluator, and a "
+    "claimed-perfect synthesis winner re-verifies against the reference "
+    "interpreter and the exhaustive fault-security oracle",
+)((_gen_synth, _check_synth_soundness))
 
 
 def property_names() -> List[str]:

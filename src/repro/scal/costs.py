@@ -20,12 +20,55 @@ measured-cost extractor so the bench can print paper-vs-measured rows.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from ..logic.gates import GateKind
 from ..logic.network import Network
 
 #: Reynolds' approximate cost factor for converting normal logic to SCAL.
 REYNOLDS_COST_FACTOR = 1.8
+
+#: Per-gate unit weights for the area side of the synthesis Pareto
+#: front.  Table 4.1 counts whole gates (buffers free, as in
+#: ``gate_count(include_buffers=False)``); the synthesis loop needs a
+#: finer tiebreaker, so each gate is charged one unit plus a tenth per
+#: input beyond the first — two networks with equal gate counts then
+#: rank by total fan-in, matching the thesis's secondary gate-input
+#: tallies.  Constants and buffers are wiring, not area.
+GATE_UNIT_COSTS: Dict[GateKind, float] = {
+    GateKind.INPUT: 0.0,
+    GateKind.CONST0: 0.0,
+    GateKind.CONST1: 0.0,
+    GateKind.BUF: 0.0,
+    GateKind.NOT: 1.0,
+    GateKind.AND: 1.0,
+    GateKind.OR: 1.0,
+    GateKind.NAND: 1.0,
+    GateKind.NOR: 1.0,
+    GateKind.XOR: 1.0,
+    GateKind.XNOR: 1.0,
+    GateKind.MAJ: 1.0,
+    GateKind.MIN: 1.0,
+}
+
+#: Fan-in surcharge per input beyond the first on a costed gate.
+GATE_INPUT_COST = 0.1
+
+
+def network_cost(network: Network) -> float:
+    """Area of a network under the Table 4.1-compatible unit model.
+
+    ``sum(GATE_UNIT_COSTS[kind])`` reproduces
+    ``gate_count(include_buffers=False)`` exactly (every costed gate
+    weighs 1.0); the ``GATE_INPUT_COST`` surcharge adds the gate-input
+    tiebreaker the Pareto front sorts on.
+    """
+    total = 0.0
+    for gate in network.gates:
+        unit = GATE_UNIT_COSTS[gate.kind]
+        if unit:
+            total += unit + GATE_INPUT_COST * max(len(gate.inputs) - 1, 0)
+    return round(total, 6)
 
 
 @dataclasses.dataclass(frozen=True)

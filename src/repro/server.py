@@ -8,7 +8,12 @@ supervised campaign runtime into a long-lived service:
   chunked transfer — one JSON object per line: an ``accepted`` header,
   every ``campaign.*`` flight event as it happens, then a ``result``
   line with the coverage stats and the structured
-  :class:`~repro.engine.supervisor.CampaignReport`.
+  :class:`~repro.engine.supervisor.CampaignReport`.  A body with
+  ``"kind": "synth"`` runs a synthesis/repair campaign instead
+  (``spec`` from :data:`repro.synth.SPECS` for from-scratch search, or
+  ``netlist`` for repair mode), streaming ``synth.*`` generation events
+  and finishing with the structured
+  :class:`~repro.synth.SynthReport`.
 * Identical requests are **coalesced**: an in-flight job is keyed by a
   content fingerprint of the request (netlist text + universe shape +
   execution knobs), and every later identical submission subscribes to
@@ -83,6 +88,7 @@ from .obs.recorder import MemoryRecorder
 #: in the body is rejected — silent typos ("transprot") would otherwise
 #: dedup two requests the client believes are different.
 REQUEST_DEFAULTS = {
+    "kind": "campaign",
     "backend": "auto",
     "processes": None,
     "transport": "auto",
@@ -90,7 +96,19 @@ REQUEST_DEFAULTS = {
     "collapse": True,
     "statuses": False,
     "deadline_s": None,
+    # kind == "synth" only:
+    "spec": None,
+    "seed": 0,
+    "population": 24,
+    "generations": 40,
+    "max_gates": 16,
+    "damage": 3,
 }
+
+#: Fields that only make sense on ``kind == "synth"`` bodies; a
+#: campaign submission setting them is rejected rather than silently
+#: forked into a distinct fingerprint.
+_SYNTH_ONLY = ("spec", "seed", "population", "generations", "max_gates", "damage")
 
 #: Upper bound on request bodies (netlists are text; 8 MiB is generous).
 MAX_BODY_BYTES = 8 << 20
@@ -152,8 +170,6 @@ def canonical_request(body: dict) -> dict:
     if not isinstance(body, dict):
         raise RequestError("request body must be a JSON object")
     netlist = body.get("netlist")
-    if not isinstance(netlist, str) or not netlist.strip():
-        raise RequestError("'netlist' must be non-empty .bench text")
     request = {"netlist": netlist}
     for key, default in REQUEST_DEFAULTS.items():
         request[key] = body.get(key, default)
@@ -162,6 +178,48 @@ def canonical_request(body: dict) -> dict:
         raise RequestError(
             f"unknown request field(s): {', '.join(sorted(unknown))}"
         )
+    kind = request["kind"]
+    if kind not in ("campaign", "synth"):
+        raise RequestError("'kind' must be 'campaign' or 'synth'")
+    has_netlist = isinstance(netlist, str) and bool(netlist.strip())
+    if kind == "campaign":
+        if not has_netlist:
+            raise RequestError("'netlist' must be non-empty .bench text")
+        for key in _SYNTH_ONLY:
+            if request[key] != REQUEST_DEFAULTS[key]:
+                raise RequestError(
+                    f"'{key}' applies only to kind 'synth'"
+                )
+    else:
+        if netlist is not None and not has_netlist:
+            raise RequestError("'netlist' must be non-empty .bench text")
+        if (request["spec"] is None) == (not has_netlist):
+            raise RequestError(
+                "kind 'synth' needs exactly one of 'spec' "
+                "(from-scratch) or 'netlist' (repair mode)"
+            )
+        if request["spec"] is not None:
+            from .synth import SPECS
+
+            if request["spec"] not in SPECS:
+                raise RequestError(
+                    f"unknown spec {request['spec']!r}; known: "
+                    f"{', '.join(sorted(SPECS))}"
+                )
+        for key, floor in (
+            ("seed", 0),
+            ("population", 2),
+            ("generations", 1),
+            ("max_gates", 1),
+            ("damage", 1),
+        ):
+            value = request[key]
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < floor
+            ):
+                raise RequestError(f"'{key}' must be an integer >= {floor}")
     if request["processes"] is not None and (
         not isinstance(request["processes"], int) or request["processes"] < 1
     ):
@@ -181,7 +239,7 @@ def request_fingerprint(request: dict) -> str:
     shape, but the *stream* a client receives also depends on the
     execution knobs, so all of them participate."""
     digest = hashlib.sha256()
-    digest.update(text_fingerprint(request["netlist"]).encode())
+    digest.update(text_fingerprint(request["netlist"] or "").encode())
     for key in sorted(REQUEST_DEFAULTS):
         digest.update(f"\x00{key}={request[key]!r}".encode())
     return digest.hexdigest()
@@ -305,8 +363,9 @@ class RequestJournal:
 
 
 class _BridgeRecorder(MemoryRecorder):
-    """A recorder that additionally forwards ``campaign.*`` events from
-    the executing thread into the event loop for live streaming."""
+    """A recorder that additionally forwards ``campaign.*`` and
+    ``synth.*`` events from the executing thread into the event loop
+    for live streaming."""
 
     def __init__(self, loop: asyncio.AbstractEventLoop, job: "_Job") -> None:
         super().__init__()
@@ -316,7 +375,9 @@ class _BridgeRecorder(MemoryRecorder):
     def emit(self, event: dict) -> None:
         super().emit(event)
         name = event.get("name", "")
-        if event.get("k") == "event" and name.startswith("campaign."):
+        if event.get("k") == "event" and name.startswith(
+            ("campaign.", "synth.")
+        ):
             line = {"event": name, "t": event.get("t")}
             line.update(event.get("attrs") or {})
             self._loop.call_soon_threadsafe(self._job.publish, line)
@@ -488,6 +549,105 @@ def _execute_campaign(
     }
     if request["statuses"]:
         result["statuses"] = list(statuses)
+    return result
+
+
+def _execute_synth(
+    request: dict,
+    recorder,
+    cancel: Optional[CancelToken] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+) -> dict:
+    """Run one synthesis/repair campaign (worker-thread side).
+
+    The same store/journal discipline as sweeps: a finished search is
+    cached under kind ``"synth"`` keyed by the target identity (spec
+    fingerprint, or the netlist text fingerprint in repair mode) plus
+    the search knobs, so an identical resubmission replays without
+    touching the generational runtime; a journal-recovered request
+    resumes from its :class:`~repro.synth.SynthCheckpoint` (an
+    unusable checkpoint falls back to a fresh run — the search is a
+    pure function of the seed, so the winner is identical either way).
+    """
+    from .logic.benchfmt import BenchFormatError, parse_bench
+    from .synth import SPECS, SynthCampaign, repair_campaign
+
+    if cancel is not None:
+        cancel.check()
+    network = None
+    if request["spec"] is not None:
+        spec = SPECS[request["spec"]]
+        target_fp = spec.fingerprint()
+    else:
+        text_fp = text_fingerprint(request["netlist"])
+        network = STORE.get("network", text_fp)
+        if network is None:
+            try:
+                network = parse_bench(request["netlist"], name="serve")
+            except BenchFormatError as error:
+                raise RequestError(f"netlist does not parse: {error}")
+            STORE.put("network", text_fp, value=network)
+        target_fp = text_fp
+    shape = (
+        f"seed={request['seed']},population={request['population']},"
+        f"generations={request['generations']},"
+        f"max_gates={request['max_gates']},damage={request['damage']}"
+    )
+    cached = STORE.get("synth", target_fp, shape)
+    if cached is not None:
+        result = dict(cached)
+        result["replayed"] = True
+        result["store"] = STORE.stats()
+        return result
+
+    def build(resume_flag: bool):
+        common = dict(
+            seed=request["seed"],
+            population=request["population"],
+            generations=request["generations"],
+            max_gates=request["max_gates"],
+            processes=request["processes"],
+            timeout=request["timeout"],
+            transport=request["transport"],
+            checkpoint=checkpoint,
+            resume=resume_flag,
+            cancel=cancel,
+        )
+        if network is None:
+            return SynthCampaign(spec, **common)
+        return repair_campaign(network, damage=request["damage"], **common)
+
+    with obs.recording(recorder=recorder):
+        try:
+            report = build(resume).run()
+        except CheckpointError:
+            # Torn checkpoint or a config mismatch: run fresh — the
+            # deterministic search converges on the same winner.
+            report = build(False).run()
+    report_dict = report.to_dict()
+    result = {
+        "kind": "synth",
+        "spec": report.spec,
+        "seed": report.seed,
+        "mode": report.mode,
+        "converged": report.converged,
+        "generations": report.generations_run,
+        "evaluations": report.evaluations,
+        "best_score": report.best_record.score,
+        "best_fingerprint": report.best_fingerprint,
+        "best_genome": json.loads(report.best_genome),
+        "pareto": report.pareto,
+        "replayed": False,
+        "report": report_dict,
+    }
+    STORE.put(
+        "synth",
+        target_fp,
+        shape,
+        value={key: value for key, value in result.items() if key != "store"},
+    )
+    result["store"] = STORE.stats()
     return result
 
 
@@ -676,8 +836,14 @@ class CampaignServer:
         loop = asyncio.get_running_loop()
         recorder = _BridgeRecorder(loop, job)
 
+        execute = (
+            _execute_synth
+            if request.get("kind") == "synth"
+            else _execute_campaign
+        )
+
         def run() -> dict:
-            return _execute_campaign(
+            return execute(
                 request,
                 recorder,
                 cancel=cancel,
@@ -727,9 +893,17 @@ class CampaignServer:
             return
         checkpoint = self.journal.checkpoint_path(fingerprint)
         if error is None:
-            outcome = {
-                key: result.get(key)
-                for key in (
+            if result.get("kind") == "synth":
+                keys = (
+                    "converged",
+                    "generations",
+                    "evaluations",
+                    "best_score",
+                    "best_fingerprint",
+                    "replayed",
+                )
+            else:
+                keys = (
                     "faults",
                     "detected",
                     "silent",
@@ -737,7 +911,7 @@ class CampaignServer:
                     "backend",
                     "replayed",
                 )
-            }
+            outcome = {key: result.get(key) for key in keys}
             outcome["ok"] = True
             self.journal.done(fingerprint, outcome)
             with contextlib.suppress(OSError):

@@ -1,0 +1,237 @@
+"""Candidate fitness: vectorized alternation sweeps + fault coverage.
+
+A candidate's fitness has four graded components, each derived from the
+same machinery the verification paths use (so the search optimizes the
+real acceptance criteria, not a proxy):
+
+* **correctness** — Hamming distance between the candidate's exhaustive
+  output tables and the spec's (Algorithm 3.1's functional half);
+* **self-duality** — the number of points where ``F(X̄) ≠ ¬F(X)``
+  (:func:`repro.engine.reflect_bits` over the same tables);
+* **coverage** — the collapsed stuck-at universe swept through
+  :func:`repro.engine.vectorized.chunk_statuses` on the word-axis block
+  backends; ``dangerous`` faults (wrong *and* still alternating) are
+  the self-checking violations the search minimizes;
+* **area** — :func:`repro.scal.costs.network_cost` under the Table 4.1
+  unit model, a small pressure toward the Pareto front's cheap end.
+
+The module exposes two evaluators with byte-identical records: the
+**batched** path (big-int tables + block-backend sweeps — what
+campaigns use) and the **scalar** path (per-point pointwise simulation
+per fault — the bench baseline that prices the batching).
+
+:func:`evaluate_chunk` is the transport-facing entry point: the
+``synth`` chunk backend in :func:`repro.engine.vectorized.chunk_statuses`
+hands it a chunk of task dicts and ships back one JSON record per task.
+Every per-candidate exception is captured *inside* the record (an
+invalid candidate is a normal low-fitness outcome, not a chunk failure
+for the supervisor to retry).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.collapse import collapse_stem_faults
+from ..engine import NetworkEngine, reflect_bits
+from ..engine.vectorized import chunk_statuses, classify_status, select_backend
+from ..scal.costs import network_cost
+from .genome import Genome
+from .specs import SynthSpec
+
+
+def _popcount(bits: int) -> int:
+    return bin(bits).count("1")
+
+
+@dataclasses.dataclass(frozen=True)
+class FitnessRecord:
+    """One candidate's full scorecard (JSON-round-trippable)."""
+
+    ok: bool
+    error: str = ""
+    spec_hamming: int = 0
+    dual_defects: int = 0
+    points: int = 0
+    n_outputs: int = 0
+    faults: int = 0
+    dangerous: int = 0
+    detected: int = 0
+    silent: int = 0
+    gates: int = 0
+    gate_inputs: int = 0
+    cost: float = 0.0
+    backend: str = ""
+
+    @property
+    def perfect(self) -> bool:
+        """Functionally correct, self-dual, and self-checking."""
+        return (
+            self.ok
+            and self.spec_hamming == 0
+            and self.dual_defects == 0
+            and self.dangerous == 0
+        )
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the collapsed universe that is *not* a
+        self-checking violation."""
+        if self.faults <= 0:
+            return 1.0 if self.ok else 0.0
+        return 1.0 - self.dangerous / self.faults
+
+    @property
+    def score(self) -> float:
+        """Scalar rank: correctness and coverage dominate, duality and
+        detection shape the slope, area breaks ties toward small
+        networks.  Invalid candidates pin to ``-1.0``."""
+        if not self.ok:
+            return -1.0
+        cells = self.points * self.n_outputs
+        correctness = 1.0 - self.spec_hamming / cells
+        duality = 1.0 - self.dual_defects / cells
+        detection = self.detected / self.faults if self.faults else 0.0
+        return (
+            3.0 * correctness
+            + 1.0 * duality
+            + 2.0 * self.coverage
+            + 0.5 * detection
+            - 0.001 * self.cost
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            dataclasses.asdict(self), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FitnessRecord":
+        return cls(**json.loads(text))
+
+
+def make_task(
+    genome: Genome, spec: SynthSpec, mode: str = "batched"
+) -> Dict[str, object]:
+    """The transport-safe (plain-JSON) evaluation task for one candidate."""
+    return {
+        "genome": genome.canonical(),
+        "input_names": list(spec.input_names),
+        "tables": list(spec.tables),
+        "mode": mode,
+    }
+
+
+def _fault_universe(network) -> List:
+    """The candidate's collapsed stem universe in a canonical order
+    (collapse representatives are set-derived; sorting pins the order so
+    every rung and both evaluators agree record-for-record)."""
+    return sorted(
+        collapse_stem_faults(network), key=lambda f: (f.line, f.value)
+    )
+
+
+def _scalar_tables(engine: NetworkEngine, fault) -> Tuple[int, ...]:
+    """Assemble exhaustive output tables one point at a time — the
+    deliberately unbatched baseline."""
+    comp = engine.compiled
+    n = comp.n_inputs
+    outs = [0] * len(comp.out_idx)
+    for p in range(1 << n):
+        point = tuple((p >> i) & 1 for i in range(n))
+        values = engine.pointwise.output_values(point, fault)
+        for k, v in enumerate(values):
+            if v:
+                outs[k] |= 1 << p
+    return tuple(outs)
+
+
+def _scalar_statuses(
+    engine: NetworkEngine, universe: Sequence
+) -> Tuple[Tuple[int, ...], List[str]]:
+    """Per-fault scalar classification replicating
+    :meth:`PackedFallbackBackend.response_triple` arithmetic exactly, so
+    statuses match the block backends bit for bit."""
+    n = engine.compiled.n_inputs
+    full = (1 << (1 << n)) - 1
+    normal = _scalar_tables(engine, None)
+    normal_alt = tuple(bits ^ reflect_bits(bits, n) for bits in normal)
+    statuses: List[str] = []
+    for fault in universe:
+        faulty = _scalar_tables(engine, fault)
+        wrong = 0
+        detected = 0
+        all_alternate = full
+        for pos, t_fault in enumerate(faulty):
+            t_normal = normal[pos]
+            if t_fault == t_normal:
+                alternates = normal_alt[pos]
+            else:
+                alternates = t_fault ^ reflect_bits(t_fault, n)
+                wrong |= t_normal ^ t_fault
+            detected |= alternates ^ full
+            all_alternate &= alternates
+        affected = wrong | reflect_bits(wrong, n)
+        violations = affected & all_alternate
+        statuses.append(classify_status(detected, violations))
+    return normal, statuses
+
+
+def evaluate_task(task: Dict[str, object]) -> FitnessRecord:
+    """Score one candidate; exceptions become ``ok=False`` records."""
+    try:
+        genome = Genome.from_json(str(task["genome"]))
+        input_names = tuple(str(x) for x in task["input_names"])
+        spec_tables = tuple(int(t) for t in task["tables"])
+        mode = str(task.get("mode", "batched"))
+        if len(spec_tables) != len(genome.outputs):
+            raise ValueError(
+                f"genome has {len(genome.outputs)} outputs, "
+                f"spec has {len(spec_tables)}"
+            )
+        network = genome.to_network(input_names)
+        engine = NetworkEngine(network)
+        n = genome.n_inputs
+        points = 1 << n
+        full = (1 << points) - 1
+        universe = _fault_universe(network)
+        if mode == "scalar":
+            bits, statuses = _scalar_statuses(engine, universe)
+            backend = "scalar"
+        else:
+            bits = engine.bitmask.output_bits(None)
+            backend = select_backend(n, len(universe))
+            statuses = chunk_statuses(engine, universe, backend)
+        spec_hamming = sum(
+            _popcount((b ^ t) & full) for b, t in zip(bits, spec_tables)
+        )
+        dual_defects = sum(
+            _popcount(~(b ^ reflect_bits(b, n)) & full) for b in bits
+        )
+        return FitnessRecord(
+            ok=True,
+            spec_hamming=spec_hamming,
+            dual_defects=dual_defects,
+            points=points,
+            n_outputs=len(spec_tables),
+            faults=len(universe),
+            dangerous=statuses.count("dangerous"),
+            detected=statuses.count("detected"),
+            silent=statuses.count("silent"),
+            gates=network.gate_count(include_buffers=False),
+            gate_inputs=network.gate_input_count(),
+            cost=network_cost(network),
+            backend=backend,
+        )
+    except Exception as error:
+        return FitnessRecord(
+            ok=False, error=f"{type(error).__name__}: {error}"
+        )
+
+
+def evaluate_chunk(tasks: Sequence[Dict[str, object]]) -> List[str]:
+    """The ``synth`` chunk-backend entry: one JSON record per task, in
+    order, with per-candidate failures folded into the records."""
+    return [evaluate_task(task).to_json() for task in tasks]

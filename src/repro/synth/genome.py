@@ -1,0 +1,158 @@
+"""Flat genome representation for synthesis/repair campaigns.
+
+A :class:`Genome` is the searchable form of a combinational netlist: a
+line-indexed gate list in strict topological order.  Lines ``0..n-1``
+are the primary inputs; gate ``j`` defines line ``n + j`` and may read
+only lines strictly below it, so every genome is acyclic *by
+construction* — mutation operators never need a cycle check, only an
+index clamp.  Outputs are line indices (duplicates allowed: the network
+conversion wraps each output in its own buffer, which also gives every
+candidate observable output stems for the fault universe).
+
+The canonical JSON form (sorted keys, no whitespace) is the genome's
+identity everywhere: the fitness memo key, the checkpoint payload, and
+the sha256 :meth:`fingerprint` that determinism drills compare
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Optional, Sequence, Tuple
+
+from ..logic.gates import GateKind, check_arity
+from ..logic.network import Network, NetworkBuilder
+
+GateGene = Tuple[str, Tuple[int, ...]]
+
+
+class GenomeError(ValueError):
+    """A genome fails structural validation (bad kind, arity, or a
+    source index at or above the gate's own line)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Genome:
+    """An immutable gate-list genome (see module docstring)."""
+
+    n_inputs: int
+    gates: Tuple[GateGene, ...]
+    outputs: Tuple[int, ...]
+
+    @property
+    def n_lines(self) -> int:
+        return self.n_inputs + len(self.gates)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> "Genome":
+        if self.n_inputs < 1:
+            raise GenomeError("genome needs at least one input")
+        for j, (kind_name, srcs) in enumerate(self.gates):
+            try:
+                kind = GateKind[kind_name]
+            except KeyError:
+                raise GenomeError(f"gate {j} has unknown kind {kind_name!r}")
+            try:
+                check_arity(kind, len(srcs))
+            except ValueError as error:
+                raise GenomeError(f"gate {j}: {error}")
+            limit = self.n_inputs + j
+            for src in srcs:
+                if not 0 <= src < limit:
+                    raise GenomeError(
+                        f"gate {j} reads line {src} outside [0, {limit})"
+                    )
+        if not self.outputs:
+            raise GenomeError("genome needs at least one output")
+        for out in self.outputs:
+            if not 0 <= out < self.n_lines:
+                raise GenomeError(f"output line {out} does not exist")
+        return self
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def canonical(self) -> str:
+        """The canonical JSON identity (memo key, checkpoint payload)."""
+        return json.dumps(
+            {
+                "n_inputs": self.n_inputs,
+                "gates": [[kind, list(srcs)] for kind, srcs in self.gates],
+                "outputs": list(self.outputs),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(self.canonical().encode("ascii")).hexdigest()
+
+    @classmethod
+    def from_json(cls, text: str) -> "Genome":
+        data = json.loads(text)
+        return cls(
+            n_inputs=int(data["n_inputs"]),
+            gates=tuple(
+                (str(kind), tuple(int(s) for s in srcs))
+                for kind, srcs in data["gates"]
+            ),
+            outputs=tuple(int(o) for o in data["outputs"]),
+        ).validate()
+
+    # ------------------------------------------------------------------
+    # network conversion
+    # ------------------------------------------------------------------
+    def to_network(
+        self,
+        input_names: Optional[Sequence[str]] = None,
+        name: str = "synth",
+    ) -> Network:
+        """Build the :class:`Network` this genome encodes.
+
+        Every output is wrapped in a dedicated ``y{k}`` buffer so
+        duplicate output lines (and outputs fed straight from a primary
+        input) stay legal, and every candidate exposes uniform output
+        stems to the fault model.  Buffers cost nothing under the
+        Table 4.1 unit model.
+        """
+        self.validate()
+        if input_names is None:
+            input_names = tuple(f"x{i}" for i in range(self.n_inputs))
+        if len(input_names) != self.n_inputs:
+            raise GenomeError("input_names length must equal n_inputs")
+        builder = NetworkBuilder(list(input_names), name=name)
+        lines = list(input_names)
+        for j, (kind_name, srcs) in enumerate(self.gates):
+            lines.append(
+                builder.add(
+                    f"g{j}", GateKind[kind_name], [lines[s] for s in srcs]
+                )
+            )
+        out_names = []
+        for k, out in enumerate(self.outputs):
+            out_names.append(builder.add(f"y{k}", GateKind.BUF, [lines[out]]))
+        return builder.build(out_names)
+
+    @classmethod
+    def from_network(cls, network: Network) -> "Genome":
+        """Flatten an existing network into a genome (repair mode).
+
+        Gates are taken in the network's topological order, so the
+        genome's strict below-own-line invariant holds automatically.
+        """
+        index = {line: i for i, line in enumerate(network.inputs)}
+        genes = []
+        for gate in network.gates:
+            index[gate.name] = len(index)
+            genes.append(
+                (gate.kind.name, tuple(index[src] for src in gate.inputs))
+            )
+        return cls(
+            n_inputs=len(network.inputs),
+            gates=tuple(genes),
+            outputs=tuple(index[out] for out in network.outputs),
+        ).validate()

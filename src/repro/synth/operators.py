@@ -1,0 +1,233 @@
+"""Mutation/crossover operators over the flat genome representation.
+
+Every operator is a pure function of ``(genome, rng)`` — all randomness
+flows through the caller's seeded :class:`random.Random`, so a campaign
+is a deterministic function of its seed.  The library follows Garvie &
+Husbands' TSC synthesis moves adapted to the SCAL setting:
+
+* **kind substitution** within an arity class (the 2-input library is
+  AND/OR/NAND/NOR/XOR/XNOR; 1-input is NOT/BUF; MAJ↔MIN for imported
+  odd-arity gates);
+* **rewire** of one gate input pin to a random earlier line;
+* **add gate** (bounded by ``max_gates``) / **delete gate** with
+  consumer re-routing to one of the victim's own sources;
+* **dual swap** — replace a gate by its dual (AND↔OR, NAND↔NOR,
+  XOR↔XNOR); on a self-dual candidate this explores the
+  alternating-logic design space without leaving it;
+* **output retarget**;
+* **one-point crossover** over gate lists with source clamping (clamped
+  indices keep the below-own-line invariant, so children never need a
+  cycle repair pass).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..logic.gates import GateKind
+from .genome import GateGene, Genome
+
+#: Gate library for multi-input substitution and fresh gates.  The
+#: ternary majority/minority pair is in deliberately: Chapter 3's
+#: minority realizations make self-dual functions *naturally*
+#: alternating (the Yamamoto-dualized AND is exactly ``MAJ(x0,x1,phi)``),
+#: so the search can reach compact totally-self-checking forms that the
+#: two-input library alone plateaus short of.
+BINARY_KINDS: Tuple[str, ...] = ("AND", "OR", "NAND", "NOR", "XOR", "XNOR")
+UNARY_KINDS: Tuple[str, ...] = ("NOT", "BUF")
+TERNARY_KINDS: Tuple[str, ...] = ("MAJ", "MIN")
+
+#: Dual pairs: swapping a gate for its dual preserves membership in the
+#: alternating-logic design space (Theorem 3.2's closure under duals).
+DUAL_KIND = {
+    "AND": "OR",
+    "OR": "AND",
+    "NAND": "NOR",
+    "NOR": "NAND",
+    "XOR": "XNOR",
+    "XNOR": "XOR",
+    "NOT": "NOT",
+    "BUF": "BUF",
+    "MAJ": "MIN",
+    "MIN": "MAJ",
+}
+
+
+def random_genome(
+    rng: random.Random,
+    n_inputs: int,
+    n_gates: int,
+    n_outputs: int = 1,
+) -> Genome:
+    """A random valid genome (inputs-first wiring bias keeps early gates
+    reading primary inputs, so small genomes are rarely degenerate)."""
+    genes: List[GateGene] = []
+    for j in range(n_gates):
+        limit = n_inputs + j
+        genes.append(_random_gene(rng, limit))
+    n_lines = n_inputs + n_gates
+    outputs = tuple(
+        rng.randrange(n_lines) if n_gates == 0 else n_inputs + rng.randrange(n_gates)
+        for _ in range(n_outputs)
+    )
+    return Genome(n_inputs, tuple(genes), outputs).validate()
+
+
+def _random_gene(rng: random.Random, limit: int) -> GateGene:
+    """A fresh random gate reading lines below ``limit``."""
+    roll = rng.random()
+    if limit >= 3 and roll < 0.3:
+        kind = rng.choice(TERNARY_KINDS)
+        srcs = tuple(rng.randrange(limit) for _ in range(3))
+    elif limit >= 2 and roll < 0.9:
+        kind = rng.choice(BINARY_KINDS)
+        srcs = (rng.randrange(limit), rng.randrange(limit))
+    else:
+        kind = rng.choice(UNARY_KINDS)
+        srcs = (rng.randrange(limit),)
+    return (kind, srcs)
+
+
+# ----------------------------------------------------------------------
+# point mutations
+# ----------------------------------------------------------------------
+def _substitute_kind(genome: Genome, rng: random.Random) -> Genome:
+    if not genome.gates:
+        return genome
+    j = rng.randrange(len(genome.gates))
+    kind, srcs = genome.gates[j]
+    if kind in ("MAJ", "MIN"):
+        new_kind = DUAL_KIND[kind]
+    elif len(srcs) == 1:
+        new_kind = rng.choice([k for k in UNARY_KINDS if k != kind])
+    else:
+        new_kind = rng.choice([k for k in BINARY_KINDS if k != kind])
+    genes = list(genome.gates)
+    genes[j] = (new_kind, srcs)
+    return Genome(genome.n_inputs, tuple(genes), genome.outputs)
+
+
+def _rewire(genome: Genome, rng: random.Random) -> Genome:
+    if not genome.gates:
+        return genome
+    j = rng.randrange(len(genome.gates))
+    kind, srcs = genome.gates[j]
+    slot = rng.randrange(len(srcs))
+    new_srcs = list(srcs)
+    new_srcs[slot] = rng.randrange(genome.n_inputs + j)
+    genes = list(genome.gates)
+    genes[j] = (kind, tuple(new_srcs))
+    return Genome(genome.n_inputs, tuple(genes), genome.outputs)
+
+
+def _add_gate(genome: Genome, rng: random.Random, max_gates: int) -> Genome:
+    if len(genome.gates) >= max_gates:
+        return _rewire(genome, rng)
+    limit = genome.n_lines
+    genes = genome.gates + (_random_gene(rng, limit),)
+    outputs = genome.outputs
+    if rng.random() < 0.5:
+        # Make the new gate observable by retargeting one output at it.
+        k = rng.randrange(len(outputs))
+        outputs = outputs[:k] + (limit,) + outputs[k + 1 :]
+    return Genome(genome.n_inputs, genes, outputs)
+
+
+def _delete_gate(genome: Genome, rng: random.Random) -> Genome:
+    if len(genome.gates) <= 1:
+        return _rewire(genome, rng)
+    j = rng.randrange(len(genome.gates))
+    victim_line = genome.n_inputs + j
+    _kind, srcs = genome.gates[j]
+    replacement = rng.choice(srcs)
+
+    def remap(line: int) -> int:
+        if line == victim_line:
+            return replacement
+        if line > victim_line:
+            return line - 1
+        return line
+
+    genes: List[GateGene] = []
+    for k, (kind, gsrcs) in enumerate(genome.gates):
+        if k == j:
+            continue
+        genes.append((kind, tuple(remap(s) for s in gsrcs)))
+    outputs = tuple(remap(o) for o in genome.outputs)
+    return Genome(genome.n_inputs, tuple(genes), outputs)
+
+
+def _dual_swap(genome: Genome, rng: random.Random) -> Genome:
+    if not genome.gates:
+        return genome
+    j = rng.randrange(len(genome.gates))
+    kind, srcs = genome.gates[j]
+    genes = list(genome.gates)
+    genes[j] = (DUAL_KIND.get(kind, kind), srcs)
+    return Genome(genome.n_inputs, tuple(genes), genome.outputs)
+
+
+def _retarget_output(genome: Genome, rng: random.Random) -> Genome:
+    k = rng.randrange(len(genome.outputs))
+    outputs = list(genome.outputs)
+    outputs[k] = rng.randrange(genome.n_lines)
+    return Genome(genome.n_inputs, genome.gates, tuple(outputs))
+
+
+#: ``(weight, name)`` rows of the mutation roulette; the dual swap is
+#: deliberately over-weighted relative to its reach — it is the move
+#: that explores *within* the alternating design space.
+_MUTATIONS = (
+    (4, "substitute"),
+    (5, "rewire"),
+    (2, "add"),
+    (2, "delete"),
+    (3, "dual"),
+    (1, "retarget"),
+)
+_TOTAL_WEIGHT = sum(w for w, _ in _MUTATIONS)
+
+
+def mutate(genome: Genome, rng: random.Random, max_gates: int = 24) -> Genome:
+    """Apply one weighted-random point mutation."""
+    pick = rng.randrange(_TOTAL_WEIGHT)
+    for weight, name in _MUTATIONS:
+        if pick < weight:
+            break
+        pick -= weight
+    if name == "substitute":
+        child = _substitute_kind(genome, rng)
+    elif name == "rewire":
+        child = _rewire(genome, rng)
+    elif name == "add":
+        child = _add_gate(genome, rng, max_gates)
+    elif name == "delete":
+        child = _delete_gate(genome, rng)
+    elif name == "dual":
+        child = _dual_swap(genome, rng)
+    else:
+        child = _retarget_output(genome, rng)
+    return child.validate()
+
+
+def crossover(a: Genome, b: Genome, rng: random.Random) -> Genome:
+    """One-point crossover: a prefix of ``a``'s gates, a suffix of
+    ``b``'s, with suffix sources clamped below their new line index (the
+    clamp preserves acyclicity without a repair pass).  Outputs come
+    from either parent, clamped into the child's line range."""
+    if a.n_inputs != b.n_inputs:
+        raise ValueError("crossover parents must share the input count")
+    cut_a = rng.randint(0, len(a.gates))
+    cut_b = rng.randint(0, len(b.gates))
+    genes: List[GateGene] = list(a.gates[:cut_a])
+    for kind, srcs in b.gates[cut_b:]:
+        limit = a.n_inputs + len(genes)
+        genes.append((kind, tuple(s % limit for s in srcs)))
+    if not genes:
+        donor = a if cut_a or not b.gates else b
+        genes = list(donor.gates[:1] or [("BUF", (0,))])
+    n_lines = a.n_inputs + len(genes)
+    template = a.outputs if rng.random() < 0.5 else b.outputs
+    outputs = tuple(o % n_lines for o in template)
+    return Genome(a.n_inputs, tuple(genes), outputs).validate()

@@ -2,12 +2,17 @@
 
 import pytest
 
+from repro.logic.gates import GateKind
+from repro.logic.network import NetworkBuilder
 from repro.scal.costs import (
+    GATE_INPUT_COST,
+    GATE_UNIT_COSTS,
     REYNOLDS_COST_FACTOR,
     THESIS_TABLE_4_1,
     cost_factor,
     kohavi_general,
     measured_cost,
+    network_cost,
     render_cost_table,
     reynolds_general,
     translator_general,
@@ -75,6 +80,52 @@ class TestMeasuredCosts:
         )
         assert row.flip_flops == THESIS_COSTS["kohavi"][0]
         assert row.gate_inputs is not None
+
+
+class TestNetworkCost:
+    """Pin the per-gate cost model the synthesis Pareto front ranks by."""
+
+    def test_unit_costs_are_pinned(self):
+        free = {GateKind.INPUT, GateKind.CONST0, GateKind.CONST1, GateKind.BUF}
+        for kind in GateKind:
+            expected = 0.0 if kind in free else 1.0
+            assert GATE_UNIT_COSTS[kind] == expected, kind
+        assert GATE_INPUT_COST == pytest.approx(0.1)
+
+    def test_cost_charges_gates_and_extra_inputs(self):
+        builder = NetworkBuilder(["a", "b", "c"], name="costed")
+        builder.add("g1", GateKind.AND, ["a", "b"])  # 1 + 0.1
+        builder.add("g2", GateKind.NOT, ["g1"])  # 1 + 0 extra inputs
+        builder.add("g3", GateKind.MAJ, ["g2", "b", "c"])  # 1 + 0.2
+        builder.add("y", GateKind.BUF, ["g3"])  # free wrapper
+        net = builder.build(["y"])
+        assert network_cost(net) == pytest.approx(3.3)
+
+    def test_buffers_and_inputs_are_free(self):
+        builder = NetworkBuilder(["a"], name="wires")
+        builder.add("w1", GateKind.BUF, ["a"])
+        builder.add("w2", GateKind.BUF, ["w1"])
+        net = builder.build(["w2"])
+        assert network_cost(net) == 0.0
+
+    def test_cost_tracks_the_table_41_gate_counts(self):
+        """On buffer-free unit-fanin-2 networks the model degenerates to
+        gates + 0.1*gate_inputs' — the same ledger measured_cost reads,
+        so synthesis winners and Table 4.1 rows share one currency."""
+        from repro.workloads.detectors import kohavi_circuit
+
+        net = kohavi_circuit().circuit.network
+        gates = sum(
+            1 for g in net.gates if GATE_UNIT_COSTS[g.kind]
+        )
+        extra_inputs = sum(
+            max(len(g.inputs) - 1, 0)
+            for g in net.gates
+            if GATE_UNIT_COSTS[g.kind]
+        )
+        assert network_cost(net) == pytest.approx(
+            gates + GATE_INPUT_COST * extra_inputs
+        )
 
 
 class TestHelpers:

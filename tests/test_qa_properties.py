@@ -39,6 +39,8 @@ EXPECTED_PROPERTIES = {
     "collapse-verdict",
     "sampled-determinism",
     "seq-transform-equivalence",
+    "synth-determinism",
+    "synth-soundness",
 }
 
 FIXED_SEED = 2026

@@ -219,11 +219,72 @@ class TestHttpSurface:
                 assert "error" in lines[0]
 
 
+class TestSynthKind:
+    SYNTH_BODY = {
+        "kind": "synth",
+        "spec": "and2",
+        "seed": 2,
+        "population": 24,
+        "generations": 20,
+        "max_gates": 16,
+    }
+
+    def test_synth_request_streams_generations_and_replays(self):
+        async def scenario(server):
+            status, lines = await _post_campaign(
+                server.host, server.port, self.SYNTH_BODY
+            )
+            status2, lines2 = await _post_campaign(
+                server.host, server.port, self.SYNTH_BODY
+            )
+            return status, lines, status2, lines2
+
+        status, lines, status2, lines2 = _run(_with_server(scenario))
+        assert "200" in status and "200" in status2
+        events = {line.get("event") for line in lines}
+        assert "synth.generation" in events
+        assert "synth.report" in events
+        result = lines[-1]
+        assert result["event"] == "result"
+        assert result["kind"] == "synth"
+        assert result["converged"] is True
+        assert result["replayed"] is False
+        replay = lines2[-1]
+        assert replay["replayed"] is True
+        assert replay["best_fingerprint"] == result["best_fingerprint"]
+
+    def test_synth_validation(self):
+        with pytest.raises(RequestError, match="exactly one of"):
+            canonical_request({"kind": "synth"})
+        with pytest.raises(RequestError, match="exactly one of"):
+            canonical_request(
+                {"kind": "synth", "spec": "and2", "netlist": BENCH}
+            )
+        with pytest.raises(RequestError, match="unknown spec"):
+            canonical_request({"kind": "synth", "spec": "nope"})
+        with pytest.raises(RequestError, match="population"):
+            canonical_request(
+                {"kind": "synth", "spec": "and2", "population": 1}
+            )
+        with pytest.raises(RequestError, match="'kind' must be"):
+            canonical_request({"kind": "weird", "netlist": BENCH})
+        # Synth knobs on a plain campaign body are a client bug, not a
+        # silent fork into a distinct fingerprint.
+        with pytest.raises(RequestError, match="applies only to kind"):
+            canonical_request({"netlist": BENCH, "spec": "and2"})
+
+    def test_distinct_seeds_do_not_coalesce(self):
+        one = canonical_request(self.SYNTH_BODY)
+        two = canonical_request(dict(self.SYNTH_BODY, seed=3))
+        assert request_fingerprint(one) != request_fingerprint(two)
+
+
 class TestRequestCanonicalization:
     def test_defaults_are_filled(self):
         request = canonical_request({"netlist": BENCH})
         assert request["backend"] == "auto"
         assert request["collapse"] is True
+        assert request["kind"] == "campaign"
 
     def test_unknown_fields_rejected(self):
         with pytest.raises(RequestError, match="transprot"):
